@@ -1,0 +1,27 @@
+//! # odyssey-baselines
+//!
+//! The competitor systems of the paper's evaluation (Section 5,
+//! Figure 17d):
+//!
+//! * **DMESSI** — "we run the MESSI index independently in each system
+//!   node": every node stores a disjoint chunk, answers every query on
+//!   it, and the coordinator merges; no BSF sharing, no work-stealing.
+//! * **DMESSI-SW-BSF** — DMESSI "extended by enabling system-wide sharing
+//!   of the BSF values".
+//! * **DPiSAX** — the distributed iSAX of Yagoubi et al.: a *sample* of
+//!   the collection decides an iSAX-space partitioning table, series are
+//!   routed to nodes by their iSAX word, each node builds a local index
+//!   and answers every query, the coordinator merges partial results.
+//!
+//! All three run on the same simulated runtime as Odyssey
+//! (`odyssey-cluster`), differing exactly where the real systems differ:
+//! partitioning, BSF sharing, scheduling, and stealing. Per-node query
+//! answering uses the same engine for all systems, which makes the
+//! comparison about the *distributed* design — the quantity Figure 17d
+//! isolates.
+
+pub mod dmessi;
+pub mod dpisax;
+
+pub use dmessi::{dmessi_config, dmessi_sw_bsf_config};
+pub use dpisax::{dpisax_partition, DpiSaxCluster};

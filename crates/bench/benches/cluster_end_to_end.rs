@@ -1,0 +1,67 @@
+//! End-to-end cluster benchmarks at tiny scale: full batch answering
+//! under the main replication/scheduling configurations, plus the
+//! baselines — a fast wall-clock sanity check that complements the
+//! work-unit figure harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odyssey_baselines::dmessi_config;
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+
+fn bench_cluster(c: &mut Criterion) {
+    let data = random_walk(3_000, 128, 21);
+    let queries = QueryWorkload::generate(
+        &data,
+        6,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.3,
+            noise: 0.05,
+        },
+        3,
+    );
+    let mut group = c.benchmark_group("cluster_end_to_end");
+    group.sample_size(10);
+    let variants: Vec<(&str, ClusterConfig)> = vec![
+        (
+            "odyssey_full_ws",
+            ClusterConfig::new(4)
+                .with_replication(Replication::Full)
+                .with_scheduler(SchedulerKind::PredictDn)
+                .with_leaf_capacity(128),
+        ),
+        (
+            "odyssey_partial2",
+            ClusterConfig::new(4)
+                .with_replication(Replication::Partial(2))
+                .with_leaf_capacity(128),
+        ),
+        (
+            "odyssey_equally_split",
+            ClusterConfig::new(4)
+                .with_replication(Replication::EquallySplit)
+                .with_leaf_capacity(128),
+        ),
+        ("dmessi", dmessi_config(4).with_leaf_capacity(128)),
+    ];
+    for (label, cfg) in variants {
+        let cluster = OdysseyCluster::build(&data, cfg);
+        group.bench_function(format!("answer_batch/{label}"), |b| {
+            b.iter(|| cluster.answer_batch(&queries.queries))
+        });
+    }
+    group.bench_function("build/partial2", |b| {
+        b.iter(|| {
+            OdysseyCluster::build(
+                &data,
+                ClusterConfig::new(4)
+                    .with_replication(Replication::Partial(2))
+                    .with_leaf_capacity(128),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

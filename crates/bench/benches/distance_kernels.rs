@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the distance kernels: the hot path of query
+//! answering (plain vs early-abandoning ED, DTW, LB_Keogh).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use odyssey_core::distance::{
+    dtw_banded, euclidean_sq, euclidean_sq_early_abandon, keogh_envelope, lb_keogh_sq,
+};
+use odyssey_workloads::generator::random_walk;
+
+fn bench_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for &len in &[96usize, 256] {
+        let data = random_walk(2, len, 42);
+        let a = data.series(0).to_vec();
+        let b = data.series(1).to_vec();
+        group.bench_with_input(BenchmarkId::new("euclidean_sq", len), &len, |bch, _| {
+            bch.iter(|| euclidean_sq(black_box(&a), black_box(&b)))
+        });
+        let full = euclidean_sq(&a, &b);
+        group.bench_with_input(
+            BenchmarkId::new("euclidean_early_abandon_hit", len),
+            &len,
+            |bch, _| {
+                // Threshold below the distance: abandons early.
+                bch.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 0.1))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("euclidean_early_abandon_miss", len),
+            &len,
+            |bch, _| {
+                // Threshold above the distance: full scan plus checks.
+                bch.iter(|| euclidean_sq_early_abandon(black_box(&a), black_box(&b), full * 2.0))
+            },
+        );
+        let window = len / 20;
+        group.bench_with_input(BenchmarkId::new("dtw_banded_5pct", len), &len, |bch, _| {
+            bch.iter(|| dtw_banded(black_box(&a), black_box(&b), window, f64::INFINITY))
+        });
+        let env = keogh_envelope(&a, window);
+        group.bench_with_input(BenchmarkId::new("lb_keogh", len), &len, |bch, _| {
+            bch.iter(|| lb_keogh_sq(black_box(&env), black_box(&b), f64::INFINITY))
+        });
+        group.bench_with_input(BenchmarkId::new("keogh_envelope", len), &len, |bch, _| {
+            bch.iter(|| keogh_envelope(black_box(&a), window))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

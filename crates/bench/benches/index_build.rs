@@ -1,0 +1,35 @@
+//! Index-construction benchmarks: the buffer and tree phases of
+//! Figure 17, at micro scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use odyssey_core::buffers::{SummarizationBuffers, Summaries};
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::tree::build_forest;
+use odyssey_workloads::generator::random_walk;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let data = random_walk(n, 128, 3);
+        group.bench_with_input(BenchmarkId::new("summaries", n), &n, |b, _| {
+            b.iter(|| Summaries::compute(&data, 16, 2))
+        });
+        let summaries = Summaries::compute(&data, 16, 2);
+        group.bench_with_input(BenchmarkId::new("buffers", n), &n, |b, _| {
+            b.iter(|| SummarizationBuffers::build(&summaries))
+        });
+        let buffers = SummarizationBuffers::build(&summaries);
+        group.bench_with_input(BenchmarkId::new("forest", n), &n, |b, _| {
+            b.iter(|| build_forest(&buffers, &summaries, 128, 2))
+        });
+        group.bench_with_input(BenchmarkId::new("full_build", n), &n, |b, _| {
+            let cfg = IndexConfig::new(128).with_segments(16).with_leaf_capacity(128);
+            b.iter(|| Index::build(data.clone(), cfg, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

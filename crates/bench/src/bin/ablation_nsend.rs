@@ -1,0 +1,48 @@
+//! Ablation: the number of RS-batches handed over per steal (`Nsend`).
+//!
+//! Section 3.2.2: "Experiments show that fixing Nsend to 4 was the best
+//! choice". Too small and thieves make too many round trips; too large
+//! and the victim gives away work it would have finished anyway.
+
+use odyssey_bench::{fmt_secs, print_table_header, print_table_row, seismic_like};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+
+fn main() {
+    let data = seismic_like(8);
+    let n_queries = 24 * odyssey_bench::scale();
+    // A tail-heavy batch: the scenario stealing exists for.
+    let queries = QueryWorkload::generate(
+        &data,
+        n_queries,
+        WorkloadKind::Ramp {
+            hard_fraction: 0.15,
+            noise: 0.05,
+        },
+        0xAB1A,
+    );
+    println!("Ablation: steal batch count Nsend (seismic-like, {n_queries} ramp queries, 8 nodes, FULL, DYNAMIC)\n");
+    let widths = [8usize, 13, 10, 12];
+    print_table_header(&["Nsend", "makespan", "steals", "steal fails"], &widths);
+    for nsend in [1usize, 2, 4, 8, 16] {
+        let cfg = ClusterConfig::new(8)
+            .with_replication(Replication::Full)
+            .with_scheduler(SchedulerKind::Dynamic)
+            .with_work_stealing(true)
+            .with_steal_nsend(nsend)
+            .with_leaf_capacity(128);
+        let tpn = cfg.threads_per_node;
+        let cluster = OdysseyCluster::build(&data, cfg);
+        let report = cluster.answer_batch(&queries.queries);
+        print_table_row(
+            &[
+                nsend.to_string(),
+                fmt_secs(report.makespan_seconds(tpn)),
+                report.steals_successful.to_string(),
+                (report.steals_attempted - report.steals_successful).to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\npaper finding: Nsend = 4 is the sweet spot.");
+}

@@ -1,0 +1,55 @@
+//! Ablation: heterogeneous node speeds (failure-mode injection).
+//!
+//! One node of an 8-node FULL-replication cluster runs at a fraction of
+//! the others' speed. Without load balancing the straggler pins the
+//! makespan; Odyssey's work-stealing lets the healthy nodes drain its
+//! queues. Not a paper figure — an ablation of the DESIGN.md §5 load-
+//! balancing claims under conditions the paper's homogeneous cluster
+//! never hits.
+
+use odyssey_bench::{fmt_secs, print_table_header, print_table_row, seismic_like};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+
+fn main() {
+    let data = seismic_like(4);
+    let n_queries = 24 * odyssey_bench::scale();
+    let queries = QueryWorkload::generate(
+        &data,
+        n_queries,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.25,
+            noise: 0.05,
+        },
+        0x57A6,
+    );
+    println!(
+        "Ablation: one straggler node (8 nodes, FULL, {n_queries} queries; node 0 slowed)\n"
+    );
+    let widths = [12usize, 16, 16, 9];
+    print_table_header(
+        &["slowdown", "no stealing", "with stealing", "steals"],
+        &widths,
+    );
+    for slowdown in [1.0f64, 2.0, 4.0] {
+        let mut cells = vec![format!("{slowdown:.0}x")];
+        let mut steals = 0;
+        for ws in [false, true] {
+            let cfg = ClusterConfig::new(8)
+                .with_replication(Replication::Full)
+                .with_scheduler(SchedulerKind::Dynamic)
+                .with_work_stealing(ws)
+                .with_node_speed(0, 1.0 / slowdown)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch(&queries.queries);
+            cells.push(fmt_secs(report.makespan_seconds(tpn)));
+            steals = report.steals_successful;
+        }
+        cells.push(steals.to_string());
+        print_table_row(&cells, &widths);
+    }
+    println!("\nexpected shape: without stealing the makespan grows with the slowdown");
+    println!("(the straggler pins it); with stealing healthy nodes absorb the excess.");
+}

@@ -1,0 +1,62 @@
+//! Query-answering time breakdown (the observation of Section 3.2:
+//! "the biggest part of the time for query answering goes to priority
+//! queues' processing" — which is why Odyssey steals at the
+//! queue-processing phase).
+
+use odyssey_bench::{mixed_queries, print_table_header, print_table_row, seismic_like};
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::exact::{exact_search, SearchParams};
+
+fn main() {
+    let data = seismic_like(1);
+    let n_queries = 32 * odyssey_bench::scale();
+    let queries = mixed_queries(&data, n_queries, 0xB4EA);
+    let index = Index::build(
+        data.clone(),
+        IndexConfig::new(data.series_len())
+            .with_segments(16)
+            .with_leaf_capacity(128),
+        2,
+    );
+    let params = SearchParams::new(2);
+    let mut traversal = std::time::Duration::ZERO;
+    let mut processing = std::time::Duration::ZERO;
+    let mut rows: Vec<(f64, f64, f64)> = Vec::new();
+    for qi in 0..n_queries {
+        let out = exact_search(&index, queries.query(qi), &params);
+        traversal += out.stats.traversal_time;
+        processing += out.stats.processing_time;
+        rows.push((
+            out.stats.initial_bsf,
+            out.stats.traversal_time.as_secs_f64() * 1e3,
+            out.stats.processing_time.as_secs_f64() * 1e3,
+        ));
+    }
+    println!("Query answering time breakdown (seismic-like, {n_queries} queries)\n");
+    let widths = [12usize, 15, 15, 8];
+    print_table_header(
+        &["initial BSF", "traversal (ms)", "queues (ms)", "queues%"],
+        &widths,
+    );
+    rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for r in rows.iter().step_by((rows.len() / 10).max(1)) {
+        let pct = 100.0 * r.2 / (r.1 + r.2).max(1e-12);
+        print_table_row(
+            &[
+                format!("{:.3}", r.0),
+                format!("{:.3}", r.1),
+                format!("{:.3}", r.2),
+                format!("{pct:.0}%"),
+            ],
+            &widths,
+        );
+    }
+    let total = traversal + processing;
+    println!(
+        "\noverall: traversal {:.1}% | queue processing {:.1}%",
+        100.0 * traversal.as_secs_f64() / total.as_secs_f64(),
+        100.0 * processing.as_secs_f64() / total.as_secs_f64()
+    );
+    println!("paper observation: queue processing dominates, especially on hard");
+    println!("queries — hence Odyssey steals priority queues, not tree work.");
+}

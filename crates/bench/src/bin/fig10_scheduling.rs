@@ -1,0 +1,67 @@
+//! Figure 10: Odyssey's scheduling algorithms on Seismic.
+//!
+//! (a) FULL replication, 1–8 nodes; (b) PARTIAL-2, 2–8 nodes. The batch
+//! is a *ramp* (progressively harder, hard queries at the end — the
+//! paper's adversarial case for static and plain-dynamic scheduling,
+//! Section 3.1). The paper finds PREDICT-DN the best pure scheduler (up
+//! to 150% better than STATIC) and WORK-STEAL-PREDICT up to ~2x better
+//! again at large node counts.
+
+use odyssey_bench::{
+    fmt_secs, print_table_header, print_table_row, scheduler_variants, seismic_like,
+};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication};
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+
+fn run_panel(title: &str, replication: Replication, node_counts: &[usize]) {
+    let data = seismic_like(8);
+    let n_queries = 24 * odyssey_bench::scale();
+    let queries = QueryWorkload::generate(
+        &data,
+        n_queries,
+        WorkloadKind::Ramp {
+            hard_fraction: 0.15,
+            noise: 0.05,
+        },
+        0xF19_10,
+    );
+    println!("{title} ({n_queries} queries)\n");
+    let mut widths = vec![20usize];
+    widths.extend(node_counts.iter().map(|_| 10usize));
+    let mut header = vec!["scheduler"];
+    let labels: Vec<String> = node_counts.iter().map(|n| format!("{n} nodes")).collect();
+    header.extend(labels.iter().map(|s| s.as_str()));
+    print_table_header(&header, &widths);
+    // One index build per node count; schedulers sweep via reconfigure.
+    let mut rows: Vec<Vec<String>> = scheduler_variants()
+        .iter()
+        .map(|(label, _, _)| vec![label.to_string()])
+        .collect();
+    for &n in node_counts {
+        let base = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(n)
+                .with_replication(replication)
+                .with_leaf_capacity(128),
+        );
+        for (row, (_, kind, ws)) in rows.iter_mut().zip(scheduler_variants()) {
+            let cluster =
+                base.reconfigured(|c| c.with_scheduler(kind).with_work_stealing(ws));
+            let tpn = cluster.config().threads_per_node;
+            let report = cluster.answer_batch(&queries.queries);
+            row.push(fmt_secs(report.makespan_seconds(tpn)));
+        }
+    }
+    for row in rows {
+        print_table_row(&row, &widths);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 10: Odyssey's scheduling algorithms (seismic-like)\n");
+    run_panel("(a) FULL replication", Replication::Full, &[1, 2, 4, 8]);
+    run_panel("(b) PARTIAL-2 replication", Replication::Partial(2), &[2, 4, 8]);
+    println!("paper shape: predict-dn beats static (up to 150%); work-steal-predict");
+    println!("beats predict-dn at larger node counts (up to ~2x, FULL).");
+}

@@ -1,0 +1,47 @@
+//! Figure 11: query answering scalability as the number of queries
+//! increases (Random, WORK-STEAL).
+//!
+//! The paper's claim: executing `j·Q` queries on `j` nodes takes the same
+//! time as `Q` queries on 1 node — rows of the table should be roughly
+//! constant along the diagonal.
+
+use odyssey_bench::{fmt_secs, mixed_queries, print_table_header, print_table_row, random_like};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+
+fn run_panel(title: &str, replication: Replication, node_counts: &[usize]) {
+    let data = random_like(1);
+    let base_q = 25 * odyssey_bench::scale();
+    let query_counts: Vec<usize> = [1usize, 2, 4, 8].iter().map(|m| m * base_q).collect();
+    println!("{title}\n");
+    let mut widths = vec![10usize];
+    widths.extend(query_counts.iter().map(|_| 10usize));
+    let mut header = vec!["".to_string()];
+    header.extend(query_counts.iter().map(|q| format!("{q} qrs")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for &n in node_counts {
+        let mut cells = vec![format!("{n} nodes")];
+        for &nq in &query_counts {
+            let queries = mixed_queries(&data, nq, 0xF19_11);
+            let cfg = ClusterConfig::new(n)
+                .with_replication(replication)
+                .with_scheduler(SchedulerKind::Dynamic)
+                .with_work_stealing(true)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch(&queries.queries);
+            cells.push(fmt_secs(report.makespan_seconds(tpn)));
+        }
+        print_table_row(&cells, &widths);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 11: query answering scalability (random, WORK-STEAL)\n");
+    run_panel("(a) FULL replication", Replication::Full, &[1, 2, 4, 8]);
+    run_panel("(b) PARTIAL-2 replication", Replication::Partial(2), &[2, 4, 8]);
+    println!("paper shape: time for j*Q queries on j nodes ~= time for Q queries on 1");
+    println!("node (near-perfect scaling along the diagonal).");
+}

@@ -1,0 +1,63 @@
+//! Figure 12: query time for a fixed batch as the dataset size grows
+//! (8 nodes), for every replication strategy.
+//!
+//! Paper shape: time grows gracefully with dataset size; more replication
+//! is consistently faster (FULL < PARTIAL-2 < PARTIAL-4 < EQUALLY-SPLIT),
+//! with the larger settings hitting per-node memory limits the paper
+//! marks "Memory Limitation" — inapplicable at reproduction scale.
+
+use odyssey_bench::{
+    fmt_secs, graded_queries, print_table_header, print_table_row, replication_options,
+};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, SchedulerKind};
+use odyssey_core::series::DatasetBuffer;
+use odyssey_workloads::generator;
+
+fn run_panel(title: &str, gen: impl Fn(usize) -> DatasetBuffer, mults: &[usize]) {
+    let n_nodes = 8;
+    let n_queries = 16 * odyssey_bench::scale();
+    println!("{title} ({n_nodes} nodes, {n_queries} queries)\n");
+    let reps = replication_options(n_nodes);
+    let mut widths = vec![14usize];
+    widths.extend(mults.iter().map(|_| 11usize));
+    let mut header = vec!["strategy".to_string()];
+    header.extend(mults.iter().map(|m| format!("size x{m}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for rep in &reps {
+        let mut cells = vec![rep.label()];
+        for &m in mults {
+            let data = gen(m);
+            let queries = graded_queries(&data, n_queries, 0xF19_12);
+            let cfg = ClusterConfig::new(n_nodes)
+                .with_replication(*rep)
+                .with_scheduler(SchedulerKind::PredictDn)
+                .with_work_stealing(true)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch(&queries.queries);
+            cells.push(fmt_secs(report.makespan_seconds(tpn)));
+        }
+        print_table_row(&cells, &widths);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Figure 12: query time vs dataset size (8 nodes)\n");
+    let scale = odyssey_bench::scale();
+    let base = odyssey_bench::BASE_SERIES * scale;
+    run_panel(
+        "(a) Random",
+        |m| generator::random_walk(base * m, odyssey_bench::SERIES_LEN, 0x7A2D),
+        &[1, 2, 4],
+    );
+    run_panel(
+        "(b) Yan-TtI-like",
+        |m| generator::cluster_mixture(base * m, 200, 16, 0.5, 0xAA77),
+        &[1, 2, 4],
+    );
+    println!("paper shape: graceful growth with size; higher replication degree is");
+    println!("consistently faster at query answering.");
+}

@@ -1,0 +1,38 @@
+//! Figure 13: query throughput on Random with FULL replication.
+//!
+//! Paper shape: throughput grows near-linearly with the node count and
+//! is insensitive to the batch size.
+
+use odyssey_bench::{mixed_queries, print_table_header, print_table_row, random_like};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, SchedulerKind};
+
+fn main() {
+    let data = random_like(1);
+    let base_q = 25 * odyssey_bench::scale();
+    let query_counts: Vec<usize> = [1usize, 2, 4, 8].iter().map(|m| m * base_q).collect();
+    let node_counts = [1usize, 2, 4, 8];
+    println!("Figure 13: query throughput (random, FULL replication, WORK-STEAL)\n");
+    let mut widths = vec![10usize];
+    widths.extend(node_counts.iter().map(|_| 12usize));
+    let mut header = vec!["".to_string()];
+    header.extend(node_counts.iter().map(|n| format!("{n} nodes")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for &nq in &query_counts {
+        let queries = mixed_queries(&data, nq, 0xF19_13);
+        let mut cells = vec![format!("{nq} qrs")];
+        for &n in &node_counts {
+            let cfg = ClusterConfig::new(n)
+                .with_scheduler(SchedulerKind::Dynamic)
+                .with_work_stealing(true)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch(&queries.queries);
+            cells.push(format!("{:.1}", report.throughput(tpn)));
+        }
+        print_table_row(&cells, &widths);
+    }
+    println!("\n(values are queries per simulated second)");
+    println!("paper shape: near-linear throughput growth with node count.");
+}

@@ -1,0 +1,43 @@
+//! Figure 14: total index size per replication strategy (8 nodes), for
+//! every dataset.
+//!
+//! Paper shape: index size is small relative to the raw data and grows
+//! proportionally with the replication degree (FULL = N × EQUALLY-SPLIT).
+
+use odyssey_bench::{print_table_header, print_table_row, replication_options};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster};
+use odyssey_workloads::dataset_registry;
+
+fn main() {
+    let n_nodes = 8;
+    let scale = odyssey_bench::scale();
+    println!("Figure 14: total index size in MB ({n_nodes} nodes)\n");
+    let reps = replication_options(n_nodes);
+    let mut widths = vec![10usize];
+    widths.extend(reps.iter().map(|_| 14usize));
+    let mut header = vec!["dataset".to_string()];
+    header.extend(reps.iter().map(|r| r.label()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for spec in dataset_registry() {
+        // Scale the registry defaults down so all six datasets build fast.
+        let n = (spec.repro_series / 4).max(2000) * scale;
+        let data = spec.generate_scaled(n, 0xF19_14);
+        let mut cells = vec![spec.name.to_string()];
+        for rep in &reps {
+            let cfg = ClusterConfig::new(n_nodes)
+                .with_replication(*rep)
+                .with_leaf_capacity(128);
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let mb = cluster.build_report().total_index_bytes() as f64 / (1024.0 * 1024.0);
+            cells.push(format!("{mb:.2}"));
+        }
+        let raw_mb = data.size_bytes() as f64 / (1024.0 * 1024.0);
+        cells.push(format!("(raw {raw_mb:.1} MB)"));
+        let mut w = widths.clone();
+        w.push(16);
+        print_table_row(&cells, &w);
+    }
+    println!("\npaper shape: index size << data size; FULL = replication-degree x");
+    println!("EQUALLY-SPLIT (space is the price of replication).");
+}

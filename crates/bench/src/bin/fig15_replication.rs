@@ -1,0 +1,71 @@
+//! Figure 15: Odyssey's replication strategies on Seismic with
+//! WORK-STEAL-PREDICT.
+//!
+//! (a, b) query-answering time for 100 and 800 queries (scaled here);
+//! (c, d) *total* time including index construction.
+//!
+//! Paper shape: more replication → faster query answering (a, b), but
+//! slower index construction; with few queries EQUALLY-SPLIT wins on
+//! total time, with many queries FULL's construction cost is amortized
+//! and the ordering flips (c vs d) — the paper's central trade-off.
+
+use odyssey_bench::{
+    fmt_secs, graded_queries, print_table_header, print_table_row, replication_options,
+    seismic_like,
+};
+use odyssey_cluster::{units, ClusterConfig, OdysseyCluster, SchedulerKind};
+
+fn run_panel(n_queries: usize, node_counts: &[usize], total_time: bool) {
+    let data = seismic_like(1);
+    let queries = graded_queries(&data, n_queries, 0xF19_15);
+    let reps = replication_options(8);
+    let mut widths = vec![14usize];
+    widths.extend(node_counts.iter().map(|_| 11usize));
+    let mut header = vec!["strategy".to_string()];
+    header.extend(node_counts.iter().map(|n| format!("{n} nodes")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for rep in &reps {
+        let mut cells = vec![rep.label()];
+        for &n in node_counts {
+            let k = rep.n_groups(n);
+            if k > n || n % k != 0 {
+                cells.push("-".into());
+                continue;
+            }
+            let cfg = ClusterConfig::new(n)
+                .with_replication(*rep)
+                .with_scheduler(SchedulerKind::PredictDn)
+                .with_work_stealing(true)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch(&queries.queries);
+            let mut secs = report.makespan_seconds(tpn);
+            if total_time {
+                secs += units::units_to_seconds(cluster.build_report().max_index_units(), tpn);
+            }
+            cells.push(fmt_secs(secs));
+        }
+        print_table_row(&cells, &widths);
+    }
+    println!();
+}
+
+fn main() {
+    let scale = odyssey_bench::scale();
+    let small = 16 * scale;
+    let large = 128 * scale;
+    println!("Figure 15: replication strategies, WORK-STEAL-PREDICT (seismic-like)\n");
+    println!("(a) query answering time, {small} queries\n");
+    run_panel(small, &[1, 2, 4, 8], false);
+    println!("(b) query answering time, {large} queries\n");
+    run_panel(large, &[1, 2, 4, 8], false);
+    println!("(c) total time (index + queries), {small} queries\n");
+    run_panel(small, &[1, 2, 4, 8], true);
+    println!("(d) total time (index + queries), {large} queries\n");
+    run_panel(large, &[1, 2, 4, 8], true);
+    println!("paper shape: (a,b) more replication = faster queries; (c) with few");
+    println!("queries the extra index-build cost makes FULL lose on total time;");
+    println!("(d) with many queries the build cost amortizes and FULL wins overall.");
+}

@@ -1,0 +1,60 @@
+//! Figure 16: replication strategies on the remaining real datasets
+//! (Astro, Deep, Sift, Yan-TtI stand-ins), 100 queries,
+//! WORK-STEAL-PREDICT.
+//!
+//! Paper shape: same trends as Seismic (Figure 15a) — higher replication
+//! degrees answer queries faster on every dataset.
+
+use odyssey_bench::{fmt_secs, graded_queries, print_table_header, print_table_row};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey_workloads::dataset_registry;
+
+fn main() {
+    let scale = odyssey_bench::scale();
+    let n_queries = 16 * scale;
+    println!("Figure 16: replication strategies on real datasets ({n_queries} queries)\n");
+    let node_counts = [2usize, 4, 8];
+    let reps = [
+        Replication::EquallySplit,
+        Replication::Partial(4),
+        Replication::Partial(2),
+    ];
+    for spec in dataset_registry() {
+        if spec.name == "Seismic" || spec.name == "Random" {
+            continue; // Figure 15 covers Seismic; Random is synthetic.
+        }
+        let n = (spec.repro_series / 8).max(2000) * scale;
+        let data = spec.generate_scaled(n, 0xF19_16);
+        let queries = graded_queries(&data, n_queries, 0x16 ^ n as u64);
+        println!("({}) {} — {n} series of length {}\n", spec.name, spec.description, data.series_len());
+        let mut widths = vec![14usize];
+        widths.extend(node_counts.iter().map(|_| 11usize));
+        let mut header = vec!["strategy".to_string()];
+        header.extend(node_counts.iter().map(|n| format!("{n} nodes")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_table_header(&header_refs, &widths);
+        for rep in &reps {
+            let mut cells = vec![rep.label()];
+            for &nn in &node_counts {
+                let k = rep.n_groups(nn);
+                if k > nn || nn % k != 0 {
+                    cells.push("-".into());
+                    continue;
+                }
+                let cfg = ClusterConfig::new(nn)
+                    .with_replication(*rep)
+                    .with_scheduler(SchedulerKind::PredictDn)
+                    .with_work_stealing(true)
+                    .with_leaf_capacity(128);
+                let tpn = cfg.threads_per_node;
+                let cluster = OdysseyCluster::build(&data, cfg);
+                let report = cluster.answer_batch(&queries.queries);
+                cells.push(fmt_secs(report.makespan_seconds(tpn)));
+            }
+            print_table_row(&cells, &widths);
+        }
+        println!();
+    }
+    println!("paper shape: on every dataset, more replication and more nodes mean");
+    println!("faster query answering (same trends as Seismic).");
+}

@@ -1,0 +1,51 @@
+//! Figure 18: 10-NN query answering (Random, 100 GB in the paper) for
+//! every replication strategy.
+//!
+//! Paper shape: k-NN times are higher than 1-NN, but more nodes and more
+//! replication improve performance exactly as in the 1-NN experiments.
+
+use odyssey_bench::{
+    fmt_secs, graded_queries, print_table_header, print_table_row, random_like,
+    replication_options,
+};
+use odyssey_cluster::{units, ClusterConfig, OdysseyCluster, SchedulerKind};
+
+fn main() {
+    let data = random_like(1);
+    let k = 10;
+    let n_queries = 16 * odyssey_bench::scale();
+    let queries = graded_queries(&data, n_queries, 0xF19_18);
+    println!("Figure 18: {k}-NN query answering (random, {n_queries} queries)\n");
+    let node_counts = [1usize, 2, 4, 8];
+    let reps = replication_options(8);
+    let mut widths = vec![14usize];
+    widths.extend(node_counts.iter().map(|_| 11usize));
+    let mut header = vec!["strategy".to_string()];
+    header.extend(node_counts.iter().map(|n| format!("{n} nodes")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for rep in &reps {
+        let mut cells = vec![rep.label()];
+        for &n in &node_counts {
+            let kk = rep.n_groups(n);
+            if kk > n || n % kk != 0 {
+                cells.push("-".into());
+                continue;
+            }
+            let cfg = ClusterConfig::new(n)
+                .with_replication(*rep)
+                .with_scheduler(SchedulerKind::PredictDn)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch_knn(&queries.queries, k);
+            cells.push(fmt_secs(units::units_to_seconds(
+                report.makespan_units(),
+                tpn,
+            )));
+        }
+        print_table_row(&cells, &widths);
+    }
+    println!("\npaper shape: higher than 1-NN times; more nodes / replication help");
+    println!("the same way as in the 1-NN experiments.");
+}

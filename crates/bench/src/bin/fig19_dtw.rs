@@ -1,0 +1,51 @@
+//! Figure 19: DTW similarity search with 5% warping window (Random) for
+//! every replication strategy.
+//!
+//! Paper shape: DTW is costlier than Euclidean, but node count and
+//! replication degree improve performance exactly as before.
+
+use odyssey_bench::{
+    fmt_secs, graded_queries, print_table_header, print_table_row, random_like,
+    replication_options, SERIES_LEN,
+};
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, SchedulerKind};
+
+fn main() {
+    let data = random_like(1);
+    let window = (SERIES_LEN * 5) / 100; // 5% warping
+    let n_queries = 12 * odyssey_bench::scale();
+    let queries = graded_queries(&data, n_queries, 0xF19_19);
+    println!(
+        "Figure 19: DTW query answering, 5% warping = {window} points (random, {n_queries} queries)\n"
+    );
+    let node_counts = [1usize, 2, 4, 8];
+    let reps = replication_options(8);
+    let mut widths = vec![14usize];
+    widths.extend(node_counts.iter().map(|_| 11usize));
+    let mut header = vec!["strategy".to_string()];
+    header.extend(node_counts.iter().map(|n| format!("{n} nodes")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    print_table_header(&header_refs, &widths);
+    for rep in &reps {
+        let mut cells = vec![rep.label()];
+        for &n in &node_counts {
+            let kk = rep.n_groups(n);
+            if kk > n || n % kk != 0 {
+                cells.push("-".into());
+                continue;
+            }
+            let cfg = ClusterConfig::new(n)
+                .with_replication(*rep)
+                .with_scheduler(SchedulerKind::PredictDn)
+                .with_work_stealing(true)
+                .with_leaf_capacity(128);
+            let tpn = cfg.threads_per_node;
+            let cluster = OdysseyCluster::build(&data, cfg);
+            let report = cluster.answer_batch_dtw(&queries.queries, window);
+            cells.push(fmt_secs(report.makespan_seconds(tpn)));
+        }
+        print_table_row(&cells, &widths);
+    }
+    println!("\npaper shape: higher times than Euclidean; more nodes / replication");
+    println!("help the same way as before.");
+}

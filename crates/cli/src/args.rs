@@ -1,0 +1,116 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positional words plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses a raw argument list. A token starting with `--` consumes
+    /// the next token as its value unless that token also starts with
+    /// `--` (then it is a bare flag).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err("empty option name '--'".into());
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        if args.options.insert(key.to_string(), value).is_some() {
+                            return Err(format!("duplicate option --{key}"));
+                        }
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    /// A parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} '{v}'")),
+        }
+    }
+
+    /// A required parsed option.
+    pub fn require_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        let v = self.require(key)?;
+        v.parse().map_err(|_| format!("invalid --{key} '{v}'"))
+    }
+
+    /// Whether a bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).expect("parse")
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse("index build --data d.bin --len 128 --verbose");
+        assert_eq!(a.positional(), &["index", "build"]);
+        assert_eq!(a.get("data"), Some("d.bin"));
+        assert_eq!(a.get_or::<usize>("len", 0).unwrap(), 128);
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse("run --n 5");
+        assert_eq!(a.get_or::<usize>("n", 1).unwrap(), 5);
+        assert_eq!(a.get_or::<usize>("m", 7).unwrap(), 7);
+        assert!(a.require("missing").is_err());
+        assert!(a.require_parsed::<usize>("n").unwrap() == 5);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_values() {
+        assert!(Args::parse(["--x".into(), "1".into(), "--x".into(), "2".into()]).is_err());
+        let a = parse("--n abc");
+        assert!(a.get_or::<usize>("n", 1).is_err());
+    }
+
+    #[test]
+    fn double_dash_as_flag_before_option() {
+        let a = parse("--fast --out file.bin");
+        assert!(a.has_flag("fast"));
+        assert_eq!(a.get("out"), Some("file.bin"));
+    }
+}

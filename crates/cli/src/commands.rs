@@ -1,0 +1,302 @@
+//! Command implementations.
+
+use crate::args::Args;
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::persist;
+use odyssey_core::search::dtw_search::dtw_search;
+use odyssey_core::search::exact::{exact_search, SearchParams};
+use odyssey_core::search::knn::knn_search;
+use odyssey_workloads::generator;
+use odyssey_workloads::io as wio;
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  odyssey generate --kind random|seismic|clustered --series N --len L \\
+                   [--seed S] [--clusters K] [--spread F] --out FILE
+  odyssey index build --data FILE --len L [--segments W] [--leaf-capacity C] \\
+                      [--threads T] --out FILE
+  odyssey index info --index FILE
+  odyssey query --index FILE --queries FILE [--k K] [--dtw-window W] [--threads T]
+  odyssey cluster --data FILE --len L --queries FILE [--nodes N] \\
+                  [--replication full|equally-split|partial-K] \\
+                  [--scheduler static|dynamic|predict-st|predict-st-unsorted|predict-dn] \\
+                  [--threads-per-node T] [--no-stealing] [--no-bsf-sharing]";
+
+/// Dispatches a raw argument vector to a command.
+pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match args.positional() {
+        [c, ..] if c == "generate" => cmd_generate(&args),
+        [c, s, ..] if c == "index" && s == "build" => cmd_index_build(&args),
+        [c, s, ..] if c == "index" && s == "info" => cmd_index_info(&args),
+        [c, ..] if c == "query" => cmd_query(&args),
+        [c, ..] if c == "cluster" => cmd_cluster(&args),
+        [] => Err("no command given".into()),
+        other => Err(format!("unknown command '{}'", other.join(" "))),
+    }
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = args.require("kind")?;
+    let n: usize = args.require_parsed("series")?;
+    let len: usize = args.require_parsed("len")?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let out = args.require("out")?;
+    let data = match kind {
+        "random" => generator::random_walk(n, len, seed),
+        "seismic" => generator::noisy_walk(n, len, seed),
+        "clustered" => {
+            let k: usize = args.get_or("clusters", 32)?;
+            let spread: f32 = args.get_or("spread", 0.3)?;
+            generator::cluster_mixture(n, len, k, spread, seed)
+        }
+        other => return Err(format!("unknown --kind '{other}'")),
+    };
+    wio::write_bin(&data, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} series x {} ({:.1} MB) to {out}",
+        n,
+        len,
+        data.size_bytes() as f64 / 1048576.0
+    );
+    Ok(())
+}
+
+fn cmd_index_build(args: &Args) -> Result<(), String> {
+    let data_path = args.require("data")?;
+    let len: usize = args.require_parsed("len")?;
+    let out = args.require("out")?;
+    let segments: usize = args.get_or("segments", 16.min(len))?;
+    let leaf_capacity: usize = args.get_or("leaf-capacity", 2000)?;
+    let threads: usize = args.get_or("threads", 2)?;
+    let data = wio::read_bin(Path::new(data_path), len).map_err(|e| e.to_string())?;
+    let cfg = IndexConfig::new(len)
+        .with_segments(segments)
+        .with_leaf_capacity(leaf_capacity);
+    let index = Index::build(data, cfg, threads);
+    let t = index.build_times();
+    persist::save_index_file(&index, Path::new(out)).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} series: {} subtrees, {} leaves, {:?} (buffers {:?} + tree {:?}) -> {out}",
+        index.num_series(),
+        index.forest().len(),
+        index.leaf_count(),
+        t.index_time(),
+        t.buffer_time,
+        t.tree_time
+    );
+    Ok(())
+}
+
+fn cmd_index_info(args: &Args) -> Result<(), String> {
+    let path = args.require("index")?;
+    let index = persist::load_index_file(Path::new(path)).map_err(|e| e.to_string())?;
+    let cfg = index.config();
+    println!("index: {path}");
+    println!("  series:        {}", index.num_series());
+    println!("  series length: {}", cfg.series_len);
+    println!("  segments:      {}", cfg.segments);
+    println!("  leaf capacity: {}", cfg.leaf_capacity);
+    println!("  root subtrees: {}", index.forest().len());
+    println!("  leaves:        {}", index.leaf_count());
+    println!(
+        "  overhead:      {:.2} MB (+ {:.2} MB raw data)",
+        index.size_bytes() as f64 / 1048576.0,
+        index.data().size_bytes() as f64 / 1048576.0
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let index = persist::load_index_file(Path::new(args.require("index")?))
+        .map_err(|e| e.to_string())?;
+    let len = index.config().series_len;
+    let queries =
+        wio::read_bin(Path::new(args.require("queries")?), len).map_err(|e| e.to_string())?;
+    let threads: usize = args.get_or("threads", 2)?;
+    let k: usize = args.get_or("k", 1)?;
+    let dtw_window: usize = args.get_or("dtw-window", 0)?;
+    let params = SearchParams::new(threads);
+    for qi in 0..queries.num_series() {
+        let q = queries.series(qi);
+        if dtw_window > 0 {
+            let (ans, stats) = dtw_search(&index, q, dtw_window, &params);
+            println!(
+                "query {qi}: DTW 1-NN id={:?} dist={:.6} ({} dtw computations)",
+                ans.series_id, ans.distance, stats.real_distance_computations
+            );
+        } else if k > 1 {
+            let (knn, _) = knn_search(&index, q, k, &params);
+            let hits: Vec<String> = knn
+                .neighbors
+                .iter()
+                .map(|&(d, id)| format!("{id}:{:.4}", d.sqrt()))
+                .collect();
+            println!("query {qi}: {k}-NN [{}]", hits.join(", "));
+        } else {
+            let out = exact_search(&index, q, &params);
+            println!(
+                "query {qi}: 1-NN id={:?} dist={:.6} (initial BSF {:.4}, {} real dists)",
+                out.answer.series_id,
+                out.answer.distance,
+                out.stats.initial_bsf,
+                out.stats.real_distance_computations
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Parses `full`, `equally-split`, or `partial-K`.
+pub fn parse_replication(s: &str) -> Result<Replication, String> {
+    match s {
+        "full" => Ok(Replication::Full),
+        "equally-split" => Ok(Replication::EquallySplit),
+        other => match other.strip_prefix("partial-") {
+            Some(k) => k
+                .parse()
+                .map(Replication::Partial)
+                .map_err(|_| format!("invalid replication '{other}'")),
+            None => Err(format!("invalid replication '{other}'")),
+        },
+    }
+}
+
+/// Parses a scheduler name (the paper's labels).
+pub fn parse_scheduler(s: &str) -> Result<SchedulerKind, String> {
+    SchedulerKind::all()
+        .into_iter()
+        .find(|k| k.label() == s)
+        .ok_or_else(|| format!("invalid scheduler '{s}'"))
+}
+
+fn cmd_cluster(args: &Args) -> Result<(), String> {
+    let len: usize = args.require_parsed("len")?;
+    let data = wio::read_bin(Path::new(args.require("data")?), len).map_err(|e| e.to_string())?;
+    let queries =
+        wio::read_bin(Path::new(args.require("queries")?), len).map_err(|e| e.to_string())?;
+    let n_nodes: usize = args.get_or("nodes", 4)?;
+    let replication = parse_replication(args.get("replication").unwrap_or("full"))?;
+    let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("predict-dn"))?;
+    let tpn: usize = args.get_or("threads-per-node", 2)?;
+    let cfg = ClusterConfig::new(n_nodes)
+        .with_replication(replication)
+        .with_scheduler(scheduler)
+        .with_threads_per_node(tpn)
+        .with_work_stealing(!args.has_flag("no-stealing"))
+        .with_bsf_sharing(!args.has_flag("no-bsf-sharing"));
+    println!("building {cfg:?} over {} series...", data.num_series());
+    let cluster = OdysseyCluster::build(&data, cfg);
+    let report = cluster.answer_batch(&queries);
+    println!(
+        "answered {} queries: makespan {:.6} simulated s (wall {:?})",
+        report.answers.len(),
+        report.makespan_seconds(tpn),
+        report.wall
+    );
+    println!(
+        "steals {}/{}, bsf broadcasts {}",
+        report.steals_successful, report.steals_attempted, report.bsf_broadcasts
+    );
+    for (qi, a) in report.answers.iter().enumerate() {
+        println!("query {qi}: id={:?} dist={:.6}", a.series_id, a.distance);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("odyssey_cli_{}_{name}", std::process::id()))
+    }
+
+    fn run(cmd: &str) -> Result<(), String> {
+        dispatch(cmd.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn replication_parsing() {
+        assert_eq!(parse_replication("full").unwrap(), Replication::Full);
+        assert_eq!(
+            parse_replication("equally-split").unwrap(),
+            Replication::EquallySplit
+        );
+        assert_eq!(
+            parse_replication("partial-4").unwrap(),
+            Replication::Partial(4)
+        );
+        assert!(parse_replication("partial-x").is_err());
+        assert!(parse_replication("nope").is_err());
+    }
+
+    #[test]
+    fn scheduler_parsing() {
+        assert_eq!(
+            parse_scheduler("predict-dn").unwrap(),
+            SchedulerKind::PredictDn
+        );
+        assert_eq!(parse_scheduler("static").unwrap(), SchedulerKind::Static);
+        assert!(parse_scheduler("bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run("frobnicate --x 1").is_err());
+        assert!(run("").is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_index_query() {
+        let data = tmp("data.bin");
+        let qfile = tmp("q.bin");
+        let idx = tmp("data.idx");
+        run(&format!(
+            "generate --kind seismic --series 400 --len 64 --seed 3 --out {}",
+            data.display()
+        ))
+        .expect("generate");
+        run(&format!(
+            "generate --kind random --series 3 --len 64 --seed 9 --out {}",
+            qfile.display()
+        ))
+        .expect("generate queries");
+        run(&format!(
+            "index build --data {} --len 64 --segments 8 --leaf-capacity 32 --out {}",
+            data.display(),
+            idx.display()
+        ))
+        .expect("index build");
+        run(&format!("index info --index {}", idx.display())).expect("info");
+        run(&format!(
+            "query --index {} --queries {}",
+            idx.display(),
+            qfile.display()
+        ))
+        .expect("query");
+        run(&format!(
+            "query --index {} --queries {} --k 3",
+            idx.display(),
+            qfile.display()
+        ))
+        .expect("knn query");
+        run(&format!(
+            "query --index {} --queries {} --dtw-window 3",
+            idx.display(),
+            qfile.display()
+        ))
+        .expect("dtw query");
+        run(&format!(
+            "cluster --data {} --len 64 --queries {} --nodes 2 --replication partial-2",
+            data.display(),
+            qfile.display()
+        ))
+        .expect("cluster");
+        for f in [data, qfile, idx] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `odyssey` — the command-line interface.
+//!
+//! ```text
+//! odyssey generate --kind seismic --series 10000 --len 128 --seed 1 --out data.bin
+//! odyssey index build --data data.bin --len 128 --out data.idx
+//! odyssey index info  --index data.idx
+//! odyssey query --index data.idx --queries q.bin [--k 5] [--dtw-window 6] [--threads 2]
+//! odyssey cluster --data data.bin --len 128 --queries q.bin --nodes 8 \
+//!                 --replication partial-2 --scheduler predict-dn [--no-stealing]
+//! ```
+//!
+//! Datasets are raw little-endian `f32`, row-major (the data-series
+//! community's exchange format); indexes use the `odyssey-core` persisted
+//! format.
+
+mod args;
+mod commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(raw) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Cluster configuration.
+
+use odyssey_partition::PartitioningScheme;
+use odyssey_sched::{CostModel, SchedulerKind};
+use std::sync::Arc;
+
+/// The replication strategies of Section 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replication {
+    /// PARTIAL-1: every node stores the full dataset.
+    Full,
+    /// PARTIAL-k: `k` replication groups.
+    Partial(usize),
+    /// PARTIAL-N: every node stores a disjoint chunk (no replication).
+    EquallySplit,
+}
+
+impl Replication {
+    /// The number of replication groups for `n_nodes` system nodes.
+    pub fn n_groups(&self, n_nodes: usize) -> usize {
+        match self {
+            Replication::Full => 1,
+            Replication::Partial(k) => *k,
+            Replication::EquallySplit => n_nodes,
+        }
+    }
+
+    /// The paper's label.
+    pub fn label(&self) -> String {
+        match self {
+            Replication::Full => "FULL".into(),
+            Replication::Partial(k) => format!("PARTIAL-{k}"),
+            Replication::EquallySplit => "EQUALLY-SPLIT".into(),
+        }
+    }
+}
+
+/// What kind of queries a batch contains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchMode {
+    /// Euclidean 1-NN (the paper's primary setting).
+    Euclidean,
+    /// Euclidean k-NN (Section 4; Figure 18 uses k = 10).
+    Knn {
+        /// Neighbor count.
+        k: usize,
+    },
+    /// DTW 1-NN with a Sakoe-Chiba band (Section 4; Figure 19 uses 5%).
+    Dtw {
+        /// Band half-width in points.
+        window: usize,
+    },
+}
+
+/// Full cluster configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of simulated system nodes.
+    pub n_nodes: usize,
+    /// Replication strategy (PARTIAL-k family).
+    pub replication: Replication,
+    /// Query-scheduling policy inside each replication group.
+    pub scheduler: SchedulerKind,
+    /// How the coordinator partitions data into chunks.
+    pub partitioning: PartitioningScheme,
+    /// Worker threads per node (the paper's nodes have 128 cores; the
+    /// simulation defaults to 2 so protocols still exercise intra-node
+    /// parallelism without oversubscribing the host).
+    pub threads_per_node: usize,
+    /// Enable the inter-node work-stealing mechanism (Section 3.2.2).
+    pub work_stealing: bool,
+    /// Enable the common BSF-sharing channel (Section 3.4).
+    pub bsf_sharing: bool,
+    /// RS-batches handed over per steal (`Nsend`; the paper fixes 4).
+    pub steal_nsend: usize,
+    /// iSAX segments for the per-node indexes.
+    pub segments: usize,
+    /// Leaf capacity for the per-node indexes.
+    pub leaf_capacity: usize,
+    /// Optional trained cost model; `None` uses the initial BSF itself
+    /// as the (monotone) cost estimate for the PREDICT-* policies.
+    pub cost_model: Option<Arc<dyn CostModel>>,
+    /// Priority-queue threshold `TH` for the per-node searches.
+    pub pq_threshold: usize,
+    /// RS-batch count `Nsb` per search. The paper's best setting is one
+    /// batch per worker thread on 128-core nodes; the simulation's nodes
+    /// have few threads, so the default keeps 16 batches to preserve a
+    /// meaningful stealing granularity.
+    pub rs_batches: usize,
+    /// RNG seed for victim selection and the random-shuffle partitioner.
+    pub seed: u64,
+    /// Relative node speeds (empty = all `1.0`). A speed of `0.25` makes
+    /// a node four times slower: its work units are accounted at 4x and
+    /// its query processing is paced accordingly, modelling heterogeneous
+    /// or degraded hardware. The work-stealing ablation uses this to show
+    /// the mechanism compensating for stragglers.
+    pub node_speeds: Vec<f64>,
+}
+
+impl ClusterConfig {
+    /// Odyssey defaults: FULL replication, PREDICT-DN scheduling,
+    /// work-stealing and BSF sharing on — the paper's best configuration
+    /// (WORK-STEAL-PREDICT).
+    pub fn new(n_nodes: usize) -> Self {
+        ClusterConfig {
+            n_nodes,
+            replication: Replication::Full,
+            scheduler: SchedulerKind::PredictDn,
+            partitioning: PartitioningScheme::EquallySplit,
+            threads_per_node: 2,
+            work_stealing: true,
+            bsf_sharing: true,
+            steal_nsend: odyssey_core::search::exact::DEFAULT_NSEND,
+            segments: 16,
+            leaf_capacity: 256,
+            cost_model: None,
+            pq_threshold: 8,
+            rs_batches: 32,
+            seed: 0xD15EA5E,
+            node_speeds: Vec::new(),
+        }
+    }
+
+    /// Sets the replication strategy.
+    pub fn with_replication(mut self, r: Replication) -> Self {
+        self.replication = r;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Sets the partitioning scheme.
+    pub fn with_partitioning(mut self, p: PartitioningScheme) -> Self {
+        self.partitioning = p;
+        self
+    }
+
+    /// Sets per-node worker threads.
+    pub fn with_threads_per_node(mut self, t: usize) -> Self {
+        assert!(t >= 1);
+        self.threads_per_node = t;
+        self
+    }
+
+    /// Toggles work-stealing.
+    pub fn with_work_stealing(mut self, on: bool) -> Self {
+        self.work_stealing = on;
+        self
+    }
+
+    /// Toggles BSF sharing.
+    pub fn with_bsf_sharing(mut self, on: bool) -> Self {
+        self.bsf_sharing = on;
+        self
+    }
+
+    /// Sets `Nsend`.
+    pub fn with_steal_nsend(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.steal_nsend = n;
+        self
+    }
+
+    /// Sets the iSAX segment count.
+    pub fn with_segments(mut self, s: usize) -> Self {
+        self.segments = s;
+        self
+    }
+
+    /// Sets the index leaf capacity.
+    pub fn with_leaf_capacity(mut self, c: usize) -> Self {
+        self.leaf_capacity = c;
+        self
+    }
+
+    /// Installs a trained cost model for the PREDICT-* policies.
+    pub fn with_cost_model(mut self, m: Arc<dyn CostModel>) -> Self {
+        self.cost_model = Some(m);
+        self
+    }
+
+    /// Sets the priority-queue threshold.
+    pub fn with_pq_threshold(mut self, th: usize) -> Self {
+        assert!(th > 0);
+        self.pq_threshold = th;
+        self
+    }
+
+    /// Sets the per-search RS-batch count `Nsb`.
+    pub fn with_rs_batches(mut self, nsb: usize) -> Self {
+        assert!(nsb >= 1);
+        self.rs_batches = nsb;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets one node's relative speed (see [`ClusterConfig::node_speeds`]).
+    pub fn with_node_speed(mut self, node: usize, speed: f64) -> Self {
+        assert!(node < self.n_nodes, "node id out of range");
+        assert!(speed > 0.0, "speed must be positive");
+        if self.node_speeds.is_empty() {
+            self.node_speeds = vec![1.0; self.n_nodes];
+        }
+        self.node_speeds[node] = speed;
+        self
+    }
+
+    /// The relative speed of `node` (`1.0` when unset).
+    pub fn node_speed(&self, node: usize) -> f64 {
+        self.node_speeds.get(node).copied().unwrap_or(1.0)
+    }
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("n_nodes", &self.n_nodes)
+            .field("replication", &self.replication.label())
+            .field("scheduler", &self.scheduler.label())
+            .field("partitioning", &self.partitioning.label())
+            .field("threads_per_node", &self.threads_per_node)
+            .field("work_stealing", &self.work_stealing)
+            .field("bsf_sharing", &self.bsf_sharing)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replication_group_counts() {
+        assert_eq!(Replication::Full.n_groups(8), 1);
+        assert_eq!(Replication::Partial(4).n_groups(8), 4);
+        assert_eq!(Replication::EquallySplit.n_groups(8), 8);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Replication::Full.label(), "FULL");
+        assert_eq!(Replication::Partial(2).label(), "PARTIAL-2");
+        assert_eq!(Replication::EquallySplit.label(), "EQUALLY-SPLIT");
+    }
+
+    #[test]
+    fn node_speeds() {
+        let c = ClusterConfig::new(4).with_node_speed(2, 0.5);
+        assert_eq!(c.node_speed(0), 1.0);
+        assert_eq!(c.node_speed(2), 0.5);
+        let d = ClusterConfig::new(4);
+        assert_eq!(d.node_speed(3), 1.0);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = ClusterConfig::new(4)
+            .with_replication(Replication::Partial(2))
+            .with_scheduler(SchedulerKind::Static)
+            .with_threads_per_node(3)
+            .with_work_stealing(false)
+            .with_bsf_sharing(false)
+            .with_steal_nsend(2)
+            .with_seed(7);
+        assert_eq!(c.n_nodes, 4);
+        assert_eq!(c.replication, Replication::Partial(2));
+        assert!(!c.work_stealing);
+        assert_eq!(c.threads_per_node, 3);
+    }
+}

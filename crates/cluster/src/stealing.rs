@@ -1,0 +1,203 @@
+//! The inter-node work-stealing protocol (Section 3.2.2, Algorithms 3–4).
+//!
+//! Each node runs a **work-stealing manager** alongside its search
+//! workers (Algorithm 1 line 6 allocates a thread for this role). When a
+//! `StealingRequest` arrives, the manager consults the
+//! `StealView` (see `odyssey_core::search::exact`) of the query the
+//! node is currently answering, takes away up to `Nsend` RS-batches
+//! satisfying the Take-Away property, marks their queues stolen, and
+//! replies with the batch **ids**, the query id, and the query's current
+//! BSF — never any series data. The thief rebuilds those priority queues
+//! from its own identical index (replication-group nodes store the same
+//! chunk) and processes them.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use odyssey_core::search::bsf::SharedBsf;
+use odyssey_core::search::exact::StealView;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A steal request (`StealingRequest` in Algorithm 3).
+pub struct StealRequest {
+    /// Requesting node id (for accounting).
+    pub from: usize,
+    /// Channel for the response.
+    pub reply: Sender<StealResponse>,
+}
+
+/// The manager's reply: `⟨S, Q of sn, Q's current BSF⟩` (Algorithm 3
+/// line 3). An empty `batch_ids` means nothing was stealable.
+#[derive(Debug, Clone)]
+pub struct StealResponse {
+    /// Global RS-batch ids the thief should process.
+    pub batch_ids: Vec<usize>,
+    /// The query those batches belong to.
+    pub query_id: Option<usize>,
+    /// The victim's current (squared) BSF for that query.
+    pub bsf_sq: f64,
+}
+
+impl StealResponse {
+    /// The "nothing to steal" reply.
+    pub fn empty() -> Self {
+        StealResponse {
+            batch_ids: Vec::new(),
+            query_id: None,
+            bsf_sq: f64::INFINITY,
+        }
+    }
+}
+
+/// What a node's manager knows about the query currently being answered.
+#[derive(Clone)]
+pub struct ActiveQuery {
+    /// Query id within the batch.
+    pub query_id: usize,
+    /// The running search's steal view.
+    pub view: Arc<StealView>,
+    /// The running search's local BSF.
+    pub bsf: Arc<SharedBsf>,
+}
+
+/// The per-node slot the worker publishes its active query into.
+pub type ActiveSlot = Mutex<Option<ActiveQuery>>;
+
+/// Serves one steal request against the currently running query's state
+/// (the body of Algorithm 3, lines 2–4). Used both by the manager thread
+/// and by the search workers' cooperative service hook.
+pub fn serve_request(
+    req: StealRequest,
+    query_id: usize,
+    view: &StealView,
+    bsf: &SharedBsf,
+    nsend: usize,
+    steals_served: &AtomicU64,
+) {
+    let batch_ids = view.try_steal(nsend);
+    if std::env::var("ODYSSEY_STEAL_DEBUG").is_ok() {
+        let (claimed, total) = view.queue_progress();
+        eprintln!(
+            "serve q{query_id}: processing={} done={} queues={claimed}/{total} -> {} ids",
+            view.is_processing(),
+            view.is_done(),
+            batch_ids.len(),
+        );
+    }
+    let response = if batch_ids.is_empty() {
+        StealResponse::empty()
+    } else {
+        steals_served.fetch_add(1, Ordering::Relaxed);
+        StealResponse {
+            batch_ids,
+            query_id: Some(query_id),
+            bsf_sq: bsf.get_sq(),
+        }
+    };
+    let _ = req.reply.send(response);
+}
+
+/// Runs one node's work-stealing manager until every node of the group
+/// is done (Algorithm 3). `group_done` counts finished group members out
+/// of `group_total`.
+pub fn manager_loop(
+    rx: &Receiver<StealRequest>,
+    active: &ActiveSlot,
+    group_done: &AtomicUsize,
+    group_total: usize,
+    nsend: usize,
+    steals_served: &AtomicU64,
+) {
+    let serve = |req: StealRequest| {
+        let aq = active.lock().clone();
+        match aq {
+            Some(aq) => serve_request(req, aq.query_id, &aq.view, &aq.bsf, nsend, steals_served),
+            None => {
+                if std::env::var("ODYSSEY_STEAL_DEBUG").is_ok() {
+                    eprintln!("steal miss: victim idle");
+                }
+                // The thief may have timed out; a dropped receiver is fine.
+                let _ = req.reply.send(StealResponse::empty());
+            }
+        }
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(req) => serve(req),
+            Err(RecvTimeoutError::Timeout) => {
+                if group_done.load(Ordering::Acquire) >= group_total {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    // Drain any request that raced with the exit condition.
+    while let Ok(req) = rx.try_recv() {
+        serve(req);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{bounded, unbounded};
+
+    #[test]
+    fn manager_replies_empty_when_idle() {
+        let (tx, rx) = unbounded::<StealRequest>();
+        let active: ActiveSlot = Mutex::new(None);
+        let done = AtomicUsize::new(0);
+        let served = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| manager_loop(&rx, &active, &done, 1, 4, &served));
+            let (rtx, rrx) = bounded(1);
+            tx.send(StealRequest { from: 9, reply: rtx }).unwrap();
+            let resp = rrx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert!(resp.batch_ids.is_empty());
+            assert_eq!(resp.query_id, None);
+            done.store(1, Ordering::Release); // unblock exit
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn manager_serves_active_query() {
+        let (tx, rx) = unbounded::<StealRequest>();
+        let view = Arc::new(StealView::new());
+        // Simulate a search mid-processing with 6 batches published.
+        view.test_init(6);
+        view.test_publish(vec![0, 1, 2, 3, 4, 5]);
+        let bsf = Arc::new(SharedBsf::new(42.0, Some(7)));
+        let active: ActiveSlot = Mutex::new(Some(ActiveQuery {
+            query_id: 3,
+            view,
+            bsf,
+        }));
+        let done = AtomicUsize::new(0);
+        let served = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| manager_loop(&rx, &active, &done, 2, 4, &served));
+            let (rtx, rrx) = bounded(1);
+            tx.send(StealRequest { from: 1, reply: rtx }).unwrap();
+            let resp = rrx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(resp.batch_ids, vec![5, 4, 3, 2], "Nsend=4, rightmost");
+            assert_eq!(resp.query_id, Some(3));
+            assert_eq!(resp.bsf_sq, 42.0);
+            done.store(2, Ordering::Release);
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn manager_exits_when_group_done() {
+        let (_tx, rx) = unbounded::<StealRequest>();
+        let active: ActiveSlot = Mutex::new(None);
+        let done = AtomicUsize::new(3);
+        let served = AtomicU64::new(0);
+        let t0 = std::time::Instant::now();
+        manager_loop(&rx, &active, &done, 3, 4, &served);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,274 @@
+//! Summarization buffers (index-construction phase 1).
+//!
+//! Following the MESSI-family design the paper builds on (Section 2,
+//! "Single-Node Parallel Summary-Based DS Indexing"), index construction
+//! first computes the iSAX summary of every series **in parallel** and
+//! groups series ids into *summarization buffers* — one buffer per
+//! root-level iSAX word (1 bit per segment). Series with similar summaries
+//! land in the same buffer, which gives the tree-construction phase perfect
+//! locality and makes it embarrassingly parallel (each buffer becomes an
+//! independent root subtree).
+//!
+//! Buffers are also the unit of the DENSITY-AWARE partitioning scheme
+//! (Section 3.4.1), which orders them by Gray code — hence the public
+//! `root_key` accessors.
+
+use crate::sax::{sax_word_into, MAX_CARD_BITS};
+use crate::series::DatasetBuffer;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Full-cardinality SAX words for a whole collection, stored flat
+/// (`segments` bytes per series). Shared by the tree and the search phase
+/// (per-candidate lower bounds when draining priority queues).
+#[derive(Debug, Clone)]
+pub struct Summaries {
+    sax: Arc<[u8]>,
+    segments: usize,
+}
+
+impl Summaries {
+    /// Computes the SAX word of every series using `n_threads` workers.
+    pub fn compute(data: &DatasetBuffer, segments: usize, n_threads: usize) -> Self {
+        let n = data.num_series();
+        let len = data.series_len();
+        assert!(segments > 0 && segments <= len, "invalid segment count");
+        let mut sax = vec![0u8; n * segments];
+        let n_threads = n_threads.max(1).min(n.max(1));
+        let next = AtomicUsize::new(0);
+        // Claim fixed-size stripes of series with Fetch&Add, writing into
+        // disjoint regions of the output (no synchronization on the data).
+        const STRIPE: usize = 1024;
+        let sax_ptr = SendPtr(sax.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                let next = &next;
+                let sax_ptr = &sax_ptr;
+                scope.spawn(move || {
+                    let mut paa_buf = vec![0.0f64; segments];
+                    loop {
+                        let start = next.fetch_add(STRIPE, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + STRIPE).min(n);
+                        for id in start..end {
+                            crate::paa::paa_into(data.series(id), &mut paa_buf);
+                            // SAFETY: stripes are disjoint, so each byte of
+                            // the output is written by exactly one thread.
+                            let out = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    sax_ptr.0.add(id * segments),
+                                    segments,
+                                )
+                            };
+                            sax_word_into(&paa_buf, out);
+                        }
+                    }
+                });
+            }
+        });
+        Summaries {
+            sax: sax.into(),
+            segments,
+        }
+    }
+
+    /// Reconstructs summaries from a raw SAX byte array (the persistence
+    /// path; the array must be `segments` bytes per series).
+    ///
+    /// # Panics
+    /// Panics if `sax.len()` is not a multiple of `segments`.
+    pub fn from_raw(sax: Arc<[u8]>, segments: usize) -> Self {
+        assert!(segments > 0);
+        assert_eq!(sax.len() % segments, 0, "ragged SAX array");
+        Summaries { sax, segments }
+    }
+
+    /// SAX word (8-bit symbols) of series `id`.
+    #[inline]
+    pub fn sax(&self, id: u32) -> &[u8] {
+        let s = id as usize * self.segments;
+        &self.sax[s..s + self.segments]
+    }
+
+    /// Number of segments per word.
+    #[inline]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Number of summarized series.
+    #[inline]
+    pub fn num_series(&self) -> usize {
+        self.sax.len() / self.segments
+    }
+
+    /// Size of the summary storage in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.sax.len()
+    }
+
+    /// Root-level buffer key of series `id`: the top bit of each segment's
+    /// symbol, packed MSB-first into a `u64`.
+    #[inline]
+    pub fn root_key(&self, id: u32) -> u64 {
+        root_key_of_sax(self.sax(id))
+    }
+}
+
+/// Pointer wrapper asserting cross-thread Send for the disjoint-stripe
+/// write pattern used in [`Summaries::compute`].
+struct SendPtr(*mut u8);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Packs the top bit of each SAX symbol into a root-word key, MSB-first
+/// (segment 0 is the most significant bit).
+#[inline]
+pub fn root_key_of_sax(sax: &[u8]) -> u64 {
+    debug_assert!(sax.len() <= 64);
+    let mut key = 0u64;
+    for &s in sax {
+        key = (key << 1) | (s >> (MAX_CARD_BITS - 1)) as u64;
+    }
+    key
+}
+
+/// One summarization buffer: a root-word key plus the ids of the series
+/// whose summaries fall into that root region.
+#[derive(Debug, Clone)]
+pub struct SummarizationBuffer {
+    /// Root iSAX word key (1 bit per segment, MSB-first).
+    pub key: u64,
+    /// Series ids in this buffer, in dataset order.
+    pub ids: Vec<u32>,
+}
+
+/// The full set of summarization buffers of a collection, sorted by key.
+#[derive(Debug, Clone)]
+pub struct SummarizationBuffers {
+    /// Buffers sorted ascending by `key`; every non-empty root region
+    /// appears exactly once.
+    pub buffers: Vec<SummarizationBuffer>,
+    /// Number of segments of the underlying words.
+    pub segments: usize,
+}
+
+impl SummarizationBuffers {
+    /// Groups all series ids of `summaries` into buffers.
+    ///
+    /// Deterministic: ids inside each buffer appear in dataset order, so
+    /// identical data always yields identical buffers (a property the
+    /// work-stealing protocol relies on — replication-group nodes must
+    /// build identical trees).
+    pub fn build(summaries: &Summaries) -> Self {
+        let n = summaries.num_series();
+        let mut map: std::collections::BTreeMap<u64, Vec<u32>> = std::collections::BTreeMap::new();
+        for id in 0..n as u32 {
+            map.entry(summaries.root_key(id)).or_default().push(id);
+        }
+        let buffers = map
+            .into_iter()
+            .map(|(key, ids)| SummarizationBuffer { key, ids })
+            .collect();
+        SummarizationBuffers {
+            buffers,
+            segments: summaries.segments(),
+        }
+    }
+
+    /// Number of buffers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Whether there are no buffers.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Total number of series across buffers.
+    pub fn total_series(&self) -> usize {
+        self.buffers.iter().map(|b| b.ids.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::DatasetBuffer;
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    #[test]
+    fn summaries_match_sequential_reference() {
+        let data = walk_dataset(300, 64, 42);
+        let par = Summaries::compute(&data, 8, 4);
+        let seq = Summaries::compute(&data, 8, 1);
+        for id in 0..300u32 {
+            assert_eq!(par.sax(id), seq.sax(id), "id={id}");
+        }
+    }
+
+    #[test]
+    fn root_key_packs_msb_first() {
+        let sax = [0b1000_0000u8, 0b0000_0000, 0b1111_1111, 0b0111_1111];
+        assert_eq!(root_key_of_sax(&sax), 0b1010);
+    }
+
+    #[test]
+    fn buffers_partition_all_ids() {
+        let data = walk_dataset(500, 96, 7);
+        let summaries = Summaries::compute(&data, 8, 2);
+        let bufs = SummarizationBuffers::build(&summaries);
+        assert_eq!(bufs.total_series(), 500);
+        let mut seen = vec![false; 500];
+        for b in &bufs.buffers {
+            for &id in &b.ids {
+                assert!(!seen[id as usize], "duplicate id {id}");
+                seen[id as usize] = true;
+                assert_eq!(summaries.root_key(id), b.key);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // sorted by key, unique keys
+        for w in bufs.buffers.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+
+    #[test]
+    fn buffers_are_deterministic() {
+        let data = walk_dataset(400, 64, 99);
+        let s1 = Summaries::compute(&data, 16, 3);
+        let s2 = Summaries::compute(&data, 16, 1);
+        let b1 = SummarizationBuffers::build(&s1);
+        let b2 = SummarizationBuffers::build(&s2);
+        assert_eq!(b1.len(), b2.len());
+        for (x, y) in b1.buffers.iter().zip(&b2.buffers) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.ids, y.ids);
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Dynamic Time Warping with the LB_Keogh lower bound (Section 4).
+//!
+//! The index needs **no structural change** for DTW queries: the paper
+//! computes the LB_Keogh envelope of the query, uses the distance between a
+//! candidate and the envelope as the lower bound for pruning, and only runs
+//! the full banded DTW on survivors. `lb_keogh_sq` is that envelope
+//! distance; `dtw_banded` is a Sakoe-Chiba-band DTW with early abandoning.
+
+/// Upper/lower envelope of a query under a warping window, as used by
+/// LB_Keogh. `upper[i]`/`lower[i]` are the max/min of the query over
+/// `[i - w, i + w]`.
+#[derive(Debug, Clone)]
+pub struct LbKeoghEnvelope {
+    /// Pointwise upper envelope.
+    pub upper: Vec<f32>,
+    /// Pointwise lower envelope.
+    pub lower: Vec<f32>,
+    /// Warping window (band half-width) in points.
+    pub window: usize,
+}
+
+/// Computes the LB_Keogh envelope of `query` for warping window `window`
+/// (in points; the paper sweeps 1%–15% of the series length).
+///
+/// Uses the monotonic-deque (Lemire) algorithm, O(n).
+pub fn keogh_envelope(query: &[f32], window: usize) -> LbKeoghEnvelope {
+    let n = query.len();
+    let w = window.min(n.saturating_sub(1));
+    let mut upper = vec![0.0f32; n];
+    let mut lower = vec![0.0f32; n];
+    // Deques of indices; front is the extremum of the current window.
+    let mut max_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut min_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for i in 0..n + w {
+        if i < n {
+            while let Some(&b) = max_dq.back() {
+                if query[b] <= query[i] {
+                    max_dq.pop_back();
+                } else {
+                    break;
+                }
+            }
+            max_dq.push_back(i);
+            while let Some(&b) = min_dq.back() {
+                if query[b] >= query[i] {
+                    min_dq.pop_back();
+                } else {
+                    break;
+                }
+            }
+            min_dq.push_back(i);
+        }
+        // The window centered at `c = i - w` covers [c - w, c + w] = [i - 2w, i].
+        if i >= w {
+            let c = i - w;
+            while let Some(&f) = max_dq.front() {
+                if f + w < c {
+                    max_dq.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while let Some(&f) = min_dq.front() {
+                if f + w < c {
+                    min_dq.pop_front();
+                } else {
+                    break;
+                }
+            }
+            upper[c] = query[*max_dq.front().expect("window never empty")];
+            lower[c] = query[*min_dq.front().expect("window never empty")];
+        }
+    }
+    LbKeoghEnvelope {
+        upper,
+        lower,
+        window: w,
+    }
+}
+
+/// Squared LB_Keogh lower bound of the DTW distance between the enveloped
+/// query and `candidate`. Early-abandons past `threshold_sq`, returning
+/// `None` (candidate prunable).
+#[inline]
+pub fn lb_keogh_sq(env: &LbKeoghEnvelope, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
+    debug_assert_eq!(env.upper.len(), candidate.len());
+    let mut sum = 0.0f64;
+    for i in 0..candidate.len() {
+        let c = candidate[i];
+        let d = if c > env.upper[i] {
+            (c - env.upper[i]) as f64
+        } else if c < env.lower[i] {
+            (env.lower[i] - c) as f64
+        } else {
+            0.0
+        };
+        sum += d * d;
+        if sum > threshold_sq {
+            return None;
+        }
+    }
+    Some(sum)
+}
+
+/// Squared DTW distance constrained to a Sakoe-Chiba band of half-width
+/// `window`, with early abandoning: returns `None` once every cell of a row
+/// exceeds `threshold_sq`.
+///
+/// Uses a two-row dynamic program, O(n·window) time and O(n) space.
+pub fn dtw_banded(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return Some(0.0);
+    }
+    let w = window.min(n.saturating_sub(1));
+    const INF: f64 = f64::INFINITY;
+    let mut prev = vec![INF; n];
+    let mut curr = vec![INF; n];
+    for i in 0..n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(n - 1);
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let d = (a[i] - b[j]) as f64;
+            let cost = d * d;
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let mut m = INF;
+                if j > 0 {
+                    m = m.min(curr[j - 1]); // insertion
+                }
+                if i > 0 {
+                    m = m.min(prev[j]); // deletion
+                    if j > 0 {
+                        m = m.min(prev[j - 1]); // match
+                    }
+                }
+                m
+            };
+            curr[j] = best_prev + cost;
+            row_min = row_min.min(curr[j]);
+        }
+        if row_min > threshold_sq {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr[lo..=hi].iter_mut().for_each(|v| *v = INF);
+    }
+    let result = prev[n - 1];
+    if result > threshold_sq {
+        None
+    } else {
+        Some(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::ed::euclidean_sq;
+
+    fn naive_envelope(q: &[f32], w: usize) -> (Vec<f32>, Vec<f32>) {
+        let n = q.len();
+        let mut up = vec![0.0f32; n];
+        let mut lo = vec![0.0f32; n];
+        for i in 0..n {
+            let s = i.saturating_sub(w);
+            let e = (i + w).min(n - 1);
+            up[i] = q[s..=e].iter().cloned().fold(f32::MIN, f32::max);
+            lo[i] = q[s..=e].iter().cloned().fold(f32::MAX, f32::min);
+        }
+        (up, lo)
+    }
+
+    fn dtw_full(a: &[f32], b: &[f32], w: usize) -> f64 {
+        dtw_banded(a, b, w, f64::INFINITY).expect("no threshold")
+    }
+
+    #[test]
+    fn envelope_matches_naive() {
+        let q: Vec<f32> = (0..57).map(|i| ((i * 31) % 17) as f32 - 8.0).collect();
+        for w in [0usize, 1, 3, 8, 56, 100] {
+            let env = keogh_envelope(&q, w);
+            let (up, lo) = naive_envelope(&q, w.min(q.len() - 1));
+            assert_eq!(env.upper, up, "upper w={w}");
+            assert_eq!(env.lower, lo, "lower w={w}");
+        }
+    }
+
+    #[test]
+    fn envelope_contains_query() {
+        let q: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).sin()).collect();
+        let env = keogh_envelope(&q, 5);
+        for i in 0..q.len() {
+            assert!(env.lower[i] <= q[i] && q[i] <= env.upper[i]);
+        }
+    }
+
+    #[test]
+    fn dtw_zero_window_is_euclidean() {
+        let a: Vec<f32> = (0..40).map(|i| (i as f32 * 0.2).sin()).collect();
+        let b: Vec<f32> = (0..40).map(|i| (i as f32 * 0.25).cos()).collect();
+        let dtw = dtw_full(&a, &b, 0);
+        let ed = euclidean_sq(&a, &b);
+        assert!((dtw - ed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_is_at_most_euclidean() {
+        let a: Vec<f32> = (0..64).map(|i| (i as f32 * 0.2).sin()).collect();
+        let b: Vec<f32> = (0..64).map(|i| ((i as f32 + 3.0) * 0.2).sin()).collect();
+        for w in [1usize, 2, 5, 10] {
+            assert!(dtw_full(&a, &b, w) <= euclidean_sq(&a, &b) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dtw_aligns_shifted_series() {
+        // A shifted copy should have near-zero DTW with a wide enough band.
+        let a: Vec<f32> = (0..64).map(|i| (i as f32 * 0.3).sin()).collect();
+        let mut b = a.clone();
+        b.rotate_right(3);
+        let narrow = dtw_full(&a, &b, 1);
+        let wide = dtw_full(&a, &b, 8);
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw() {
+        let q: Vec<f32> = (0..48).map(|i| (i as f32 * 0.17).sin()).collect();
+        for w in [1usize, 3, 7] {
+            let env = keogh_envelope(&q, w);
+            for seed in 0..5u32 {
+                let c: Vec<f32> = (0..48)
+                    .map(|i| ((i as f32 + seed as f32) * 0.23).cos())
+                    .collect();
+                let lb = lb_keogh_sq(&env, &c, f64::INFINITY).expect("no threshold");
+                let d = dtw_full(&q, &c, w);
+                assert!(lb <= d + 1e-9, "w={w} seed={seed}: lb={lb} dtw={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_early_abandon_consistency() {
+        let a: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..32).map(|i| (i as f32) + 5.0).collect();
+        let full = dtw_full(&a, &b, 3);
+        assert_eq!(dtw_banded(&a, &b, 3, full + 1.0), Some(full));
+        assert_eq!(dtw_banded(&a, &b, 3, full * 0.5), None);
+    }
+
+    #[test]
+    fn dtw_empty_series() {
+        assert_eq!(dtw_banded(&[], &[], 2, 1.0), Some(0.0));
+    }
+}

@@ -1,0 +1,16 @@
+//! Distance kernels.
+//!
+//! The paper's focus is Euclidean distance (ED) with an early-abandoning
+//! scan over candidate series; Section 4 extends query answering to Dynamic
+//! Time Warping (DTW) using the LB_Keogh envelope lower bound.
+//!
+//! All kernels work on *squared* distances internally — the square root is
+//! monotone, so pruning decisions and best-so-far comparisons are identical
+//! while each comparison saves a `sqrt`. Public result types expose the
+//! rooted value where the paper reports one.
+
+pub mod dtw;
+pub mod ed;
+
+pub use dtw::{dtw_banded, keogh_envelope, lb_keogh_sq, LbKeoghEnvelope};
+pub use ed::{euclidean, euclidean_sq, euclidean_sq_early_abandon};

@@ -1,0 +1,394 @@
+//! The `Index` façade: parallel construction, approximate search, stats.
+//!
+//! `Index::build` runs the two construction phases the paper times
+//! separately in every index-scalability experiment (Figure 17):
+//! the **buffer phase** (parallel summarization + buffer fill) and the
+//! **tree phase** (parallel root-subtree growth). The timings are kept on
+//! the index so harnesses can report the same breakdown.
+
+use crate::buffers::{root_key_of_sax, SummarizationBuffers, Summaries};
+use crate::paa::paa;
+use crate::sax::{mindist_paa_isax_sq, sax_word_into};
+use crate::search::answer::Answer;
+use crate::search::exact::{exact_search, SearchParams};
+use crate::series::DatasetBuffer;
+use crate::tree::{build_forest, Node, RootSubtree};
+use std::time::Duration;
+
+/// Index construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Length (dimensionality) of every series.
+    pub series_len: usize,
+    /// Number of iSAX segments (the paper and the MESSI line use 16).
+    pub segments: usize,
+    /// Maximum series per leaf before splitting.
+    pub leaf_capacity: usize,
+}
+
+impl IndexConfig {
+    /// Defaults: 16 segments, leaf capacity 2000 (the MESSI defaults),
+    /// clamped so `segments <= series_len`.
+    pub fn new(series_len: usize) -> Self {
+        IndexConfig {
+            series_len,
+            segments: 16.min(series_len),
+            leaf_capacity: 2000,
+        }
+    }
+
+    /// Sets the segment count.
+    pub fn with_segments(mut self, segments: usize) -> Self {
+        assert!(segments > 0 && segments <= self.series_len);
+        assert!(segments <= 64, "root keys are packed into u64");
+        self.segments = segments;
+        self
+    }
+
+    /// Sets the leaf capacity.
+    pub fn with_leaf_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0);
+        self.leaf_capacity = cap;
+        self
+    }
+}
+
+/// Construction-time breakdown, matching the paper's evaluation measures
+/// ("buffer time" and "tree time"; their sum is the "index time").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimes {
+    /// Summarization + buffer-fill phase.
+    pub buffer_time: Duration,
+    /// Tree-construction phase.
+    pub tree_time: Duration,
+}
+
+impl BuildTimes {
+    /// Total index-creation time.
+    pub fn index_time(&self) -> Duration {
+        self.buffer_time + self.tree_time
+    }
+}
+
+/// An in-memory iSAX index over one data chunk.
+pub struct Index {
+    config: IndexConfig,
+    data: DatasetBuffer,
+    summaries: Summaries,
+    forest: Vec<RootSubtree>,
+    build_times: BuildTimes,
+}
+
+/// Result of the approximate search that seeds the exact algorithm's BSF.
+#[derive(Debug, Clone, Copy)]
+pub struct ApproxResult {
+    /// Rooted Euclidean distance of the best series in the visited leaf.
+    pub distance: f64,
+    /// Squared distance (what the search actually compares against).
+    pub distance_sq: f64,
+    /// Id of that series, or `None` on an empty index.
+    pub series_id: Option<u32>,
+    /// Number of series scanned in the visited leaf (the cost of the
+    /// approximate search, used by the cluster's unit accounting).
+    pub leaf_size: usize,
+}
+
+impl Index {
+    /// Builds the index with `n_threads` workers.
+    ///
+    /// # Panics
+    /// Panics if the buffer's series length disagrees with the config.
+    pub fn build(data: DatasetBuffer, config: IndexConfig, n_threads: usize) -> Self {
+        assert_eq!(
+            data.series_len(),
+            config.series_len,
+            "config/series length mismatch"
+        );
+        let t0 = std::time::Instant::now();
+        let summaries = Summaries::compute(&data, config.segments, n_threads);
+        let buffers = SummarizationBuffers::build(&summaries);
+        let buffer_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let forest = build_forest(&buffers, &summaries, config.leaf_capacity, n_threads);
+        let tree_time = t1.elapsed();
+        Index {
+            config,
+            data,
+            summaries,
+            forest,
+            build_times: BuildTimes {
+                buffer_time,
+                tree_time,
+            },
+        }
+    }
+
+    /// Reassembles an index from parts (the persistence path). The
+    /// caller guarantees consistency (`crate::persist` validates it);
+    /// build times are zeroed since nothing was built.
+    pub fn from_parts(
+        config: IndexConfig,
+        data: DatasetBuffer,
+        summaries: crate::buffers::Summaries,
+        forest: Vec<crate::tree::RootSubtree>,
+    ) -> Self {
+        assert_eq!(data.series_len(), config.series_len);
+        assert_eq!(summaries.segments(), config.segments);
+        assert_eq!(summaries.num_series(), data.num_series());
+        Index {
+            config,
+            data,
+            summaries,
+            forest,
+            build_times: BuildTimes::default(),
+        }
+    }
+
+    /// The construction parameters.
+    #[inline]
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The indexed collection.
+    #[inline]
+    pub fn data(&self) -> &DatasetBuffer {
+        &self.data
+    }
+
+    /// Per-series full-cardinality SAX words.
+    #[inline]
+    pub fn summaries(&self) -> &Summaries {
+        &self.summaries
+    }
+
+    /// The root subtrees, sorted by root key.
+    #[inline]
+    pub fn forest(&self) -> &[RootSubtree] {
+        &self.forest
+    }
+
+    /// Construction timing breakdown.
+    #[inline]
+    pub fn build_times(&self) -> BuildTimes {
+        self.build_times
+    }
+
+    /// Number of indexed series.
+    #[inline]
+    pub fn num_series(&self) -> usize {
+        self.data.num_series()
+    }
+
+    /// Total leaves in the forest.
+    pub fn leaf_count(&self) -> usize {
+        self.forest.iter().map(|t| t.node.leaf_count()).sum()
+    }
+
+    /// Index overhead in bytes: summaries plus tree structure, excluding
+    /// the raw data (the quantity plotted in Figure 14).
+    pub fn size_bytes(&self) -> usize {
+        self.summaries.size_bytes()
+            + self
+                .forest
+                .iter()
+                .map(|t| t.node.size_bytes() + std::mem::size_of::<RootSubtree>())
+                .sum::<usize>()
+    }
+
+    /// PAA of a query under this index's configuration.
+    pub fn query_paa(&self, query: &[f32]) -> Vec<f64> {
+        assert_eq!(query.len(), self.config.series_len, "query length mismatch");
+        paa(query, self.config.segments)
+    }
+
+    /// Approximate search (the "initial BSF" computation, Algorithm 1
+    /// line 5): descend greedily to the most promising leaf and take the
+    /// best real distance inside it.
+    pub fn approx_search(&self, query: &[f32]) -> ApproxResult {
+        let qpaa = self.query_paa(query);
+        self.approx_search_paa(query, &qpaa)
+    }
+
+    /// [`Index::approx_search`] with a precomputed query PAA.
+    pub fn approx_search_paa(&self, query: &[f32], qpaa: &[f64]) -> ApproxResult {
+        if self.forest.is_empty() {
+            return ApproxResult {
+                distance: f64::INFINITY,
+                distance_sq: f64::INFINITY,
+                series_id: None,
+                leaf_size: 0,
+            };
+        }
+        // Prefer the root subtree whose region contains the query; fall
+        // back to the minimum-mindist subtree.
+        let mut qsax = vec![0u8; self.config.segments];
+        sax_word_into(qpaa, &mut qsax);
+        let qkey = root_key_of_sax(&qsax);
+        let subtree = match self.forest.binary_search_by_key(&qkey, |t| t.key) {
+            Ok(i) => &self.forest[i],
+            Err(_) => self
+                .forest
+                .iter()
+                .min_by(|a, b| {
+                    let da = mindist_paa_isax_sq(qpaa, a.node.word(), self.config.series_len);
+                    let db = mindist_paa_isax_sq(qpaa, b.node.word(), self.config.series_len);
+                    da.total_cmp(&db)
+                })
+                .expect("non-empty forest"),
+        };
+        // Greedy descent by child mindist.
+        let mut node = &subtree.node;
+        loop {
+            match node {
+                Node::Inner { children, .. } => {
+                    let d0 =
+                        mindist_paa_isax_sq(qpaa, children[0].word(), self.config.series_len);
+                    let d1 =
+                        mindist_paa_isax_sq(qpaa, children[1].word(), self.config.series_len);
+                    node = if d0 <= d1 { &children[0] } else { &children[1] };
+                }
+                Node::Leaf(leaf) => {
+                    let mut best = f64::INFINITY;
+                    let mut best_id = None;
+                    for &id in &leaf.ids {
+                        let d = crate::distance::euclidean_sq(query, self.data.series(id as usize));
+                        if d < best {
+                            best = d;
+                            best_id = Some(id);
+                        }
+                    }
+                    return ApproxResult {
+                        distance: best.sqrt(),
+                        distance_sq: best,
+                        series_id: best_id,
+                        leaf_size: leaf.ids.len(),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Exact 1-NN search with default Odyssey parameters (convenience
+    /// wrapper over [`crate::search::exact::exact_search`]).
+    pub fn exact_search(&self, query: &[f32], n_threads: usize) -> Answer {
+        let params = SearchParams::new(n_threads);
+        exact_search(self, query, &params).answer
+    }
+
+    /// Brute-force 1-NN scan; the test oracle for every search algorithm.
+    pub fn brute_force(&self, query: &[f32]) -> Answer {
+        let mut best = f64::INFINITY;
+        let mut best_id = None;
+        for id in 0..self.data.num_series() {
+            let d = crate::distance::euclidean_sq(query, self.data.series(id));
+            if d < best {
+                best = d;
+                best_id = Some(id as u32);
+            }
+        }
+        Answer {
+            distance: best.sqrt(),
+            distance_sq: best,
+            series_id: best_id,
+        }
+    }
+}
+
+impl std::fmt::Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Index")
+            .field("num_series", &self.num_series())
+            .field("series_len", &self.config.series_len)
+            .field("segments", &self.config.segments)
+            .field("root_subtrees", &self.forest.len())
+            .field("leaves", &self.leaf_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn test_index(n: usize) -> Index {
+        let data = walk_dataset(n, 64, 5);
+        let cfg = IndexConfig::new(64).with_segments(8).with_leaf_capacity(20);
+        Index::build(data, cfg, 2)
+    }
+
+    #[test]
+    fn build_covers_all_series() {
+        let idx = test_index(500);
+        let total: usize = idx.forest().iter().map(|t| t.node.series_count()).sum();
+        assert_eq!(total, 500);
+        assert!(idx.leaf_count() >= 1);
+        assert!(idx.size_bytes() > 0);
+    }
+
+    #[test]
+    fn approx_search_returns_real_distance() {
+        let idx = test_index(400);
+        // Query = an indexed series: approximate search lands in its own
+        // leaf region, so the distance must be exactly zero.
+        let q = idx.data().series(123).to_vec();
+        let r = idx.approx_search(&q);
+        assert_eq!(r.distance, 0.0);
+        assert_eq!(r.series_id, Some(123));
+    }
+
+    #[test]
+    fn approx_upper_bounds_exact() {
+        let idx = test_index(600);
+        let q: Vec<f32> = crate::series::znormalized(
+            &(0..64)
+                .map(|i| (i as f32 * 0.21).sin())
+                .collect::<Vec<_>>(),
+        );
+        let approx = idx.approx_search(&q);
+        let exact = idx.brute_force(&q);
+        assert!(approx.distance >= exact.distance - 1e-9);
+    }
+
+    #[test]
+    fn brute_force_finds_planted_neighbor() {
+        let mut data = walk_dataset(300, 64, 9);
+        // plant an exact copy of the query at id 300
+        let q: Vec<f32> = data.series(42).iter().map(|&v| v + 1e-4).collect();
+        let mut raw = data.raw().to_vec();
+        raw.extend_from_slice(&q);
+        data = DatasetBuffer::from_vec(raw, 64);
+        let cfg = IndexConfig::new(64).with_segments(8).with_leaf_capacity(16);
+        let idx = Index::build(data, cfg, 2);
+        let ans = idx.brute_force(&q);
+        assert_eq!(ans.series_id, Some(300));
+        assert_eq!(ans.distance, 0.0);
+    }
+
+    #[test]
+    fn build_times_are_recorded() {
+        let idx = test_index(200);
+        let t = idx.build_times();
+        assert!(t.index_time() >= t.buffer_time);
+        assert!(t.index_time() >= t.tree_time);
+    }
+}

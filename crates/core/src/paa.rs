@@ -1,0 +1,104 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA splits the x-axis of a series into `segments` equal parts and
+//! represents each part by its mean (Figure 1b of the paper). It is the
+//! intermediate step between a raw series and its iSAX summary, and the
+//! query side of every `mindist` lower-bound computation.
+
+/// Segment boundaries for a series of length `n` split into `w` segments.
+///
+/// Segment `i` covers `[start(i), start(i+1))` with
+/// `start(i) = i * n / w`, which distributes a non-divisible remainder as
+/// evenly as possible (some segments get one extra point).
+#[inline]
+pub fn segment_bounds(n: usize, w: usize, i: usize) -> (usize, usize) {
+    (i * n / w, (i + 1) * n / w)
+}
+
+/// Computes the PAA of `series` into `out` (`out.len()` = segment count).
+///
+/// # Panics
+/// Panics if `out.len() == 0` or `out.len() > series.len()`.
+pub fn paa_into(series: &[f32], out: &mut [f64]) {
+    let n = series.len();
+    let w = out.len();
+    assert!(w > 0, "PAA needs at least one segment");
+    assert!(w <= n, "more segments ({w}) than points ({n})");
+    for (i, slot) in out.iter_mut().enumerate() {
+        let (s, e) = segment_bounds(n, w, i);
+        let sum: f64 = series[s..e].iter().map(|&v| v as f64).sum();
+        *slot = sum / (e - s) as f64;
+    }
+}
+
+/// Allocating convenience wrapper around [`paa_into`].
+pub fn paa(series: &[f32], segments: usize) -> Vec<f64> {
+    let mut out = vec![0.0; segments];
+    paa_into(series, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_cover_series_exactly() {
+        for n in [16usize, 17, 100, 256] {
+            for w in [1usize, 3, 8, 16] {
+                if w > n {
+                    continue;
+                }
+                let mut covered = 0;
+                for i in 0..w {
+                    let (s, e) = segment_bounds(n, w, i);
+                    assert_eq!(s, covered, "n={n} w={w} i={i}");
+                    assert!(e > s, "empty segment n={n} w={w} i={i}");
+                    covered = e;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn paa_of_constant_is_constant() {
+        let s = vec![2.5f32; 32];
+        assert!(paa(&s, 8).iter().all(|&v| (v - 2.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn paa_exact_on_divisible_segments() {
+        let s: Vec<f32> = vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 4.0, 4.0];
+        let p = paa(&s, 4);
+        assert_eq!(p, vec![2.0, 6.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn paa_single_segment_is_mean() {
+        let s: Vec<f32> = (1..=5).map(|v| v as f32).collect();
+        assert_eq!(paa(&s, 1), vec![3.0]);
+    }
+
+    #[test]
+    fn paa_full_resolution_is_identity() {
+        let s: Vec<f32> = vec![1.0, -2.0, 0.5];
+        let p = paa(&s, 3);
+        assert_eq!(p, vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn paa_preserves_mean() {
+        // Mean weighted by segment lengths equals the series mean.
+        let s: Vec<f32> = (0..37).map(|i| (i as f32 * 0.7).sin()).collect();
+        let w = 7;
+        let p = paa(&s, w);
+        let mut weighted = 0.0f64;
+        for i in 0..w {
+            let (a, b) = segment_bounds(s.len(), w, i);
+            weighted += p[i] * (b - a) as f64;
+        }
+        let mean: f64 = s.iter().map(|&v| v as f64).sum();
+        assert!((weighted - mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,397 @@
+//! Index persistence: a compact, versioned binary format for saving a
+//! built [`Index`] (raw data + summaries + forest) and loading it back
+//! without rebuilding.
+//!
+//! The paper's setting is in-memory, but any deployment answering more
+//! than one batch wants to pay the construction cost once. The format is
+//! deliberately simple (explicit little-endian fields, no external
+//! serialization dependency) and fully validated on load — a corrupted
+//! or truncated file produces an error, never a wrong index.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "ODY1" | u32 series_len | u32 segments | u32 leaf_capacity
+//! u64 num_series | raw f32 data | per-series SAX bytes
+//! u64 n_subtrees | per subtree: u64 key, node tree (pre-order)
+//! node: u8 tag (0=leaf, 1=inner)
+//!   leaf : word, u64 n_ids, u32 ids...
+//!   inner: word, u32 split_seg, then both children
+//! word : per segment u8 symbol, then per segment u8 card_bits
+//! ```
+
+use crate::buffers::Summaries;
+use crate::index::{Index, IndexConfig};
+use crate::sax::IsaxWord;
+use crate::series::DatasetBuffer;
+use crate::tree::{Leaf, Node, RootSubtree};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"ODY1";
+
+/// Errors produced when loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The bytes are not a valid persisted index.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt index file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+struct Writer<'w, W: Write> {
+    out: &'w mut W,
+}
+
+impl<W: Write> Writer<'_, W> {
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.out.write_all(&[v])
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.out.write_all(&v.to_le_bytes())
+    }
+    fn bytes(&mut self, v: &[u8]) -> io::Result<()> {
+        self.out.write_all(v)
+    }
+    fn word(&mut self, w: &IsaxWord) -> io::Result<()> {
+        self.bytes(&w.symbols)?;
+        self.bytes(&w.card_bits)
+    }
+    fn node(&mut self, n: &Node) -> io::Result<()> {
+        match n {
+            Node::Leaf(l) => {
+                self.u8(0)?;
+                self.word(&l.word)?;
+                self.u64(l.ids.len() as u64)?;
+                for &id in &l.ids {
+                    self.u32(id)?;
+                }
+            }
+            Node::Inner {
+                word,
+                split_seg,
+                children,
+            } => {
+                self.u8(1)?;
+                self.word(word)?;
+                self.u32(*split_seg as u32)?;
+                self.node(&children[0])?;
+                self.node(&children[1])?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Reader<'r, R: Read> {
+    inp: &'r mut R,
+    segments: usize,
+}
+
+impl<R: Read> Reader<'_, R> {
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        let mut b = [0u8; 1];
+        self.inp.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        let mut b = [0u8; 4];
+        self.inp.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        let mut b = [0u8; 8];
+        self.inp.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn word(&mut self) -> Result<IsaxWord, PersistError> {
+        let mut symbols = vec![0u8; self.segments];
+        self.inp.read_exact(&mut symbols)?;
+        let mut card_bits = vec![0u8; self.segments];
+        self.inp.read_exact(&mut card_bits)?;
+        if card_bits.iter().any(|&b| b > crate::sax::MAX_CARD_BITS) {
+            return Err(corrupt("cardinality exceeds maximum"));
+        }
+        Ok(IsaxWord { symbols, card_bits })
+    }
+    fn node(&mut self, num_series: u64, depth: usize) -> Result<Node, PersistError> {
+        if depth > 16 * crate::sax::MAX_CARD_BITS as usize + 64 {
+            return Err(corrupt("tree deeper than any valid iSAX tree"));
+        }
+        match self.u8()? {
+            0 => {
+                let word = self.word()?;
+                let n = self.u64()?;
+                if n > num_series {
+                    return Err(corrupt("leaf larger than the collection"));
+                }
+                let mut ids = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let id = self.u32()?;
+                    if u64::from(id) >= num_series {
+                        return Err(corrupt("series id out of range"));
+                    }
+                    ids.push(id);
+                }
+                Ok(Node::Leaf(Leaf { word, ids }))
+            }
+            1 => {
+                let word = self.word()?;
+                let split_seg = self.u32()? as usize;
+                if split_seg >= self.segments {
+                    return Err(corrupt("split segment out of range"));
+                }
+                let c0 = self.node(num_series, depth + 1)?;
+                let c1 = self.node(num_series, depth + 1)?;
+                Ok(Node::Inner {
+                    word,
+                    split_seg,
+                    children: [Box::new(c0), Box::new(c1)],
+                })
+            }
+            t => Err(corrupt(format!("unknown node tag {t}"))),
+        }
+    }
+}
+
+/// Serializes a built index (including its raw data) to a writer.
+pub fn save_index<W: Write>(index: &Index, out: &mut W) -> io::Result<()> {
+    let mut w = Writer { out };
+    let cfg = index.config();
+    w.bytes(MAGIC)?;
+    w.u32(cfg.series_len as u32)?;
+    w.u32(cfg.segments as u32)?;
+    w.u32(cfg.leaf_capacity as u32)?;
+    let n = index.num_series();
+    w.u64(n as u64)?;
+    for &v in index.data().raw() {
+        w.bytes(&v.to_le_bytes())?;
+    }
+    for id in 0..n as u32 {
+        w.bytes(index.summaries().sax(id))?;
+    }
+    w.u64(index.forest().len() as u64)?;
+    for st in index.forest() {
+        w.u64(st.key)?;
+        w.node(&st.node)?;
+    }
+    Ok(())
+}
+
+/// Deserializes an index previously written by [`save_index`].
+pub fn load_index<R: Read>(inp: &mut R) -> Result<Index, PersistError> {
+    let mut magic = [0u8; 4];
+    inp.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic (not an Odyssey index file)"));
+    }
+    let mut hdr = Reader { inp, segments: 0 };
+    let series_len = hdr.u32()? as usize;
+    let segments = hdr.u32()? as usize;
+    let leaf_capacity = hdr.u32()? as usize;
+    if series_len == 0 || segments == 0 || segments > series_len || segments > 64 {
+        return Err(corrupt("invalid dimensions"));
+    }
+    if leaf_capacity == 0 {
+        return Err(corrupt("invalid leaf capacity"));
+    }
+    let n = hdr.u64()? as usize;
+    let mut raw = vec![0.0f32; n * series_len];
+    {
+        let mut buf = [0u8; 4];
+        for v in raw.iter_mut() {
+            hdr.inp.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+    }
+    let mut sax = vec![0u8; n * segments];
+    hdr.inp.read_exact(&mut sax)?;
+    let n_subtrees = hdr.u64()? as usize;
+    if n_subtrees > n.max(1) {
+        return Err(corrupt("more subtrees than series"));
+    }
+    let mut reader = Reader {
+        inp: hdr.inp,
+        segments,
+    };
+    let mut forest = Vec::with_capacity(n_subtrees);
+    let mut prev_key: Option<u64> = None;
+    let mut total = 0usize;
+    for _ in 0..n_subtrees {
+        let key = reader.u64()?;
+        if let Some(p) = prev_key {
+            if key <= p {
+                return Err(corrupt("subtree keys not strictly ascending"));
+            }
+        }
+        prev_key = Some(key);
+        let node = reader.node(n as u64, 0)?;
+        let size = node.series_count();
+        total += size;
+        forest.push(RootSubtree { key, node, size });
+    }
+    if total != n {
+        return Err(corrupt(format!(
+            "forest stores {total} series, header says {n}"
+        )));
+    }
+    let data = DatasetBuffer::from_vec(raw, series_len);
+    let summaries = Summaries::from_raw(sax.into(), segments);
+    let cfg = IndexConfig {
+        series_len,
+        segments,
+        leaf_capacity,
+    };
+    Ok(Index::from_parts(cfg, data, summaries, forest))
+}
+
+/// Saves an index to a file path.
+pub fn save_index_file(index: &Index, path: &std::path::Path) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    save_index(index, &mut f)?;
+    f.flush()
+}
+
+/// Loads an index from a file path.
+pub fn load_index_file(path: &std::path::Path) -> Result<Index, PersistError> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    load_index(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::exact::{exact_search, SearchParams};
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn build(n: usize) -> Index {
+        Index::build(
+            walk_dataset(n, 64, 99),
+            IndexConfig::new(64).with_segments(8).with_leaf_capacity(16),
+            2,
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_answers() {
+        let index = build(700);
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        let loaded = load_index(&mut bytes.as_slice()).expect("load");
+        assert_eq!(loaded.num_series(), 700);
+        assert_eq!(loaded.forest().len(), index.forest().len());
+        let q = walk_dataset(1, 64, 5).series(0).to_vec();
+        let a = exact_search(&index, &q, &SearchParams::new(2));
+        let b = exact_search(&loaded, &q, &SearchParams::new(2));
+        assert_eq!(a.answer.distance, b.answer.distance);
+        assert_eq!(a.answer.series_id, b.answer.series_id);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_exactly() {
+        let index = build(400);
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        let loaded = load_index(&mut bytes.as_slice()).expect("load");
+        for (a, b) in index.forest().iter().zip(loaded.forest()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.size, b.size);
+            let mut la = Vec::new();
+            let mut lb = Vec::new();
+            a.node.for_each_leaf(&mut |l| la.push((l.word.clone(), l.ids.clone())));
+            b.node.for_each_leaf(&mut |l| lb.push((l.word.clone(), l.ids.clone())));
+            assert_eq!(la, lb);
+        }
+        for id in 0..400u32 {
+            assert_eq!(index.summaries().sax(id), loaded.summaries().sax(id));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = b"NOPE".to_vec();
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(
+            load_index(&mut bytes.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let index = build(120);
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        // Truncate at a spread of offsets; every prefix must fail cleanly.
+        for frac in [10usize, 30, 50, 70, 90, 99] {
+            let cut = bytes.len() * frac / 100;
+            let mut slice = &bytes[..cut];
+            assert!(
+                load_index(&mut slice).is_err(),
+                "truncation at {frac}% must not produce an index"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids() {
+        let index = build(50);
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        // Lower the series count in the header: stored ids now exceed it.
+        let off = 4 + 4 + 4 + 4; // magic + 3 u32s
+        bytes[off..off + 8].copy_from_slice(&10u64.to_le_bytes());
+        assert!(load_index(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let index = build(200);
+        let path = std::env::temp_dir().join(format!("odyssey_persist_{}.idx", std::process::id()));
+        save_index_file(&index, &path).expect("save file");
+        let loaded = load_index_file(&path).expect("load file");
+        assert_eq!(loaded.num_series(), 200);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,231 @@
+//! Best-so-far (BSF) values shared across threads — and, via the
+//! distributed BSF-sharing channel, across system nodes.
+//!
+//! [`SharedBsf`] exploits the fact that non-negative IEEE-754 doubles
+//! order identically to their bit patterns, so the hot read path is a
+//! single relaxed atomic load and improvements are `fetch_min` on the
+//! bits; the (rare) winner additionally records the answering series id
+//! under a mutex.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Anything that can absorb candidate results and expose a pruning
+/// threshold: 1-NN ([`SharedBsf`]) or k-NN ([`SharedKnn`]).
+pub trait ResultSet: Sync {
+    /// Current pruning threshold: candidates with (lower-bound or real)
+    /// squared distance `>=` this value cannot improve the result.
+    fn threshold_sq(&self) -> f64;
+    /// Offers a candidate; returns `true` if it improved the result.
+    fn offer(&self, distance_sq: f64, id: u32) -> bool;
+}
+
+/// A concurrent 1-NN best-so-far: squared distance plus the series id.
+#[derive(Debug)]
+pub struct SharedBsf {
+    bits: AtomicU64,
+    best: Mutex<(f64, Option<u32>)>,
+}
+
+impl SharedBsf {
+    /// Starts at the given squared distance (often the approximate-search
+    /// result, or `f64::INFINITY`).
+    pub fn new(distance_sq: f64, id: Option<u32>) -> Self {
+        assert!(distance_sq >= 0.0);
+        SharedBsf {
+            bits: AtomicU64::new(distance_sq.to_bits()),
+            best: Mutex::new((distance_sq, id)),
+        }
+    }
+
+    /// Current squared BSF (a relaxed load; safe because the value only
+    /// ever decreases, so a stale read merely prunes less).
+    #[inline]
+    pub fn get_sq(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the BSF to `distance_sq` if it improves it, recording `id`.
+    /// Returns `true` on improvement.
+    pub fn update(&self, distance_sq: f64, id: Option<u32>) -> bool {
+        debug_assert!(distance_sq >= 0.0);
+        let prev = self
+            .bits
+            .fetch_min(distance_sq.to_bits(), Ordering::AcqRel);
+        let improved = distance_sq.to_bits() < prev;
+        if improved {
+            let mut best = self.best.lock();
+            if distance_sq < best.0 {
+                *best = (distance_sq, id);
+            }
+        }
+        improved
+    }
+
+    /// The best `(squared distance, id)` seen so far.
+    pub fn best(&self) -> (f64, Option<u32>) {
+        *self.best.lock()
+    }
+
+    /// Current answer snapshot.
+    pub fn answer(&self) -> super::answer::Answer {
+        let (d, id) = self.best();
+        super::answer::Answer::from_sq(d, id)
+    }
+}
+
+impl ResultSet for SharedBsf {
+    #[inline]
+    fn threshold_sq(&self) -> f64 {
+        self.get_sq()
+    }
+
+    #[inline]
+    fn offer(&self, distance_sq: f64, id: u32) -> bool {
+        self.update(distance_sq, Some(id))
+    }
+}
+
+/// A concurrent k-NN result set: keeps the `k` smallest distinct-id
+/// candidates; the pruning threshold is the current k-th distance.
+#[derive(Debug)]
+pub struct SharedKnn {
+    k: usize,
+    /// Sorted ascending by `(distance, id)`; length `<= k`.
+    items: Mutex<Vec<(f64, u32)>>,
+    /// Cached k-th squared distance for lock-free threshold reads.
+    kth_bits: AtomicU64,
+}
+
+impl SharedKnn {
+    /// An empty set for `k` neighbors (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        SharedKnn {
+            k,
+            items: Mutex::new(Vec::with_capacity(k + 1)),
+            kth_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// The requested neighbor count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Snapshot of the current neighbor list.
+    pub fn snapshot(&self) -> super::answer::KnnAnswer {
+        super::answer::KnnAnswer {
+            neighbors: self.items.lock().clone(),
+        }
+    }
+}
+
+impl ResultSet for SharedKnn {
+    #[inline]
+    fn threshold_sq(&self) -> f64 {
+        f64::from_bits(self.kth_bits.load(Ordering::Relaxed))
+    }
+
+    fn offer(&self, distance_sq: f64, id: u32) -> bool {
+        if distance_sq >= self.threshold_sq() {
+            return false;
+        }
+        let mut items = self.items.lock();
+        if items.iter().any(|&(_, i)| i == id) {
+            return false; // duplicate candidate (e.g. re-processed batch)
+        }
+        let pos = items.partition_point(|&(d, _)| d <= distance_sq);
+        items.insert(pos, (distance_sq, id));
+        if items.len() > self.k {
+            items.pop();
+        }
+        if items.len() == self.k {
+            self.kth_bits
+                .store(items[self.k - 1].0.to_bits(), Ordering::Release);
+        }
+        pos < self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsf_monotone_decreasing() {
+        let bsf = SharedBsf::new(10.0, None);
+        assert!(bsf.update(5.0, Some(1)));
+        assert!(!bsf.update(7.0, Some(2)));
+        assert!(bsf.update(2.0, Some(3)));
+        assert_eq!(bsf.get_sq(), 2.0);
+        assert_eq!(bsf.best(), (2.0, Some(3)));
+    }
+
+    #[test]
+    fn bsf_concurrent_updates_keep_minimum() {
+        let bsf = SharedBsf::new(f64::INFINITY, None);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let bsf = &bsf;
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        let d = ((t * 1000 + i) % 997) as f64 + 1.0;
+                        bsf.update(d, Some(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        let (d, id) = bsf.best();
+        assert_eq!(d, 1.0);
+        assert_eq!(bsf.get_sq(), 1.0);
+        assert!(id.is_some());
+    }
+
+    #[test]
+    fn knn_keeps_k_smallest() {
+        let knn = SharedKnn::new(3);
+        assert_eq!(knn.threshold_sq(), f64::INFINITY);
+        for (d, id) in [(5.0, 5), (1.0, 1), (3.0, 3), (2.0, 2), (4.0, 4)] {
+            knn.offer(d, id);
+        }
+        let snap = knn.snapshot();
+        assert_eq!(snap.neighbors, vec![(1.0, 1), (2.0, 2), (3.0, 3)]);
+        assert_eq!(knn.threshold_sq(), 3.0);
+    }
+
+    #[test]
+    fn knn_rejects_duplicates_and_worse() {
+        let knn = SharedKnn::new(2);
+        assert!(knn.offer(2.0, 7));
+        assert!(!knn.offer(2.0, 7), "duplicate id must be ignored");
+        assert!(knn.offer(1.0, 8));
+        assert!(!knn.offer(9.0, 9), "worse than kth once full");
+        assert_eq!(knn.snapshot().neighbors, vec![(1.0, 8), (2.0, 7)]);
+    }
+
+    #[test]
+    fn knn_concurrent_offers_are_consistent() {
+        let knn = SharedKnn::new(5);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let knn = &knn;
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        let id = t * 500 + i;
+                        knn.offer((id % 101) as f64 + 1.0, id);
+                    }
+                });
+            }
+        });
+        let snap = knn.snapshot();
+        assert_eq!(snap.neighbors.len(), 5);
+        // All kept distances are 1.0 (the minimum, hit by several ids).
+        assert!(snap.neighbors.iter().all(|&(d, _)| d == 1.0));
+        // Distinct ids.
+        let mut ids: Vec<u32> = snap.neighbors.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5);
+    }
+}

@@ -1,0 +1,380 @@
+//! Exact DTW similarity search (Section 4, "DTW Distance").
+//!
+//! "No changes are required in the index structure for this: the index we
+//! build can answer both Euclidean and DTW similarity search queries."
+//! Only the kernel changes:
+//!
+//! * **node / per-series lower bound** — the distance between the iSAX
+//!   region of a candidate and the *LB_Keogh envelope* of the query. For
+//!   segment `i` we compare the envelope's per-segment hull
+//!   `[Lmin_i, Umax_i]` (the min of the lower / max of the upper envelope
+//!   over the segment) against the region's breakpoint interval: any gap
+//!   lower-bounds the pointwise envelope distance and hence, by LB_Keogh,
+//!   the DTW distance.
+//! * **real distance** — LB_Keogh on the raw candidate first (cheap,
+//!   early-abandoning), then banded DTW on survivors.
+
+use super::answer::Answer;
+use super::bsf::SharedBsf;
+use super::exact::{run_search, SearchParams, SearchStats, StealView};
+use super::kernel::QueryKernel;
+use crate::distance::{dtw_banded, keogh_envelope, lb_keogh_sq, LbKeoghEnvelope};
+use crate::index::Index;
+use crate::paa::segment_bounds;
+use crate::sax::{breakpoints, IsaxWord, MAX_CARD};
+
+/// The DTW query kernel: envelope, per-segment envelope hull, window.
+pub struct DtwKernel<'q> {
+    query: &'q [f32],
+    env: LbKeoghEnvelope,
+    /// Per-segment max of the upper envelope.
+    seg_upper: Vec<f64>,
+    /// Per-segment min of the lower envelope.
+    seg_lower: Vec<f64>,
+    series_len: usize,
+    window: usize,
+}
+
+impl<'q> DtwKernel<'q> {
+    /// Builds the kernel for `query` with a Sakoe-Chiba band of
+    /// half-width `window` points, under `segments` iSAX segments.
+    pub fn new(query: &'q [f32], window: usize, segments: usize) -> Self {
+        let env = keogh_envelope(query, window);
+        let n = query.len();
+        let mut seg_upper = vec![0.0f64; segments];
+        let mut seg_lower = vec![0.0f64; segments];
+        for i in 0..segments {
+            let (s, e) = segment_bounds(n, segments, i);
+            seg_upper[i] = env.upper[s..e].iter().cloned().fold(f32::MIN, f32::max) as f64;
+            seg_lower[i] = env.lower[s..e].iter().cloned().fold(f32::MAX, f32::min) as f64;
+        }
+        DtwKernel {
+            query,
+            env,
+            seg_upper,
+            seg_lower,
+            series_len: n,
+            window,
+        }
+    }
+
+    /// The warping window in points.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Gap (squared, length-weighted) between the envelope hull and a
+    /// breakpoint interval `[lo_sym, hi_sym]` on segment `i`.
+    #[inline]
+    fn segment_gap_sq(&self, i: usize, lo_sym: usize, hi_sym: usize) -> f64 {
+        let bp = breakpoints();
+        let region_lo = if lo_sym == 0 {
+            f64::NEG_INFINITY
+        } else {
+            bp[lo_sym - 1]
+        };
+        let region_hi = if hi_sym == MAX_CARD - 1 {
+            f64::INFINITY
+        } else {
+            bp[hi_sym]
+        };
+        // Distance between intervals [seg_lower, seg_upper] and
+        // [region_lo, region_hi]; zero when they overlap.
+        let d = if self.seg_lower[i] > region_hi {
+            self.seg_lower[i] - region_hi
+        } else if region_lo > self.seg_upper[i] {
+            region_lo - self.seg_upper[i]
+        } else {
+            0.0
+        };
+        let (s, e) = segment_bounds(self.series_len, self.seg_upper.len(), i);
+        d * d * (e - s) as f64
+    }
+}
+
+impl QueryKernel for DtwKernel<'_> {
+    fn node_lb_sq(&self, word: &IsaxWord) -> f64 {
+        let mut sum = 0.0f64;
+        for i in 0..word.segments() {
+            let (lo, hi) = word.full_range(i);
+            sum += self.segment_gap_sq(i, lo, hi);
+        }
+        sum
+    }
+
+    fn series_lb_sq(&self, sax: &[u8]) -> f64 {
+        let mut sum = 0.0f64;
+        for (i, &sym) in sax.iter().enumerate() {
+            sum += self.segment_gap_sq(i, sym as usize, sym as usize);
+        }
+        sum
+    }
+
+    fn distance_sq(&self, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
+        // Tight raw-data filter first, then the full banded DTW.
+        lb_keogh_sq(&self.env, candidate, threshold_sq)?;
+        dtw_banded(self.query, candidate, self.window, threshold_sq)
+    }
+}
+
+/// Descends to the approximate-search leaf and returns the best *DTW*
+/// squared distance inside it plus the series id (the initial BSF for
+/// DTW queries). Public so the distributed layer can seed per-node BSFs.
+pub fn approx_dtw(index: &Index, kernel: &DtwKernel) -> (f64, Option<u32>) {
+    use crate::tree::Node;
+    if index.forest().is_empty() {
+        return (f64::INFINITY, None);
+    }
+    let forest = index.forest();
+    let subtree = forest
+        .iter()
+        .min_by(|a, b| {
+            kernel
+                .node_lb_sq(a.node.word())
+                .total_cmp(&kernel.node_lb_sq(b.node.word()))
+        })
+        .expect("non-empty forest");
+    let mut node = &subtree.node;
+    loop {
+        match node {
+            Node::Inner { children, .. } => {
+                let d0 = kernel.node_lb_sq(children[0].word());
+                let d1 = kernel.node_lb_sq(children[1].word());
+                node = if d0 <= d1 { &children[0] } else { &children[1] };
+            }
+            Node::Leaf(leaf) => {
+                let mut best = f64::INFINITY;
+                let mut best_id = None;
+                for &id in &leaf.ids {
+                    if let Some(d) = dtw_banded(
+                        kernel.query,
+                        index.data().series(id as usize),
+                        kernel.window,
+                        best,
+                    ) {
+                        if d < best {
+                            best = d;
+                            best_id = Some(id);
+                        }
+                    }
+                }
+                return (best, best_id);
+            }
+        }
+    }
+}
+
+/// Exact 1-NN DTW search with a Sakoe-Chiba band of `window` points.
+pub fn dtw_search(
+    index: &Index,
+    query: &[f32],
+    window: usize,
+    params: &SearchParams,
+) -> (Answer, SearchStats) {
+    let kernel = DtwKernel::new(query, window, index.config().segments);
+    let (init_sq, init_id) = approx_dtw(index, &kernel);
+    let bsf = SharedBsf::new(init_sq, init_id);
+    let mut stats = run_search(
+        index,
+        &kernel,
+        params,
+        &bsf,
+        None,
+        &StealView::new(),
+        &|_, _| {},
+    );
+    stats.initial_bsf = init_sq.sqrt();
+    (bsf.answer(), stats)
+}
+
+/// Exact k-NN search under DTW: the two Section-4 extensions composed.
+/// The result set tracks the k smallest DTW distances; pruning uses the
+/// current k-th distance.
+pub fn dtw_knn_search(
+    index: &Index,
+    query: &[f32],
+    window: usize,
+    k: usize,
+    params: &SearchParams,
+) -> (super::answer::KnnAnswer, SearchStats) {
+    use super::bsf::{ResultSet, SharedKnn};
+    use crate::tree::Node;
+    let kernel = DtwKernel::new(query, window, index.config().segments);
+    let knn = SharedKnn::new(k);
+    // Seed from the most promising leaf (DTW distances).
+    if !index.forest().is_empty() {
+        let forest = index.forest();
+        let subtree = forest
+            .iter()
+            .min_by(|a, b| {
+                kernel
+                    .node_lb_sq(a.node.word())
+                    .total_cmp(&kernel.node_lb_sq(b.node.word()))
+            })
+            .expect("non-empty forest");
+        let mut node = &subtree.node;
+        loop {
+            match node {
+                Node::Inner { children, .. } => {
+                    let d0 = kernel.node_lb_sq(children[0].word());
+                    let d1 = kernel.node_lb_sq(children[1].word());
+                    node = if d0 <= d1 { &children[0] } else { &children[1] };
+                }
+                Node::Leaf(leaf) => {
+                    for &id in &leaf.ids {
+                        if let Some(d) = dtw_banded(
+                            query,
+                            index.data().series(id as usize),
+                            window,
+                            knn.threshold_sq(),
+                        ) {
+                            knn.offer(d, id);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    let stats = run_search(
+        index,
+        &kernel,
+        params,
+        &knn,
+        None,
+        &StealView::new(),
+        &|_, _| {},
+    );
+    (knn.snapshot(), stats)
+}
+
+/// Brute-force DTW 1-NN oracle.
+pub fn dtw_brute_force(index: &Index, query: &[f32], window: usize) -> Answer {
+    let mut best = f64::INFINITY;
+    let mut best_id = None;
+    for id in 0..index.num_series() {
+        if let Some(d) = dtw_banded(query, index.data().series(id), window, best) {
+            if d < best {
+                best = d;
+                best_id = Some(id as u32);
+            }
+        }
+    }
+    Answer::from_sq(best, best_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::series::DatasetBuffer;
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn build(n: usize) -> crate::index::Index {
+        crate::index::Index::build(
+            walk_dataset(n, 64, 21),
+            IndexConfig::new(64).with_segments(8).with_leaf_capacity(16),
+            2,
+        )
+    }
+
+    #[test]
+    fn dtw_kernel_soundness_chain() {
+        // node_lb <= series_lb <= LB_Keogh <= DTW for random candidates.
+        let q = walk_dataset(1, 64, 777).series(0).to_vec();
+        let kernel = DtwKernel::new(&q, 3, 8);
+        for seed in 0..8u64 {
+            let c = walk_dataset(1, 64, 1000 + seed).series(0).to_vec();
+            let cpaa = crate::paa::paa(&c, 8);
+            let mut sax = vec![0u8; 8];
+            crate::sax::sax_word_into(&cpaa, &mut sax);
+            let dtw = dtw_banded(&q, &c, 3, f64::INFINITY).expect("no threshold");
+            let series_lb = kernel.series_lb_sq(&sax);
+            assert!(series_lb <= dtw + 1e-6, "seed={seed}: {series_lb} > {dtw}");
+            for bits in 1..=crate::sax::MAX_CARD_BITS {
+                let word = IsaxWord::from_sax(&sax, bits);
+                let node_lb = kernel.node_lb_sq(&word);
+                assert!(node_lb <= series_lb + 1e-9, "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_search_matches_brute_force() {
+        let idx = build(500);
+        for qseed in [31u64, 47] {
+            let q = walk_dataset(1, 64, qseed).series(0).to_vec();
+            for window in [1usize, 3, 6] {
+                let want = dtw_brute_force(&idx, &q, window);
+                for threads in [1usize, 2] {
+                    let (got, _) = dtw_search(&idx, &q, window, &SearchParams::new(threads));
+                    assert!(
+                        (got.distance - want.distance).abs() < 1e-9,
+                        "qseed={qseed} window={window} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_search_finds_identical_series() {
+        let idx = build(400);
+        let q = idx.data().series(123).to_vec();
+        let (ans, _) = dtw_search(&idx, &q, 3, &SearchParams::new(2));
+        assert_eq!(ans.distance, 0.0);
+    }
+
+    #[test]
+    fn dtw_knn_matches_brute_force_top_k() {
+        let idx = build(400);
+        let q = walk_dataset(1, 64, 61).series(0).to_vec();
+        let window = 3;
+        let k = 5;
+        // Oracle: all DTW distances, sorted.
+        let mut all: Vec<f64> = (0..idx.num_series())
+            .map(|i| {
+                dtw_banded(&q, idx.data().series(i), window, f64::INFINITY).expect("unbounded")
+            })
+            .collect();
+        all.sort_by(f64::total_cmp);
+        let (got, _) = dtw_knn_search(&idx, &q, window, k, &SearchParams::new(2));
+        assert_eq!(got.neighbors.len(), k);
+        for j in 0..k {
+            assert!(
+                (got.neighbors[j].0 - all[j]).abs() < 1e-9,
+                "rank {j}: {} vs {}",
+                got.neighbors[j].0,
+                all[j]
+            );
+        }
+    }
+
+    #[test]
+    fn dtw_answer_never_exceeds_euclidean_answer() {
+        // DTW 1-NN distance <= ED 1-NN distance (warping only helps).
+        let idx = build(400);
+        let q = walk_dataset(1, 64, 5).series(0).to_vec();
+        let ed = idx.brute_force(&q);
+        let (dtw, _) = dtw_search(&idx, &q, 4, &SearchParams::new(2));
+        assert!(dtw.distance <= ed.distance + 1e-9);
+    }
+}

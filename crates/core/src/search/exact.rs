@@ -1,0 +1,707 @@
+//! The Odyssey exact-search engine (Algorithms 1–2, Figure 5).
+//!
+//! [`run_search`] executes the three phases — tree traversal over
+//! RS-batches (with helping), priority-queue preprocessing, and
+//! priority-queue processing — generically over a
+//! [`QueryKernel`](super::kernel::QueryKernel) and a
+//! [`ResultSet`](super::bsf::ResultSet).
+//!
+//! The engine publishes progress into a [`StealView`], the object a
+//! node's work-stealing manager (Algorithm 3) inspects when a steal
+//! request arrives: it hands out RS-batch **ids** satisfying the
+//! *Take-Away property* (rightmost unstolen queues in the sorted order —
+//! the queues least likely to have been processed) and marks them stolen
+//! so local workers skip them. The thief re-runs this same engine on its
+//! own identical index restricted to those batch ids
+//! (`batch_subset`) — no series data ever crosses nodes.
+
+use super::answer::Answer;
+use super::batches::RsBatches;
+use super::bsf::{ResultSet, SharedBsf};
+use super::kernel::{EdKernel, QueryKernel};
+use super::pqueue::{BoundedPqSet, LeafPq};
+use crate::index::Index;
+use crate::tree::Node;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Barrier, OnceLock};
+
+/// Number of RS-batches handed over per steal request; the paper found 4
+/// to be the sweet spot (Section 3.2.2).
+pub const DEFAULT_NSEND: usize = 4;
+
+/// Default priority-queue size threshold when no per-query prediction is
+/// available (the `odyssey-sched` sigmoid model provides one per query).
+pub const DEFAULT_TH: usize = 1024;
+
+/// Default bound on how many threads may *help* on one RS-batch.
+pub const DEFAULT_HELP_TH: usize = 2;
+
+/// Tuning parameters of the single-node search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchParams {
+    /// Worker threads (the paper's `NThreads`).
+    pub n_threads: usize,
+    /// RS-batch count `Nsb`; `None` = one per worker thread (the paper's
+    /// best setting).
+    pub nsb: Option<usize>,
+    /// Priority-queue size threshold `TH` (`usize::MAX` = unbounded).
+    pub th: usize,
+    /// Helping bound `HelpTH`.
+    pub help_th: usize,
+}
+
+impl SearchParams {
+    /// Defaults per the paper: `Nsb = n_threads`, `HelpTH = 2`.
+    pub fn new(n_threads: usize) -> Self {
+        SearchParams {
+            n_threads: n_threads.max(1),
+            nsb: None,
+            th: DEFAULT_TH,
+            help_th: DEFAULT_HELP_TH,
+        }
+    }
+
+    /// Overrides the RS-batch count.
+    pub fn with_nsb(mut self, nsb: usize) -> Self {
+        self.nsb = Some(nsb.max(1));
+        self
+    }
+
+    /// Overrides the queue threshold.
+    pub fn with_th(mut self, th: usize) -> Self {
+        assert!(th > 0);
+        self.th = th;
+        self
+    }
+
+    /// Overrides the helping bound.
+    pub fn with_help_th(mut self, help_th: usize) -> Self {
+        self.help_th = help_th;
+        self
+    }
+}
+
+/// Work counters and timings of one search execution.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Rooted initial BSF (from the approximate search); the feature the
+    /// scheduler's regression model predicts from (Figure 4).
+    pub initial_bsf: f64,
+    /// Node-level lower-bound computations during traversal.
+    pub lb_node_computations: u64,
+    /// Per-series lower-bound computations during queue processing.
+    pub lb_series_computations: u64,
+    /// Early-abandoning real-distance invocations.
+    pub real_distance_computations: u64,
+    /// Leaves pushed into priority queues.
+    pub leaves_collected: u64,
+    /// Number of priority queues produced.
+    pub pq_count: usize,
+    /// Median priority-queue size (the sigmoid model's target, Fig. 6a).
+    pub pq_size_median: usize,
+    /// Wall-clock duration of the engine run.
+    pub elapsed: std::time::Duration,
+    /// Wall-clock duration of the tree-traversal phase (incl. helping).
+    pub traversal_time: std::time::Duration,
+    /// Wall-clock duration of the queue preprocessing + processing
+    /// phases. The paper's break-down shows this dominating query time,
+    /// which is why work-stealing targets the queue-processing phase.
+    pub processing_time: std::time::Duration,
+}
+
+/// Result of [`exact_search`].
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The 1-NN answer.
+    pub answer: Answer,
+    /// Execution statistics.
+    pub stats: SearchStats,
+}
+
+const PHASE_TRAVERSAL: u8 = 0;
+const PHASE_PROCESSING: u8 = 1;
+const PHASE_DONE: u8 = 2;
+
+/// Shared progress of a running search, inspected by the work-stealing
+/// manager. One `StealView` serves one query execution.
+#[derive(Debug, Default)]
+pub struct StealView {
+    phase: AtomicU8,
+    pq_cnt: AtomicUsize,
+    stolen: OnceLock<Vec<AtomicBool>>,
+    pq_batches: Mutex<Vec<usize>>,
+}
+
+impl StealView {
+    /// A fresh view for one query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn init(&self, nsb: usize) {
+        let _ = self
+            .stolen
+            .set((0..nsb).map(|_| AtomicBool::new(false)).collect());
+        self.phase.store(PHASE_TRAVERSAL, Ordering::Release);
+    }
+
+    fn publish_queues(&self, batch_ids: Vec<usize>) {
+        *self.pq_batches.lock() = batch_ids;
+        self.phase.store(PHASE_PROCESSING, Ordering::Release);
+    }
+
+    fn finish(&self) {
+        self.phase.store(PHASE_DONE, Ordering::Release);
+    }
+
+    #[inline]
+    fn is_stolen(&self, batch_id: usize) -> bool {
+        self.stolen
+            .get()
+            .map(|v| v[batch_id].load(Ordering::Acquire))
+            .unwrap_or(false)
+    }
+
+    /// Whether the search is in the queue-processing phase (the only
+    /// phase the paper steals from).
+    pub fn is_processing(&self) -> bool {
+        self.phase.load(Ordering::Acquire) == PHASE_PROCESSING
+    }
+
+    /// Whether the search has completed.
+    pub fn is_done(&self) -> bool {
+        self.phase.load(Ordering::Acquire) == PHASE_DONE
+    }
+
+    /// Diagnostic snapshot: `(claimed queues, total queues)` of the
+    /// processing phase (both zero before preprocessing completes).
+    pub fn queue_progress(&self) -> (usize, usize) {
+        let len = self.pq_batches.lock().len();
+        (self.pq_cnt.load(Ordering::Acquire).min(len), len)
+    }
+
+    /// Test/simulation helper: performs the engine's `init` step.
+    #[doc(hidden)]
+    pub fn test_init(&self, nsb: usize) {
+        self.init(nsb);
+    }
+
+    /// Test/simulation helper: performs the engine's queue-publish step.
+    #[doc(hidden)]
+    pub fn test_publish(&self, batch_ids: Vec<usize>) {
+        self.publish_queues(batch_ids);
+    }
+
+    /// Attempts to take away up to `nsend` RS-batches (Algorithm 3,
+    /// lines 2–4). Selects batches satisfying the **Take-Away property**:
+    /// not yet stolen, and whose first queue sits at the rightmost
+    /// possible index of the sorted queue array (beyond the claiming
+    /// cursor). Marks them stolen and returns their global batch ids.
+    pub fn try_steal(&self, nsend: usize) -> Vec<usize> {
+        if !self.is_processing() {
+            return Vec::new();
+        }
+        let Some(stolen) = self.stolen.get() else {
+            return Vec::new();
+        };
+        let pqb = self.pq_batches.lock();
+        let claimed = self.pq_cnt.load(Ordering::Acquire).min(pqb.len());
+        let mut out = Vec::new();
+        for i in (claimed..pqb.len()).rev() {
+            let b = pqb[i];
+            if out.contains(&b) {
+                continue;
+            }
+            if !stolen[b].swap(true, Ordering::AcqRel) {
+                out.push(b);
+                if out.len() == nsend {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-RS-batch traversal state.
+struct BatchState<'a> {
+    /// Next unclaimed subtree offset inside the batch range (`Fetch&Add`).
+    next_subtree: AtomicUsize,
+    /// All subtrees of this batch have been claimed and traversed.
+    complete: AtomicBool,
+    /// Number of helpers that joined this batch (bounded by `HelpTH`).
+    helped: AtomicUsize,
+    /// The batch's bounded priority queues.
+    pqs: Mutex<BoundedPqSet<'a>>,
+}
+
+/// Convenience 1-NN Euclidean exact search: seeds the BSF with the
+/// approximate search (Algorithm 1, line 5) and runs the engine on all
+/// RS-batches.
+pub fn exact_search(index: &Index, query: &[f32], params: &SearchParams) -> SearchOutcome {
+    let kernel = EdKernel::new(query, index.config().segments);
+    let approx = index.approx_search_paa(query, kernel.qpaa());
+    let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
+    let view = StealView::new();
+    let mut stats = run_search(index, &kernel, params, &bsf, None, &view, &|_, _| {});
+    stats.initial_bsf = approx.distance;
+    SearchOutcome {
+        answer: bsf.answer(),
+        stats,
+    }
+}
+
+/// Runs the three-phase engine.
+///
+/// * `batch_subset` — `None` processes every RS-batch (the owner's run);
+///   `Some(ids)` processes only those global batch ids (a thief's run).
+/// * `view` — progress published for the work-stealing manager.
+/// * `on_improve(distance_sq, id)` — invoked on every result improvement
+///   (the hook the distributed BSF-sharing channel attaches to).
+///
+/// Returns work statistics; answers accumulate in `results`.
+pub fn run_search<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
+    index: &Index,
+    kernel: &K,
+    params: &SearchParams,
+    results: &R,
+    batch_subset: Option<&[usize]>,
+    view: &StealView,
+    on_improve: &(dyn Fn(f64, u32) + Sync),
+) -> SearchStats {
+    run_search_with_service(
+        index,
+        kernel,
+        params,
+        results,
+        batch_subset,
+        view,
+        on_improve,
+        &|| {},
+    )
+}
+
+/// [`run_search`] with an additional `service` hook, invoked by worker
+/// threads once per claimed priority queue during the processing phase.
+///
+/// The distributed layer uses it to let the *workers themselves* serve
+/// pending steal requests: the paper dedicates a manager thread to this
+/// (its nodes have 128 cores), but in an oversubscribed simulation a
+/// blocked manager thread can be starved by the very workers whose
+/// queues should be stolen — cooperative serving removes that artifact
+/// without changing the protocol.
+#[allow(clippy::too_many_arguments)]
+pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
+    index: &Index,
+    kernel: &K,
+    params: &SearchParams,
+    results: &R,
+    batch_subset: Option<&[usize]>,
+    view: &StealView,
+    on_improve: &(dyn Fn(f64, u32) + Sync),
+    service: &(dyn Fn() + Sync),
+) -> SearchStats {
+    let start = std::time::Instant::now();
+    let forest = index.forest();
+    let sizes: Vec<usize> = forest.iter().map(|t| t.size).collect();
+    let nsb = params.nsb.unwrap_or(params.n_threads).max(1);
+    let batches = RsBatches::build(&sizes, nsb);
+    view.init(batches.len());
+
+    let active: Vec<usize> = match batch_subset {
+        Some(ids) => ids.iter().copied().filter(|&b| b < batches.len()).collect(),
+        None => (0..batches.len()).collect(),
+    };
+    let mut stats = SearchStats::default();
+    if active.is_empty() {
+        view.finish();
+        stats.elapsed = start.elapsed();
+        return stats;
+    }
+
+    let bstates: Vec<BatchState> = active
+        .iter()
+        .map(|_| BatchState {
+            next_subtree: AtomicUsize::new(0),
+            complete: AtomicBool::new(false),
+            helped: AtomicUsize::new(0),
+            pqs: Mutex::new(BoundedPqSet::new(params.th)),
+        })
+        .collect();
+    let bcnt = AtomicUsize::new(0);
+    // (global batch id, queue) pairs in ascending-min order, filled by
+    // thread 0 between the barriers.
+    let sorted: RwLock<Vec<(usize, Mutex<LeafPq>)>> = RwLock::new(Vec::new());
+    let n_threads = params.n_threads.max(1);
+    let barrier = Barrier::new(n_threads);
+
+    let lb_node = AtomicU64::new(0);
+    let lb_series = AtomicU64::new(0);
+    let real_dist = AtomicU64::new(0);
+    let leaves = AtomicU64::new(0);
+    let pq_count = AtomicUsize::new(0);
+    let pq_median = AtomicUsize::new(0);
+    // Phase boundaries in nanoseconds since `start` (written by tid 0).
+    let traversal_ns = AtomicU64::new(0);
+
+    let summaries = index.summaries();
+    let data = index.data();
+
+    std::thread::scope(|scope| {
+        for tid in 0..n_threads {
+            let active = &active;
+            let bstates = &bstates;
+            let bcnt = &bcnt;
+            let sorted = &sorted;
+            let barrier = &barrier;
+            let batches = &batches;
+            let lb_node = &lb_node;
+            let lb_series = &lb_series;
+            let real_dist = &real_dist;
+            let leaves = &leaves;
+            let pq_count = &pq_count;
+            let pq_median = &pq_median;
+            let traversal_ns = &traversal_ns;
+            scope.spawn(move || {
+                // --- Phase 1: tree traversal over RS-batches -------------
+                let traverse_batch = |bi: usize| {
+                    let range = batches.range(active[bi]);
+                    loop {
+                        let off = bstates[bi].next_subtree.fetch_add(1, Ordering::Relaxed);
+                        if off >= range.len() {
+                            break;
+                        }
+                        let subtree = &forest[range.start + off];
+                        // Iterative traversal with an explicit stack.
+                        let mut stack: Vec<&Node> = vec![&subtree.node];
+                        while let Some(node) = stack.pop() {
+                            let lb = kernel.node_lb_sq(node.word());
+                            lb_node.fetch_add(1, Ordering::Relaxed);
+                            if lb >= results.threshold_sq() {
+                                continue; // prune the whole subtree
+                            }
+                            match node {
+                                Node::Inner { children, .. } => {
+                                    stack.push(&children[0]);
+                                    stack.push(&children[1]);
+                                }
+                                Node::Leaf(leaf) => {
+                                    bstates[bi].pqs.lock().push(lb, leaf);
+                                    leaves.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                };
+                loop {
+                    let bi = bcnt.fetch_add(1, Ordering::Relaxed);
+                    if bi >= active.len() {
+                        break;
+                    }
+                    traverse_batch(bi);
+                    bstates[bi].complete.store(true, Ordering::Release);
+                }
+                // Helping pass (Algorithm 2, lines 11–14): join batches
+                // that are still incomplete, bounded by HelpTH helpers.
+                for bi in 0..active.len() {
+                    if !bstates[bi].complete.load(Ordering::Acquire)
+                        && bstates[bi].helped.fetch_add(1, Ordering::Relaxed) < params.help_th
+                    {
+                        traverse_batch(bi);
+                        bstates[bi].complete.store(true, Ordering::Release);
+                    }
+                }
+                barrier.wait();
+
+                // --- Phase 2: queue preprocessing (thread 0 only) --------
+                if tid == 0 {
+                    traversal_ns.store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let mut all: Vec<(usize, LeafPq)> = Vec::new();
+                    for (bi, st) in bstates.iter().enumerate() {
+                        let set = std::mem::replace(
+                            &mut *st.pqs.lock(),
+                            BoundedPqSet::new(usize::MAX),
+                        );
+                        for q in set.into_queues() {
+                            all.push((active[bi], q));
+                        }
+                    }
+                    all.sort_by(|a, b| {
+                        a.1.min_lb_sq()
+                            .unwrap_or(f64::INFINITY)
+                            .total_cmp(&b.1.min_lb_sq().unwrap_or(f64::INFINITY))
+                    });
+                    pq_count.store(all.len(), Ordering::Relaxed);
+                    let mut lens: Vec<usize> = all.iter().map(|(_, q)| q.len()).collect();
+                    lens.sort_unstable();
+                    pq_median.store(
+                        lens.get(lens.len() / 2).copied().unwrap_or(0),
+                        Ordering::Relaxed,
+                    );
+                    let ids: Vec<usize> = all.iter().map(|&(b, _)| b).collect();
+                    *sorted.write() = all
+                        .into_iter()
+                        .map(|(b, q)| (b, Mutex::new(q)))
+                        .collect();
+                    view.publish_queues(ids);
+                }
+                barrier.wait();
+
+                // --- Phase 3: queue processing ---------------------------
+                let sorted_guard = sorted.read();
+                loop {
+                    service();
+                    let i = view.pq_cnt.fetch_add(1, Ordering::AcqRel);
+                    if i >= sorted_guard.len() {
+                        break;
+                    }
+                    let (bid, q) = &sorted_guard[i];
+                    if view.is_stolen(*bid) {
+                        continue; // a helper node took this batch
+                    }
+                    let mut q = q.lock();
+                    while let Some(cand) = q.pop() {
+                        if cand.lb_sq >= results.threshold_sq() {
+                            break; // min-heap: the rest is prunable too
+                        }
+                        for &id in &cand.leaf.ids {
+                            let thr = results.threshold_sq();
+                            lb_series.fetch_add(1, Ordering::Relaxed);
+                            if kernel.series_lb_sq(summaries.sax(id)) >= thr {
+                                continue;
+                            }
+                            real_dist.fetch_add(1, Ordering::Relaxed);
+                            if let Some(d) =
+                                kernel.distance_sq(data.series(id as usize), thr)
+                            {
+                                if results.offer(d, id) {
+                                    on_improve(d, id);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    view.finish();
+
+    stats.lb_node_computations = lb_node.into_inner();
+    stats.lb_series_computations = lb_series.into_inner();
+    stats.real_distance_computations = real_dist.into_inner();
+    stats.leaves_collected = leaves.into_inner();
+    stats.pq_count = pq_count.into_inner();
+    stats.pq_size_median = pq_median.into_inner();
+    stats.elapsed = start.elapsed();
+    stats.traversal_time = std::time::Duration::from_nanos(traversal_ns.into_inner());
+    stats.processing_time = stats.elapsed.saturating_sub(stats.traversal_time);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Index, IndexConfig};
+    use crate::series::DatasetBuffer;
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn query(seed: u64, len: usize) -> Vec<f32> {
+        let d = walk_dataset(1, len, seed);
+        d.series(0).to_vec()
+    }
+
+    fn build(n: usize, cap: usize) -> Index {
+        let data = walk_dataset(n, 64, 33);
+        Index::build(
+            data,
+            IndexConfig::new(64).with_segments(8).with_leaf_capacity(cap),
+            2,
+        )
+    }
+
+    #[test]
+    fn exact_matches_brute_force_across_configs() {
+        let idx = build(1200, 24);
+        for qseed in [100u64, 200, 300] {
+            let q = query(qseed, 64);
+            let want = idx.brute_force(&q);
+            for threads in [1usize, 2, 4] {
+                for th in [4usize, 64, usize::MAX] {
+                    for nsb in [1usize, 3, 8] {
+                        let params = SearchParams::new(threads).with_th(th).with_nsb(nsb);
+                        let got = exact_search(&idx, &q, &params);
+                        assert!(
+                            (got.answer.distance - want.distance).abs() < 1e-9,
+                            "qseed={qseed} threads={threads} th={th} nsb={nsb}: \
+                             {} vs {}",
+                            got.answer.distance,
+                            want.distance
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_finds_planted_identical_series() {
+        let idx = build(800, 16);
+        let q = idx.data().series(391).to_vec();
+        let out = exact_search(&idx, &q, &SearchParams::new(2));
+        assert_eq!(out.answer.distance, 0.0);
+        assert_eq!(out.answer.series_id, Some(391));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let idx = build(600, 16);
+        let q = query(9, 64);
+        let out = exact_search(&idx, &q, &SearchParams::new(2).with_th(8));
+        assert!(out.stats.initial_bsf.is_finite());
+        assert!(out.stats.lb_node_computations > 0);
+        assert!(out.stats.pq_count >= 1);
+        assert!(out.stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn subset_runs_compose_to_full_answer() {
+        // Running the engine on complementary batch subsets with a shared
+        // result set must equal the full answer — the core property behind
+        // work-stealing correctness.
+        let idx = build(1500, 16);
+        let q = query(77, 64);
+        let want = idx.brute_force(&q);
+        let kernel = EdKernel::new(&q, idx.config().segments);
+        let params = SearchParams::new(2).with_nsb(6);
+        let bsf = SharedBsf::new(f64::INFINITY, None);
+        let first: Vec<usize> = vec![0, 2, 4];
+        let second: Vec<usize> = vec![1, 3, 5];
+        run_search(
+            &idx,
+            &kernel,
+            &params,
+            &bsf,
+            Some(&first),
+            &StealView::new(),
+            &|_, _| {},
+        );
+        run_search(
+            &idx,
+            &kernel,
+            &params,
+            &bsf,
+            Some(&second),
+            &StealView::new(),
+            &|_, _| {},
+        );
+        assert!((bsf.answer().distance - want.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stolen_batches_completed_by_thief_yield_exact_answer() {
+        // Owner runs with batches 4 and 5 pre-stolen; a "thief" (here the
+        // same index, as in a replication group) completes them.
+        let idx = build(1500, 16);
+        let q = query(5151, 64);
+        let want = idx.brute_force(&q);
+        let kernel = EdKernel::new(&q, idx.config().segments);
+        let params = SearchParams::new(2).with_nsb(6);
+        let approx = idx.approx_search(&q);
+        let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
+        let view = StealView::new();
+        view.init(6);
+        // Pre-mark two batches as stolen before the owner starts.
+        let stolen = view.stolen.get().expect("initialized");
+        stolen[4].store(true, Ordering::Release);
+        stolen[5].store(true, Ordering::Release);
+        run_search(&idx, &kernel, &params, &bsf, None, &view, &|_, _| {});
+        // Thief completes the stolen batches against the shared BSF.
+        run_search(
+            &idx,
+            &kernel,
+            &params,
+            &bsf,
+            Some(&[4, 5]),
+            &StealView::new(),
+            &|_, _| {},
+        );
+        assert!((bsf.answer().distance - want.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_steal_respects_nsend_and_marks_batches() {
+        let view = StealView::new();
+        view.init(8);
+        view.publish_queues(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let s1 = view.try_steal(3);
+        assert_eq!(s1, vec![7, 6, 5], "rightmost batches first");
+        let s2 = view.try_steal(10);
+        assert_eq!(s2, vec![4, 3, 2, 1, 0]);
+        assert!(view.try_steal(1).is_empty(), "everything already stolen");
+    }
+
+    #[test]
+    fn try_steal_skips_claimed_queues() {
+        let view = StealView::new();
+        view.init(4);
+        view.publish_queues(vec![0, 1, 2, 3]);
+        view.pq_cnt.store(3, Ordering::Release); // queues 0..3 claimed
+        assert_eq!(view.try_steal(4), vec![3]);
+    }
+
+    #[test]
+    fn try_steal_outside_processing_phase_returns_nothing() {
+        let view = StealView::new();
+        assert!(view.try_steal(4).is_empty());
+        view.init(4);
+        assert!(view.try_steal(4).is_empty(), "traversal phase");
+        view.publish_queues(vec![0, 1, 2, 3]);
+        view.finish();
+        assert!(view.try_steal(4).is_empty(), "done phase");
+    }
+
+    #[test]
+    fn on_improve_fires_and_is_monotone() {
+        use std::sync::Mutex as StdMutex;
+        let idx = build(900, 16);
+        let q = query(31, 64);
+        let kernel = EdKernel::new(&q, idx.config().segments);
+        let bsf = SharedBsf::new(f64::INFINITY, None);
+        let seen: StdMutex<Vec<f64>> = StdMutex::new(Vec::new());
+        run_search(
+            &idx,
+            &kernel,
+            &SearchParams::new(1),
+            &bsf,
+            None,
+            &StealView::new(),
+            &|d, _| seen.lock().unwrap().push(d),
+        );
+        let seen = seen.into_inner().unwrap();
+        assert!(!seen.is_empty());
+        // single-threaded: improvements strictly decrease
+        for w in seen.windows(2) {
+            assert!(w[1] < w[0]);
+        }
+        assert_eq!(seen.last().copied().unwrap(), bsf.get_sq());
+    }
+}

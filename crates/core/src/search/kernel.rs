@@ -1,0 +1,129 @@
+//! Query kernels: the distance- and lower-bound family a search runs
+//! under.
+//!
+//! The exact-search engine is generic over this trait so that Euclidean
+//! 1-NN/k-NN and the DTW extension (Section 4) share the RS-batch /
+//! priority-queue machinery. A kernel must guarantee the *soundness
+//! chain*:
+//!
+//! `node_lb_sq(word) <= series_lb_sq(sax(S)) <= distance_sq(S)` for every
+//! series `S` summarized by `word` — that chain is exactly what makes
+//! pruning exact.
+
+use crate::sax::{mindist_paa_isax_sq, mindist_paa_sax_sq, IsaxWord};
+
+/// The distance family of a query (see module docs for the contract).
+pub trait QueryKernel: Sync {
+    /// Lower bound (squared) from the query to any series in `word`'s
+    /// region.
+    fn node_lb_sq(&self, word: &IsaxWord) -> f64;
+
+    /// Lower bound (squared) from the query to a series with
+    /// full-cardinality SAX word `sax`.
+    fn series_lb_sq(&self, sax: &[u8]) -> f64;
+
+    /// Real (squared) distance to `candidate`, early-abandoning past
+    /// `threshold_sq` (return `None` when the candidate cannot win).
+    fn distance_sq(&self, candidate: &[f32], threshold_sq: f64) -> Option<f64>;
+}
+
+/// The Euclidean-distance kernel (the paper's primary setting).
+pub struct EdKernel<'q> {
+    query: &'q [f32],
+    qpaa: Vec<f64>,
+    series_len: usize,
+}
+
+impl<'q> EdKernel<'q> {
+    /// Builds the kernel for `query` under `segments` iSAX segments.
+    pub fn new(query: &'q [f32], segments: usize) -> Self {
+        let qpaa = crate::paa::paa(query, segments);
+        EdKernel {
+            query,
+            qpaa,
+            series_len: query.len(),
+        }
+    }
+
+    /// The query's PAA (used by the approximate search).
+    pub fn qpaa(&self) -> &[f64] {
+        &self.qpaa
+    }
+
+    /// The raw query.
+    pub fn query(&self) -> &[f32] {
+        self.query
+    }
+}
+
+impl QueryKernel for EdKernel<'_> {
+    #[inline]
+    fn node_lb_sq(&self, word: &IsaxWord) -> f64 {
+        mindist_paa_isax_sq(&self.qpaa, word, self.series_len)
+    }
+
+    #[inline]
+    fn series_lb_sq(&self, sax: &[u8]) -> f64 {
+        mindist_paa_sax_sq(&self.qpaa, sax, self.series_len)
+    }
+
+    #[inline]
+    fn distance_sq(&self, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
+        crate::distance::euclidean_sq_early_abandon(self.query, candidate, threshold_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sax::sax_word_into;
+    use crate::series::znormalize;
+
+    fn pseudo_series(seed: u64, len: usize) -> Vec<f32> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut out = Vec::with_capacity(len);
+        let mut acc = 0.0f32;
+        for _ in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+            out.push(acc);
+        }
+        znormalize(&mut out);
+        out
+    }
+
+    #[test]
+    fn ed_kernel_soundness_chain() {
+        let len = 96;
+        let segs = 8;
+        let q = pseudo_series(11, len);
+        let kernel = EdKernel::new(&q, segs);
+        for seed in 0..10u64 {
+            let s = pseudo_series(seed + 500, len);
+            let spaa = crate::paa::paa(&s, segs);
+            let mut sax = vec![0u8; segs];
+            sax_word_into(&spaa, &mut sax);
+            let real = kernel
+                .distance_sq(&s, f64::INFINITY)
+                .expect("no threshold");
+            let series_lb = kernel.series_lb_sq(&sax);
+            assert!(series_lb <= real + 1e-6);
+            for bits in 1..=8u8 {
+                let word = IsaxWord::from_sax(&sax, bits);
+                let node_lb = kernel.node_lb_sq(&word);
+                assert!(node_lb <= series_lb + 1e-9, "bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn ed_kernel_early_abandons() {
+        let q = pseudo_series(1, 64);
+        let far: Vec<f32> = q.iter().map(|v| v + 100.0).collect();
+        let kernel = EdKernel::new(&q, 8);
+        assert!(kernel.distance_sq(&far, 1.0).is_none());
+        assert_eq!(kernel.distance_sq(&q, 1.0), Some(0.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounded leaf priority queues (Section 3.2.1, "Size of Priority
+//! Queues").
+//!
+//! During the tree-traversal phase every RS-batch owns one *active*
+//! priority queue; when its size reaches the threshold `TH` the queue is
+//! sealed and a fresh one is started. This (i) keeps queue sizes — and
+//! hence processing-phase work items — roughly equal, which is what makes
+//! thread-level load balancing work, and (ii) guarantees a queue never
+//! mixes leaves of different RS-batches, which is what makes *queue-level
+//! stealing by batch id* possible.
+
+use crate::tree::Leaf;
+use std::collections::BinaryHeap;
+
+/// A leaf candidate ordered by its lower-bound distance (min first).
+#[derive(Debug)]
+pub struct LeafCandidate<'a> {
+    /// Squared `mindist` of the leaf's region to the query.
+    pub lb_sq: f64,
+    /// The leaf (borrowed from the index; never moved between nodes).
+    pub leaf: &'a Leaf,
+}
+
+impl PartialEq for LeafCandidate<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.lb_sq == other.lb_sq
+    }
+}
+impl Eq for LeafCandidate<'_> {}
+impl PartialOrd for LeafCandidate<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LeafCandidate<'_> {
+    /// Inverted so that `BinaryHeap` (a max-heap) pops the **smallest**
+    /// lower bound first.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.lb_sq.total_cmp(&self.lb_sq)
+    }
+}
+
+/// A min-priority queue of leaf candidates.
+#[derive(Debug, Default)]
+pub struct LeafPq<'a> {
+    heap: BinaryHeap<LeafCandidate<'a>>,
+}
+
+impl<'a> LeafPq<'a> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        LeafPq {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Inserts a candidate.
+    #[inline]
+    pub fn push(&mut self, lb_sq: f64, leaf: &'a Leaf) {
+        self.heap.push(LeafCandidate { lb_sq, leaf });
+    }
+
+    /// Removes and returns the smallest-lower-bound candidate.
+    #[inline]
+    pub fn pop(&mut self) -> Option<LeafCandidate<'a>> {
+        self.heap.pop()
+    }
+
+    /// The smallest lower bound currently queued.
+    #[inline]
+    pub fn min_lb_sq(&self) -> Option<f64> {
+        self.heap.peek().map(|c| c.lb_sq)
+    }
+
+    /// Number of queued candidates.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// The per-RS-batch set of bounded queues: one active queue, sealed when
+/// it reaches `th`.
+#[derive(Debug)]
+pub struct BoundedPqSet<'a> {
+    th: usize,
+    active: LeafPq<'a>,
+    sealed: Vec<LeafPq<'a>>,
+}
+
+impl<'a> BoundedPqSet<'a> {
+    /// A new set with threshold `th` (`usize::MAX` = unbounded, one queue).
+    pub fn new(th: usize) -> Self {
+        assert!(th > 0, "threshold must be positive");
+        BoundedPqSet {
+            th,
+            active: LeafPq::new(),
+            sealed: Vec::new(),
+        }
+    }
+
+    /// Pushes a leaf; seals the active queue when it reaches the
+    /// threshold ("the thread gives up this priority queue and initiates
+    /// a new one").
+    pub fn push(&mut self, lb_sq: f64, leaf: &'a Leaf) {
+        self.active.push(lb_sq, leaf);
+        if self.active.len() >= self.th {
+            let full = std::mem::take(&mut self.active);
+            self.sealed.push(full);
+        }
+    }
+
+    /// Total candidates across all queues.
+    pub fn total_len(&self) -> usize {
+        self.active.len() + self.sealed.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Consumes the set, yielding every non-empty queue.
+    pub fn into_queues(mut self) -> Vec<LeafPq<'a>> {
+        if !self.active.is_empty() {
+            self.sealed.push(self.active);
+        }
+        self.sealed.retain(|q| !q.is_empty());
+        self.sealed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sax::IsaxWord;
+
+    fn leaf() -> Leaf {
+        Leaf {
+            word: IsaxWord {
+                symbols: vec![0; 4],
+                card_bits: vec![1; 4],
+            },
+            ids: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn pq_pops_in_ascending_lb_order() {
+        let l = leaf();
+        let mut pq = LeafPq::new();
+        for lb in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            pq.push(lb, &l);
+        }
+        let mut got = Vec::new();
+        while let Some(c) = pq.pop() {
+            got.push(c.lb_sq);
+        }
+        assert_eq!(got, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn min_lb_tracks_peek() {
+        let l = leaf();
+        let mut pq = LeafPq::new();
+        assert_eq!(pq.min_lb_sq(), None);
+        pq.push(4.0, &l);
+        pq.push(2.0, &l);
+        assert_eq!(pq.min_lb_sq(), Some(2.0));
+    }
+
+    #[test]
+    fn bounded_set_seals_at_threshold() {
+        let l = leaf();
+        let mut set = BoundedPqSet::new(3);
+        for i in 0..8 {
+            set.push(i as f64, &l);
+        }
+        assert_eq!(set.total_len(), 8);
+        let queues = set.into_queues();
+        // 8 pushes with TH=3: two sealed queues of 3 and one active of 2.
+        assert_eq!(queues.len(), 3);
+        let mut sizes: Vec<usize> = queues.iter().map(|q| q.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn unbounded_set_keeps_one_queue() {
+        let l = leaf();
+        let mut set = BoundedPqSet::new(usize::MAX);
+        for i in 0..100 {
+            set.push(i as f64, &l);
+        }
+        let queues = set.into_queues();
+        assert_eq!(queues.len(), 1);
+        assert_eq!(queues[0].len(), 100);
+    }
+
+    #[test]
+    fn empty_set_yields_no_queues() {
+        let set = BoundedPqSet::new(4);
+        assert!(set.into_queues().is_empty());
+    }
+}

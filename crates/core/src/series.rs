@@ -1,0 +1,204 @@
+//! Data-series containers.
+//!
+//! A *data series* is a fixed-length sequence of `f32` points (Section 2 of
+//! the paper). Collections are stored flat and row-major in a
+//! [`DatasetBuffer`], which is cheaply cloneable (`Arc`-backed) so that a
+//! single in-memory copy can be shared by the index tree, the search
+//! workers, and (in the simulated cluster) every node of a replication
+//! group.
+
+use std::sync::Arc;
+
+/// An immutable, shareable collection of equal-length data series.
+///
+/// The raw values are stored contiguously: series `i` occupies
+/// `data[i * series_len .. (i + 1) * series_len]`. Storing the collection
+/// flat keeps index leaves as plain `u32` id lists — the work-stealing
+/// protocol never ships raw values, only ids and tree coordinates.
+#[derive(Clone)]
+pub struct DatasetBuffer {
+    data: Arc<[f32]>,
+    series_len: usize,
+}
+
+impl DatasetBuffer {
+    /// Wraps a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `series_len == 0` or `data.len()` is not a multiple of
+    /// `series_len`.
+    pub fn new(data: Arc<[f32]>, series_len: usize) -> Self {
+        assert!(series_len > 0, "series length must be positive");
+        assert_eq!(
+            data.len() % series_len,
+            0,
+            "buffer length {} is not a multiple of series length {}",
+            data.len(),
+            series_len
+        );
+        Self { data, series_len }
+    }
+
+    /// Builds a buffer from a vector of values.
+    pub fn from_vec(data: Vec<f32>, series_len: usize) -> Self {
+        Self::new(data.into(), series_len)
+    }
+
+    /// Builds a buffer by concatenating individual series.
+    ///
+    /// # Panics
+    /// Panics if the series do not all share the same length.
+    pub fn from_series<S: AsRef<[f32]>>(series: &[S]) -> Self {
+        assert!(!series.is_empty(), "cannot build an empty dataset");
+        let len = series[0].as_ref().len();
+        let mut data = Vec::with_capacity(series.len() * len);
+        for s in series {
+            assert_eq!(s.as_ref().len(), len, "all series must share a length");
+            data.extend_from_slice(s.as_ref());
+        }
+        Self::from_vec(data, len)
+    }
+
+    /// Number of series in the collection.
+    #[inline]
+    pub fn num_series(&self) -> usize {
+        self.data.len() / self.series_len
+    }
+
+    /// Length (dimensionality) of each series.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Returns series `id` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `id >= self.num_series()`.
+    #[inline]
+    pub fn series(&self, id: usize) -> &[f32] {
+        let start = id * self.series_len;
+        &self.data[start..start + self.series_len]
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Total size of the raw values in bytes (used by the index-size
+    /// experiment, Figure 14).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Builds a new buffer containing only the series whose ids are listed,
+    /// in order. Used by the partitioning schemes to materialize per-node
+    /// chunks.
+    pub fn gather(&self, ids: &[u32]) -> DatasetBuffer {
+        let mut data = Vec::with_capacity(ids.len() * self.series_len);
+        for &id in ids {
+            data.extend_from_slice(self.series(id as usize));
+        }
+        DatasetBuffer::from_vec(data, self.series_len)
+    }
+}
+
+impl std::fmt::Debug for DatasetBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetBuffer")
+            .field("num_series", &self.num_series())
+            .field("series_len", &self.series_len)
+            .finish()
+    }
+}
+
+/// Z-normalizes a series in place: zero mean, unit standard deviation.
+///
+/// Constant series (standard deviation below `1e-12`) are mapped to all
+/// zeros, matching the convention of the UCR suite and the MESSI code base.
+pub fn znormalize(series: &mut [f32]) {
+    let n = series.len() as f64;
+    if series.is_empty() {
+        return;
+    }
+    let mean = series.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = series
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        series.iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        series
+            .iter_mut()
+            .for_each(|v| *v = ((*v as f64 - mean) / std) as f32);
+    }
+}
+
+/// Returns a z-normalized copy of `series`.
+pub fn znormalized(series: &[f32]) -> Vec<f32> {
+    let mut out = series.to_vec();
+    znormalize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_roundtrip() {
+        let buf = DatasetBuffer::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(buf.num_series(), 2);
+        assert_eq!(buf.series_len(), 3);
+        assert_eq!(buf.series(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(buf.series(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(buf.size_bytes(), 24);
+    }
+
+    #[test]
+    fn from_series_concatenates() {
+        let buf = DatasetBuffer::from_series(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(buf.num_series(), 2);
+        assert_eq!(buf.raw(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_buffer() {
+        DatasetBuffer::from_vec(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let buf = DatasetBuffer::from_vec((0..8).map(|v| v as f32).collect(), 2);
+        let sub = buf.gather(&[3, 0]);
+        assert_eq!(sub.series(0), &[6.0, 7.0]);
+        assert_eq!(sub.series(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn znormalize_zero_mean_unit_std() {
+        let mut s: Vec<f32> = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        znormalize(&mut s);
+        let mean: f32 = s.iter().sum::<f32>() / s.len() as f32;
+        let var: f32 = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / s.len() as f32;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn znormalize_constant_series() {
+        let mut s = vec![3.5f32; 16];
+        znormalize(&mut s);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,393 @@
+//! The iSAX index tree (index-construction phase 2).
+//!
+//! Each summarization buffer becomes one **root subtree** (Figure 1d).
+//! Inner nodes split by refining one segment's cardinality by one bit; the
+//! two children cover the two halves of the parent's region. Leaves hold
+//! series ids only — the raw values stay in the shared [`DatasetBuffer`]
+//! and the per-series SAX words in [`Summaries`], which is what lets the
+//! work-stealing protocol hand work across nodes without moving data.
+//!
+//! Construction is deterministic (split choices depend only on the data),
+//! so nodes of a replication group build bit-identical trees from their
+//! shared chunk.
+
+use crate::buffers::{SummarizationBuffer, SummarizationBuffers, Summaries};
+use crate::sax::{IsaxWord, MAX_CARD_BITS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A leaf node: the series ids whose summaries fall in `word`'s region.
+#[derive(Debug)]
+pub struct Leaf {
+    /// The iSAX region this leaf covers.
+    pub word: IsaxWord,
+    /// Ids of the series stored here, in dataset order.
+    pub ids: Vec<u32>,
+}
+
+/// A tree node.
+#[derive(Debug)]
+pub enum Node {
+    /// Inner node refined on `split_seg`; `children[b]` covers the half
+    /// whose next bit on that segment is `b`.
+    Inner {
+        /// Region covered by this node.
+        word: IsaxWord,
+        /// Segment whose cardinality the split refined.
+        split_seg: usize,
+        /// The two half-region children.
+        children: [Box<Node>; 2],
+    },
+    /// Leaf node.
+    Leaf(Leaf),
+}
+
+impl Node {
+    /// The iSAX region of this node.
+    pub fn word(&self) -> &IsaxWord {
+        match self {
+            Node::Inner { word, .. } => word,
+            Node::Leaf(l) => &l.word,
+        }
+    }
+
+    /// Number of leaves below (and including) this node.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Node::Inner { children, .. } => {
+                children[0].leaf_count() + children[1].leaf_count()
+            }
+            Node::Leaf(_) => 1,
+        }
+    }
+
+    /// Number of series stored below this node.
+    pub fn series_count(&self) -> usize {
+        match self {
+            Node::Inner { children, .. } => {
+                children[0].series_count() + children[1].series_count()
+            }
+            Node::Leaf(l) => l.ids.len(),
+        }
+    }
+
+    /// Maximum depth below this node (a lone leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Inner { children, .. } => 1 + children[0].depth().max(children[1].depth()),
+            Node::Leaf(_) => 1,
+        }
+    }
+
+    /// Approximate heap size of the subtree in bytes (ids + words + nodes);
+    /// feeds the index-size experiment (Figure 14).
+    pub fn size_bytes(&self) -> usize {
+        let word_bytes = |w: &IsaxWord| w.symbols.len() * 2;
+        match self {
+            Node::Inner { word, children, .. } => {
+                std::mem::size_of::<Node>()
+                    + word_bytes(word)
+                    + children[0].size_bytes()
+                    + children[1].size_bytes()
+            }
+            Node::Leaf(l) => {
+                std::mem::size_of::<Node>() + word_bytes(&l.word) + l.ids.len() * 4
+            }
+        }
+    }
+
+    /// Calls `f` on every leaf below this node, in left-to-right order.
+    pub fn for_each_leaf<'a>(&'a self, f: &mut impl FnMut(&'a Leaf)) {
+        match self {
+            Node::Inner { children, .. } => {
+                children[0].for_each_leaf(f);
+                children[1].for_each_leaf(f);
+            }
+            Node::Leaf(l) => f(l),
+        }
+    }
+}
+
+/// One root subtree: the tree grown from a single summarization buffer.
+#[derive(Debug)]
+pub struct RootSubtree {
+    /// Root-word key of the originating buffer.
+    pub key: u64,
+    /// The subtree.
+    pub node: Node,
+    /// Number of series in the subtree.
+    pub size: usize,
+}
+
+/// Picks the segment to split: the lowest-cardinality segment whose
+/// refinement actually separates the ids; among equal cardinalities the
+/// most balanced split wins. Returns `None` when no segment can separate
+/// (all remaining summaries identical, or all segments saturated).
+fn choose_split(word: &IsaxWord, ids: &[u32], summaries: &Summaries) -> Option<usize> {
+    let segs = word.segments();
+    let min_bits = (0..segs)
+        .filter(|&s| word.card_bits[s] < MAX_CARD_BITS)
+        .map(|s| word.card_bits[s])
+        .min()?;
+    let mut best: Option<(usize, usize)> = None; // (imbalance, seg)
+    for seg in 0..segs {
+        if word.card_bits[seg] != min_bits {
+            continue;
+        }
+        let shift = MAX_CARD_BITS - word.card_bits[seg] - 1;
+        let ones = ids
+            .iter()
+            .filter(|&&id| (summaries.sax(id)[seg] >> shift) & 1 == 1)
+            .count();
+        if ones == 0 || ones == ids.len() {
+            continue; // does not separate
+        }
+        let imbalance = ids.len().abs_diff(2 * ones);
+        if best.map_or(true, |(bi, _)| imbalance < bi) {
+            best = Some((imbalance, seg));
+        }
+    }
+    match best {
+        Some((_, seg)) => Some(seg),
+        None => {
+            // No minimum-cardinality segment separates: fall back to any
+            // refinable segment that does.
+            for seg in 0..segs {
+                if word.card_bits[seg] >= MAX_CARD_BITS {
+                    continue;
+                }
+                let shift = MAX_CARD_BITS - word.card_bits[seg] - 1;
+                let ones = ids
+                    .iter()
+                    .filter(|&&id| (summaries.sax(id)[seg] >> shift) & 1 == 1)
+                    .count();
+                if ones > 0 && ones < ids.len() {
+                    return Some(seg);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Recursively builds a node for `word` covering `ids`.
+fn build_node(
+    word: IsaxWord,
+    ids: Vec<u32>,
+    summaries: &Summaries,
+    leaf_capacity: usize,
+) -> Node {
+    if ids.len() <= leaf_capacity {
+        return Node::Leaf(Leaf { word, ids });
+    }
+    let Some(seg) = choose_split(&word, &ids, summaries) else {
+        // Identical summaries beyond capacity: keep an oversized leaf.
+        return Node::Leaf(Leaf { word, ids });
+    };
+    let shift = MAX_CARD_BITS - word.card_bits[seg] - 1;
+    let (mut zeros, mut ones) = (Vec::new(), Vec::new());
+    for id in ids {
+        if (summaries.sax(id)[seg] >> shift) & 1 == 1 {
+            ones.push(id);
+        } else {
+            zeros.push(id);
+        }
+    }
+    let child0 = build_node(word.refine(seg, 0), zeros, summaries, leaf_capacity);
+    let child1 = build_node(word.refine(seg, 1), ones, summaries, leaf_capacity);
+    Node::Inner {
+        word,
+        split_seg: seg,
+        children: [Box::new(child0), Box::new(child1)],
+    }
+}
+
+/// Builds the root subtree of one summarization buffer.
+pub fn build_root_subtree(
+    buffer: &SummarizationBuffer,
+    summaries: &Summaries,
+    leaf_capacity: usize,
+) -> RootSubtree {
+    let segs = summaries.segments();
+    let mut symbols = vec![0u8; segs];
+    for (i, sym) in symbols.iter_mut().enumerate() {
+        *sym = ((buffer.key >> (segs - 1 - i)) & 1) as u8;
+    }
+    let word = IsaxWord {
+        symbols,
+        card_bits: vec![1; segs],
+    };
+    let node = build_node(word, buffer.ids.clone(), summaries, leaf_capacity);
+    RootSubtree {
+        key: buffer.key,
+        node,
+        size: buffer.ids.len(),
+    }
+}
+
+/// Builds all root subtrees in parallel: `n_threads` workers claim buffers
+/// with `Fetch&Add` and grow them independently (the embarrassingly
+/// parallel phase the paper inherits from MESSI). Output order matches
+/// buffer order (ascending key), independent of thread interleaving.
+pub fn build_forest(
+    buffers: &SummarizationBuffers,
+    summaries: &Summaries,
+    leaf_capacity: usize,
+    n_threads: usize,
+) -> Vec<RootSubtree> {
+    let nb = buffers.len();
+    let mut slots: Vec<Option<RootSubtree>> = Vec::with_capacity(nb);
+    slots.resize_with(nb, || None);
+    let next = AtomicUsize::new(0);
+    let n_threads = n_threads.max(1).min(nb.max(1));
+    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            let next = &next;
+            let slots_ptr = &slots_ptr;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= nb {
+                    break;
+                }
+                let st = build_root_subtree(&buffers.buffers[i], summaries, leaf_capacity);
+                // SAFETY: each index is claimed by exactly one thread.
+                unsafe {
+                    *slots_ptr.0.add(i) = Some(st);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every buffer index was claimed"))
+        .collect()
+}
+
+struct SlotsPtr(*mut Option<RootSubtree>);
+unsafe impl Send for SlotsPtr {}
+unsafe impl Sync for SlotsPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffers::{SummarizationBuffers, Summaries};
+    use crate::series::DatasetBuffer;
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn forest_for(n: usize, cap: usize) -> (Vec<RootSubtree>, Summaries) {
+        let data = walk_dataset(n, 64, 1234);
+        let summaries = Summaries::compute(&data, 8, 2);
+        let buffers = SummarizationBuffers::build(&summaries);
+        let forest = build_forest(&buffers, &summaries, cap, 3);
+        (forest, summaries)
+    }
+
+    #[test]
+    fn forest_stores_every_series_once() {
+        let (forest, _) = forest_for(800, 16);
+        let total: usize = forest.iter().map(|t| t.node.series_count()).sum();
+        assert_eq!(total, 800);
+        let mut seen = vec![false; 800];
+        for t in &forest {
+            t.node.for_each_leaf(&mut |leaf| {
+                for &id in &leaf.ids {
+                    assert!(!seen[id as usize]);
+                    seen[id as usize] = true;
+                }
+            });
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn leaves_respect_capacity_or_are_unsplittable() {
+        let (forest, summaries) = forest_for(1000, 8);
+        for t in &forest {
+            t.node.for_each_leaf(&mut |leaf| {
+                if leaf.ids.len() > 8 {
+                    // Oversized leaves are only allowed when summaries are
+                    // identical on all refinable bits.
+                    let first = summaries.sax(leaf.ids[0]).to_vec();
+                    for &id in &leaf.ids {
+                        assert_eq!(summaries.sax(id), &first[..]);
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn leaf_words_contain_their_series() {
+        let (forest, summaries) = forest_for(600, 12);
+        for t in &forest {
+            t.node.for_each_leaf(&mut |leaf| {
+                for &id in &leaf.ids {
+                    assert!(
+                        leaf.word.contains(summaries.sax(id)),
+                        "leaf word must cover every stored series"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn children_partition_parent_region() {
+        fn check(node: &Node) {
+            if let Node::Inner {
+                word,
+                split_seg,
+                children,
+            } = node
+            {
+                for (b, child) in children.iter().enumerate() {
+                    let cw = child.word();
+                    assert_eq!(cw.card_bits[*split_seg], word.card_bits[*split_seg] + 1);
+                    assert_eq!(cw.symbols[*split_seg] & 1, b as u8);
+                    check(child);
+                }
+            }
+        }
+        let (forest, _) = forest_for(700, 10);
+        for t in &forest {
+            check(&t.node);
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        let data = walk_dataset(500, 64, 77);
+        let summaries = Summaries::compute(&data, 8, 2);
+        let buffers = SummarizationBuffers::build(&summaries);
+        let f1 = build_forest(&buffers, &summaries, 10, 1);
+        let f4 = build_forest(&buffers, &summaries, 10, 4);
+        assert_eq!(f1.len(), f4.len());
+        for (a, b) in f1.iter().zip(&f4) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.size, b.size);
+            let mut la = Vec::new();
+            let mut lb = Vec::new();
+            a.node.for_each_leaf(&mut |l| la.push(l.ids.clone()));
+            b.node.for_each_leaf(&mut |l| lb.push(l.ids.clone()));
+            assert_eq!(la, lb);
+        }
+    }
+}

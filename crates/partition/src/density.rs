@@ -1,0 +1,245 @@
+//! DENSITY-AWARE data partitioning (Section 3.4.1, Figures 8–9).
+//!
+//! A good partitioning should *not* put all series similar to some future
+//! query on one node — that node would do all the low-pruning work while
+//! the rest sit idle. DENSITY-AWARE therefore spreads similar series
+//! across chunks:
+//!
+//! 1. compute iSAX summaries and fill summarization buffers;
+//! 2. order buffers by **Gray code**, so adjacent buffers hold similar
+//!    series;
+//! 3. split the series of the λ largest buffers round-robin across all
+//!    chunks (dense regions must not land on one node);
+//! 4. assign the remaining buffers round-robin, in Gray order;
+//! 5. while the result is imbalanced, split the largest buffer of the
+//!    largest chunk.
+
+use crate::gray::gray_rank;
+use crate::scheme::Partition;
+use odyssey_core::buffers::{SummarizationBuffers, Summaries};
+use odyssey_core::series::DatasetBuffer;
+
+/// DENSITY-AWARE parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityAwareConfig {
+    /// Number of iSAX segments used for the summarization buffers.
+    pub segments: usize,
+    /// λ: how many of the largest buffers are split eagerly (the paper
+    /// uses 400 and reports stable behaviour from hundreds to thousands).
+    pub lambda: usize,
+    /// Stop rebalancing once `(max - min) / mean` drops below this.
+    pub balance_tolerance: f64,
+    /// Threads for the summarization pass.
+    pub n_threads: usize,
+}
+
+impl Default for DensityAwareConfig {
+    fn default() -> Self {
+        DensityAwareConfig {
+            segments: 16,
+            lambda: 400,
+            balance_tolerance: 0.05,
+            n_threads: 4,
+        }
+    }
+}
+
+/// Internal: a buffer still assigned as a unit to chunk `chunk`.
+struct WholeBuffer {
+    chunk: usize,
+    ids: Vec<u32>,
+}
+
+/// Runs DENSITY-AWARE, splitting `data` into `n_chunks` chunks.
+pub fn density_aware(
+    data: &DatasetBuffer,
+    n_chunks: usize,
+    cfg: &DensityAwareConfig,
+) -> Partition {
+    assert!(n_chunks >= 1);
+    if n_chunks == 1 {
+        return Partition {
+            chunks: vec![(0..data.num_series() as u32).collect()],
+        };
+    }
+    let segments = cfg.segments.min(data.series_len());
+    // Steps 1–2: summaries -> buffers -> Gray ordering.
+    let summaries = Summaries::compute(data, segments, cfg.n_threads);
+    let mut buffers = SummarizationBuffers::build(&summaries).buffers;
+    buffers.sort_by_key(|b| gray_rank(b.key));
+
+    // Step 3: split the λ largest buffers round-robin.
+    let mut order_by_size: Vec<usize> = (0..buffers.len()).collect();
+    order_by_size.sort_by(|&a, &b| {
+        buffers[b]
+            .ids
+            .len()
+            .cmp(&buffers[a].ids.len())
+            .then(a.cmp(&b))
+    });
+    let split_eagerly: std::collections::HashSet<usize> =
+        order_by_size.iter().copied().take(cfg.lambda).collect();
+
+    let mut chunks: Vec<Vec<u32>> = vec![Vec::new(); n_chunks];
+    let mut whole: Vec<WholeBuffer> = Vec::new();
+    let mut rr = 0usize;
+    for (bi, buf) in buffers.iter().enumerate() {
+        if split_eagerly.contains(&bi) {
+            for &id in &buf.ids {
+                chunks[rr % n_chunks].push(id);
+                rr += 1;
+            }
+        } else {
+            // Step 4: whole buffers round-robin in Gray order, onto the
+            // currently smallest chunk among the round-robin targets.
+            whole.push(WholeBuffer {
+                chunk: usize::MAX, // assigned below
+                ids: buf.ids.clone(),
+            });
+        }
+    }
+    // Assign whole buffers in Gray order, round-robin.
+    for (i, wb) in whole.iter_mut().enumerate() {
+        let c = i % n_chunks;
+        wb.chunk = c;
+        chunks[c].extend_from_slice(&wb.ids);
+    }
+
+    // Step 6: rebalance — split the largest whole buffer of the largest
+    // chunk until balanced (or nothing left to split).
+    let mut p = Partition { chunks };
+    let mut guard = 0;
+    while p.imbalance() > cfg.balance_tolerance && guard < buffers.len() + 8 {
+        guard += 1;
+        let largest_chunk = (0..n_chunks)
+            .max_by_key(|&c| p.chunks[c].len())
+            .expect("n_chunks >= 1");
+        // Find the largest not-yet-split whole buffer on that chunk.
+        let Some(wi) = whole
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.chunk == largest_chunk && !w.ids.is_empty())
+            .max_by_key(|(_, w)| w.ids.len())
+            .map(|(i, _)| i)
+        else {
+            break; // nothing splittable on the biggest chunk
+        };
+        let wb = &mut whole[wi];
+        // Remove its ids from the chunk...
+        let members: std::collections::HashSet<u32> = wb.ids.iter().copied().collect();
+        p.chunks[largest_chunk].retain(|id| !members.contains(id));
+        // ...and redistribute them round-robin, smallest chunks first.
+        let mut targets: Vec<usize> = (0..n_chunks).collect();
+        targets.sort_by_key(|&c| p.chunks[c].len());
+        for (i, &id) in wb.ids.iter().enumerate() {
+            p.chunks[targets[i % n_chunks]].push(id);
+        }
+        wb.ids.clear();
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::validate_partition;
+    use odyssey_core::series::znormalize;
+
+    /// A clustered dataset: `n_clusters` dense groups of near-identical
+    /// series — the density skew DENSITY-AWARE exists to handle.
+    fn clustered_dataset(n: usize, len: usize, n_clusters: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut rand = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 2000) as f32 / 1000.0 - 1.0
+        };
+        // Cluster centroids: distinct random walks.
+        let centroids: Vec<Vec<f32>> = (0..n_clusters)
+            .map(|_| {
+                let mut acc = 0.0;
+                (0..len)
+                    .map(|_| {
+                        acc += rand();
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut data = Vec::with_capacity(n * len);
+        for i in 0..n {
+            let c = &centroids[i % n_clusters];
+            let mut s: Vec<f32> = c.iter().map(|&v| v + 0.01 * rand()).collect();
+            znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn cfg() -> DensityAwareConfig {
+        DensityAwareConfig {
+            segments: 8,
+            lambda: 4,
+            balance_tolerance: 0.05,
+            n_threads: 2,
+        }
+    }
+
+    #[test]
+    fn density_aware_is_a_valid_partition() {
+        let data = clustered_dataset(600, 64, 5, 11);
+        for k in [2usize, 3, 4, 8] {
+            let p = density_aware(&data, k, &cfg());
+            assert_eq!(p.num_chunks(), k);
+            validate_partition(&p, 600).expect("valid partition");
+        }
+    }
+
+    #[test]
+    fn density_aware_balances_sizes() {
+        let data = clustered_dataset(800, 64, 3, 23);
+        let p = density_aware(&data, 4, &cfg());
+        assert!(
+            p.imbalance() < 0.25,
+            "imbalance {} too high: {:?}",
+            p.imbalance(),
+            p.chunks.iter().map(|c| c.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn density_aware_spreads_dense_clusters() {
+        // Every chunk should receive members of every dense cluster
+        // (series i belongs to cluster i % n_clusters).
+        let n_clusters = 4;
+        let data = clustered_dataset(400, 64, n_clusters, 37);
+        let p = density_aware(&data, 4, &cfg());
+        for (c, chunk) in p.chunks.iter().enumerate() {
+            let mut present = vec![false; n_clusters];
+            for &id in chunk {
+                present[id as usize % n_clusters] = true;
+            }
+            assert!(
+                present.iter().all(|&b| b),
+                "chunk {c} misses some cluster: {present:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_chunk_is_identity() {
+        let data = clustered_dataset(100, 32, 2, 5);
+        let p = density_aware(&data, 1, &cfg());
+        assert_eq!(p.chunks[0].len(), 100);
+        validate_partition(&p, 100).expect("valid");
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = clustered_dataset(300, 64, 3, 77);
+        let p1 = density_aware(&data, 4, &cfg());
+        let p2 = density_aware(&data, 4, &cfg());
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Binary-reflected Gray code (Section 3.4.1, Figure 8).
+//!
+//! DENSITY-AWARE orders the iSAX summarization buffers by the Gray-code
+//! *rank* of their root word: neighbors in this order differ in exactly
+//! one bit, i.e. they contain *similar* series, so assigning consecutive
+//! buffers to different nodes (round-robin) spreads similar series across
+//! the system.
+
+/// Converts a binary value to its Gray code.
+#[inline]
+pub fn to_gray(v: u64) -> u64 {
+    v ^ (v >> 1)
+}
+
+/// Converts a Gray code back to its binary value.
+#[inline]
+pub fn from_gray(g: u64) -> u64 {
+    let mut v = g;
+    let mut shift = 1u32;
+    while shift < 64 {
+        v ^= v >> shift;
+        shift <<= 1;
+    }
+    v
+}
+
+/// The position of binary value `v` in the Gray-code sequence, i.e. the
+/// rank at which `to_gray(rank) == v`. Sorting root-word keys by this
+/// rank yields the Gray ordering of Figure 8b.
+#[inline]
+pub fn gray_rank(v: u64) -> u64 {
+    from_gray(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for v in 0..4096u64 {
+            assert_eq!(from_gray(to_gray(v)), v);
+        }
+        for v in [u64::MAX, u64::MAX / 3, 1u64 << 63] {
+            assert_eq!(from_gray(to_gray(v)), v);
+        }
+    }
+
+    #[test]
+    fn consecutive_codes_differ_in_one_bit() {
+        for v in 0..4096u64 {
+            let diff = to_gray(v) ^ to_gray(v + 1);
+            assert_eq!(diff.count_ones(), 1, "v={v}");
+        }
+    }
+
+    #[test]
+    fn gray_sequence_is_a_permutation() {
+        let n = 1u64 << 10;
+        let mut seen = vec![false; n as usize];
+        for r in 0..n {
+            let g = to_gray(r);
+            assert!(g < n);
+            assert!(!seen[g as usize]);
+            seen[g as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn figure8_three_bit_ordering() {
+        // Figure 8b: 000, 001, 011, 010, 110, 111, 101, 100.
+        let order: Vec<u64> = (0..8).map(to_gray).collect();
+        assert_eq!(order, vec![0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100]);
+        // Sorting those keys by rank recovers the sequence.
+        let mut keys = order.clone();
+        keys.sort_by_key(|&k| gray_rank(k));
+        assert_eq!(keys, order);
+    }
+}

@@ -1,0 +1,22 @@
+//! # odyssey-partition
+//!
+//! Data-partitioning schemes (Section 3.4 of the Odyssey paper): how the
+//! coordinator splits the raw collection into per-node chunks before the
+//! nodes build their local indexes.
+//!
+//! * [`scheme::equally_split`] — contiguous equal chunks (EQUALLY-SPLIT).
+//! * [`scheme::random_shuffle`] — random rearrangement before splitting
+//!   (the paper's optional "RS" preprocessing).
+//! * [`density::density_aware`] — the DENSITY-AWARE strategy
+//!   (Section 3.4.1): order the iSAX summarization buffers by
+//!   [`gray`] code so similar buffers are adjacent, split the λ largest
+//!   buffers first, round-robin the rest, and rebalance — spreading
+//!   *similar* series across all nodes so no single node ends up with all
+//!   the low-pruning work for any query.
+
+pub mod density;
+pub mod gray;
+pub mod scheme;
+
+pub use density::{density_aware, DensityAwareConfig};
+pub use scheme::{equally_split, random_shuffle, validate_partition, Partition, PartitioningScheme};

@@ -1,0 +1,206 @@
+//! Basic partitioning schemes and the partition container.
+
+use odyssey_core::series::DatasetBuffer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A partition of a collection into chunks: `chunks[c]` lists the series
+/// ids (into the original collection) assigned to chunk `c`.
+///
+/// In the Odyssey topology one chunk is stored by one *replication
+/// group*; with `k` groups the dataset splits into `k` mutually disjoint
+/// chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Per-chunk series ids.
+    pub chunks: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total series across chunks.
+    pub fn total(&self) -> usize {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+
+    /// Materializes chunk `c` as its own buffer.
+    pub fn materialize(&self, data: &DatasetBuffer, c: usize) -> DatasetBuffer {
+        data.gather(&self.chunks[c])
+    }
+
+    /// Max/min chunk-size imbalance as a fraction of the mean (0 =
+    /// perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let sizes: Vec<usize> = self.chunks.iter().map(|c| c.len()).collect();
+        let max = *sizes.iter().max().unwrap_or(&0) as f64;
+        let min = *sizes.iter().min().unwrap_or(&0) as f64;
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            (max - min) / mean
+        }
+    }
+}
+
+/// The partitioning strategies of Section 3.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PartitioningScheme {
+    /// Contiguous equal chunks in dataset order.
+    EquallySplit,
+    /// Random shuffle (seeded) before equal splitting.
+    RandomShuffle {
+        /// Shuffle seed (the coordinator broadcasts it so the partition
+        /// is reproducible).
+        seed: u64,
+    },
+    /// Gray-code density-aware partitioning (Section 3.4.1).
+    DensityAware(crate::density::DensityAwareConfig),
+}
+
+impl PartitioningScheme {
+    /// Applies the scheme, splitting `data` into `n_chunks` chunks.
+    pub fn apply(&self, data: &DatasetBuffer, n_chunks: usize) -> Partition {
+        match self {
+            PartitioningScheme::EquallySplit => equally_split(data.num_series(), n_chunks),
+            PartitioningScheme::RandomShuffle { seed } => {
+                random_shuffle(data.num_series(), n_chunks, *seed)
+            }
+            PartitioningScheme::DensityAware(cfg) => {
+                crate::density::density_aware(data, n_chunks, cfg)
+            }
+        }
+    }
+
+    /// Harness label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitioningScheme::EquallySplit => "equally-split",
+            PartitioningScheme::RandomShuffle { .. } => "random-shuffle",
+            PartitioningScheme::DensityAware(_) => "density-aware",
+        }
+    }
+}
+
+/// EQUALLY-SPLIT: chunk `c` gets the contiguous id range
+/// `[c*n/k, (c+1)*n/k)`.
+pub fn equally_split(n_series: usize, n_chunks: usize) -> Partition {
+    assert!(n_chunks >= 1);
+    let chunks = (0..n_chunks)
+        .map(|c| {
+            let start = c * n_series / n_chunks;
+            let end = (c + 1) * n_series / n_chunks;
+            (start as u32..end as u32).collect()
+        })
+        .collect();
+    Partition { chunks }
+}
+
+/// Random shuffling (RS) followed by equal splitting.
+pub fn random_shuffle(n_series: usize, n_chunks: usize, seed: u64) -> Partition {
+    assert!(n_chunks >= 1);
+    let mut ids: Vec<u32> = (0..n_series as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    let chunks = (0..n_chunks)
+        .map(|c| {
+            let start = c * n_series / n_chunks;
+            let end = (c + 1) * n_series / n_chunks;
+            ids[start..end].to_vec()
+        })
+        .collect();
+    Partition { chunks }
+}
+
+/// Checks that a partition is a *partition*: every id in `0..n_series`
+/// appears in exactly one chunk. Returns an error message otherwise.
+pub fn validate_partition(p: &Partition, n_series: usize) -> Result<(), String> {
+    let mut seen = vec![false; n_series];
+    for (c, chunk) in p.chunks.iter().enumerate() {
+        for &id in chunk {
+            let id = id as usize;
+            if id >= n_series {
+                return Err(format!("chunk {c}: id {id} out of range"));
+            }
+            if seen[id] {
+                return Err(format!("id {id} assigned twice"));
+            }
+            seen[id] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!("id {missing} unassigned"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equally_split_is_valid_and_contiguous() {
+        for n in [0usize, 1, 10, 101] {
+            for k in [1usize, 2, 4, 7] {
+                let p = equally_split(n, k);
+                assert_eq!(p.num_chunks(), k);
+                validate_partition(&p, n).expect("valid");
+                // Chunk sizes differ by at most 1.
+                let sizes: Vec<usize> = p.chunks.iter().map(|c| c.len()).collect();
+                let max = sizes.iter().max().unwrap();
+                let min = sizes.iter().min().unwrap();
+                assert!(max - min <= 1, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_shuffle_is_valid_and_seeded() {
+        let p1 = random_shuffle(500, 4, 9);
+        let p2 = random_shuffle(500, 4, 9);
+        let p3 = random_shuffle(500, 4, 10);
+        validate_partition(&p1, 500).expect("valid");
+        assert_eq!(p1, p2, "same seed, same partition");
+        assert_ne!(p1, p3, "different seed, different partition");
+    }
+
+    #[test]
+    fn validate_catches_errors() {
+        let dup = Partition {
+            chunks: vec![vec![0, 1], vec![1]],
+        };
+        assert!(validate_partition(&dup, 2).is_err());
+        let missing = Partition {
+            chunks: vec![vec![0], vec![]],
+        };
+        assert!(validate_partition(&missing, 2).is_err());
+        let oob = Partition {
+            chunks: vec![vec![5]],
+        };
+        assert!(validate_partition(&oob, 2).is_err());
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let balanced = equally_split(100, 4);
+        assert_eq!(balanced.imbalance(), 0.0);
+        let skewed = Partition {
+            chunks: vec![vec![0; 30].iter().map(|_| 0u32).collect(), Vec::new()],
+        };
+        assert!(skewed.imbalance() > 1.9);
+    }
+
+    #[test]
+    fn materialize_gathers_rows() {
+        let data = DatasetBuffer::from_vec((0..12).map(|v| v as f32).collect(), 3);
+        let p = equally_split(4, 2);
+        let c1 = p.materialize(&data, 1);
+        assert_eq!(c1.num_series(), 2);
+        assert_eq!(c1.series(0), &[6.0, 7.0, 8.0]);
+    }
+}

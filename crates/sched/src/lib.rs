@@ -1,0 +1,24 @@
+//! # odyssey-sched
+//!
+//! Query-cost prediction and query-scheduling policies (Section 3.1 and
+//! Figure 4 of the Odyssey paper).
+//!
+//! The key empirical observation the paper builds on: *queries with a
+//! high initial BSF (the approximate-search answer) tend to have high
+//! execution times*. [`linreg`] fits the linear model of Figure 4;
+//! [`predictor`] wraps it into a per-query cost estimate; [`scheduler`]
+//! implements the five policies the evaluation compares (STATIC, DYNAMIC,
+//! PREDICT-ST-UNSORTED, PREDICT-ST, PREDICT-DN).
+//!
+//! [`sigmoid`] fits the 4-parameter sigmoid of Figure 6a that predicts a
+//! good priority-queue size threshold `TH` from the initial BSF.
+
+pub mod linreg;
+pub mod predictor;
+pub mod scheduler;
+pub mod sigmoid;
+
+pub use linreg::LinearRegression;
+pub use predictor::{CostModel, QueryCostPredictor};
+pub use scheduler::{SchedulerKind, StaticSchedule};
+pub use sigmoid::{SigmoidFit, ThresholdModel};

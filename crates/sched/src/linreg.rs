@@ -1,0 +1,123 @@
+//! Simple least-squares linear regression (the prediction model of
+//! Figure 4: initial BSF → execution time).
+//!
+//! The paper notes "other prediction schemes can be used, as well"; the
+//! regression is deliberately the simplest thing that captures the
+//! BSF/time correlation.
+
+/// A fitted line `y = slope * x + intercept` with its goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegression {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² in `[0, 1]` (0 when the variance
+    /// of `y` is zero).
+    pub r2: f64,
+}
+
+impl LinearRegression {
+    /// Fits `y ~ x` by ordinary least squares.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or fewer than two points are
+    /// given.
+    pub fn fit(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        assert!(x.len() >= 2, "need at least two points");
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&xi, &yi) in x.iter().zip(y) {
+            let dx = xi - mx;
+            let dy = yi - my;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        // A vertical cloud (all x equal) degenerates to the mean line.
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let intercept = my - slope * mx;
+        let r2 = if syy > 0.0 && sxx > 0.0 {
+            (sxy * sxy) / (sxx * syy)
+        } else {
+            0.0
+        };
+        LinearRegression {
+            slope,
+            intercept,
+            r2,
+        }
+    }
+
+    /// Predicts `y` for a new `x`.
+    #[inline]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Pearson correlation coefficient (signed square root of R²).
+    pub fn correlation(&self) -> f64 {
+        self.r2.sqrt() * self.slope.signum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        let m = LinearRegression::fit(&x, &y);
+        assert!((m.slope - 3.0).abs() < 1e-12);
+        assert!((m.intercept - 7.0).abs() < 1e-12);
+        assert!((m.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r2() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + 1.0 + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let m = LinearRegression::fit(&x, &y);
+        assert!((m.slope - 2.0).abs() < 0.01);
+        assert!(m.r2 > 0.99);
+        assert!(m.correlation() > 0.99);
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![5.0, 5.0, 5.0];
+        let m = LinearRegression::fit(&x, &y);
+        assert_eq!(m.slope, 0.0);
+        assert_eq!(m.intercept, 5.0);
+        assert_eq!(m.r2, 0.0);
+    }
+
+    #[test]
+    fn constant_x_degenerates_to_mean() {
+        let x = vec![2.0, 2.0, 2.0];
+        let y = vec![1.0, 2.0, 3.0];
+        let m = LinearRegression::fit(&x, &y);
+        assert_eq!(m.slope, 0.0);
+        assert_eq!(m.predict(2.0), 2.0);
+    }
+
+    #[test]
+    fn negative_correlation_sign() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -v + 100.0).collect();
+        let m = LinearRegression::fit(&x, &y);
+        assert!(m.correlation() < -0.999);
+    }
+}

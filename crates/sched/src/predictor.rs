@@ -1,0 +1,92 @@
+//! Per-query execution-cost prediction.
+//!
+//! The scheduler needs "a (good-enough) estimation of the execution time
+//! of each query". Odyssey derives it from the *initial BSF* — the
+//! approximate-search answer computed before the full search — via the
+//! linear regression of Figure 4.
+
+use crate::linreg::LinearRegression;
+
+/// Anything that maps a query feature (initial BSF) to an estimated cost.
+pub trait CostModel: Send + Sync {
+    /// Estimated execution cost (arbitrary but consistent units; the
+    /// schedulers only compare and sum estimates).
+    fn estimate(&self, initial_bsf: f64) -> f64;
+}
+
+/// The trained regression-based predictor used by the PREDICT-* policies.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryCostPredictor {
+    model: LinearRegression,
+}
+
+impl QueryCostPredictor {
+    /// Trains from per-query `(initial BSF, measured execution seconds)`
+    /// observations gathered on a training workload.
+    pub fn train(initial_bsfs: &[f64], exec_times: &[f64]) -> Self {
+        QueryCostPredictor {
+            model: LinearRegression::fit(initial_bsfs, exec_times),
+        }
+    }
+
+    /// Builds a predictor from an existing regression (e.g. loaded from a
+    /// prior profiling run).
+    pub fn from_regression(model: LinearRegression) -> Self {
+        QueryCostPredictor { model }
+    }
+
+    /// The underlying regression (slope, intercept, R²) — what the
+    /// Figure 4 harness reports.
+    pub fn regression(&self) -> &LinearRegression {
+        &self.model
+    }
+}
+
+impl CostModel for QueryCostPredictor {
+    fn estimate(&self, initial_bsf: f64) -> f64 {
+        // Estimates feed load sums; clamp so a far-below-the-line BSF
+        // cannot produce a negative load.
+        self.model.predict(initial_bsf).max(0.0)
+    }
+}
+
+/// A trivial model assigning every query the same cost — this makes the
+/// PREDICT-* policies degenerate into their unpredicted counterparts and
+/// serves as an ablation control.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    fn estimate(&self, _initial_bsf: f64) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trained_predictor_orders_queries_correctly() {
+        // Training data with a positive BSF/time relationship.
+        let bsfs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let times = vec![1.1, 2.0, 2.9, 4.2, 5.0];
+        let p = QueryCostPredictor::train(&bsfs, &times);
+        assert!(p.estimate(5.0) > p.estimate(1.0));
+        assert!(p.regression().r2 > 0.95);
+    }
+
+    #[test]
+    fn estimates_are_never_negative() {
+        let bsfs = vec![10.0, 20.0];
+        let times = vec![1.0, 2.0];
+        let p = QueryCostPredictor::train(&bsfs, &times);
+        assert!(p.estimate(0.0) >= 0.0);
+        assert!(p.estimate(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn unit_cost_is_flat() {
+        assert_eq!(UnitCost.estimate(1.0), UnitCost.estimate(1e9));
+    }
+}

@@ -1,0 +1,222 @@
+//! Query-scheduling policies (Section 3.1).
+//!
+//! All policies operate inside one replication group (every node of the
+//! group can answer every query). The static policies produce an
+//! up-front [`StaticSchedule`]; the dynamic policies produce an ordered
+//! dispatch queue that the group coordinator serves on request — the
+//! runtime side lives in `odyssey-cluster`.
+//!
+//! | Policy                | Estimates | Order                  | Dispatch |
+//! |-----------------------|-----------|------------------------|----------|
+//! | STATIC                | no        | input                  | static contiguous split |
+//! | DYNAMIC               | no        | input                  | coordinator queue |
+//! | PREDICT-ST-UNSORTED   | yes       | input                  | greedy min-load |
+//! | PREDICT-ST            | yes       | descending estimate    | greedy min-load |
+//! | PREDICT-DN            | yes       | descending estimate    | coordinator queue |
+
+/// The scheduling policies evaluated in Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Equal contiguous query blocks per node.
+    Static,
+    /// Coordinator hands out the next query on request.
+    Dynamic,
+    /// Greedy min-load assignment in input order.
+    PredictStUnsorted,
+    /// Greedy min-load assignment in descending-estimate order.
+    PredictSt,
+    /// Coordinator queue sorted by descending estimate (Odyssey's
+    /// default — the best performer in the paper).
+    PredictDn,
+}
+
+impl SchedulerKind {
+    /// Whether the policy needs per-query cost estimates.
+    pub fn needs_predictions(&self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::PredictStUnsorted | SchedulerKind::PredictSt | SchedulerKind::PredictDn
+        )
+    }
+
+    /// Whether dispatch is dynamic (coordinator-served).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, SchedulerKind::Dynamic | SchedulerKind::PredictDn)
+    }
+
+    /// All policies, in the order the paper's figures list them.
+    pub fn all() -> [SchedulerKind; 5] {
+        [
+            SchedulerKind::Static,
+            SchedulerKind::Dynamic,
+            SchedulerKind::PredictStUnsorted,
+            SchedulerKind::PredictSt,
+            SchedulerKind::PredictDn,
+        ]
+    }
+
+    /// The paper's label for the policy (as used in Figure 10's legend).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Static => "static",
+            SchedulerKind::Dynamic => "dynamic",
+            SchedulerKind::PredictStUnsorted => "predict-st-unsorted",
+            SchedulerKind::PredictSt => "predict-st",
+            SchedulerKind::PredictDn => "predict-dn",
+        }
+    }
+}
+
+/// A static assignment: `per_node[i]` lists the query indices node `i`
+/// answers, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSchedule {
+    /// Query indices per node.
+    pub per_node: Vec<Vec<usize>>,
+}
+
+impl StaticSchedule {
+    /// Total scheduled queries.
+    pub fn total(&self) -> usize {
+        self.per_node.iter().map(|q| q.len()).sum()
+    }
+
+    /// Maximum estimated load across nodes (the makespan proxy).
+    pub fn max_load(&self, estimates: &[f64]) -> f64 {
+        self.per_node
+            .iter()
+            .map(|qs| qs.iter().map(|&q| estimates[q]).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// STATIC: splits the query sequence into `n_nodes` contiguous
+/// subsequences of (near-)equal length.
+pub fn static_split(n_queries: usize, n_nodes: usize) -> StaticSchedule {
+    assert!(n_nodes >= 1);
+    let mut per_node = vec![Vec::new(); n_nodes];
+    for (node, chunk) in per_node.iter_mut().enumerate() {
+        let start = node * n_queries / n_nodes;
+        let end = (node + 1) * n_queries / n_nodes;
+        chunk.extend(start..end);
+    }
+    StaticSchedule { per_node }
+}
+
+/// PREDICT-ST-UNSORTED / PREDICT-ST: greedy min-load assignment.
+///
+/// Each node keeps a *load variable* summing its assigned estimates; each
+/// query (taken in input order, or in descending-estimate order when
+/// `sorted`) goes to the currently least-loaded node (ties to the lowest
+/// node id — matching the paper's worked example in Section 3.1).
+pub fn greedy_by_estimate(estimates: &[f64], n_nodes: usize, sorted: bool) -> StaticSchedule {
+    assert!(n_nodes >= 1);
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    if sorted {
+        // Descending estimate; stable on ties to stay deterministic.
+        order.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]).then(a.cmp(&b)));
+    }
+    let mut per_node = vec![Vec::new(); n_nodes];
+    let mut load = vec![0.0f64; n_nodes];
+    for q in order {
+        let node = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, _)| i)
+            .expect("n_nodes >= 1");
+        per_node[node].push(q);
+        load[node] += estimates[q];
+    }
+    StaticSchedule { per_node }
+}
+
+/// Dispatch order for the dynamic policies: input order for DYNAMIC,
+/// descending estimates for PREDICT-DN.
+pub fn dynamic_order(estimates: &[f64], sorted: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    if sorted {
+        order.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]).then(a.cmp(&b)));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example (Section 3.1): two nodes, estimates
+    /// ES = {100, 50, 200, 250, 80}.
+    const ES: [f64; 5] = [100.0, 50.0, 200.0, 250.0, 80.0];
+
+    #[test]
+    fn paper_example_unsorted() {
+        let s = greedy_by_estimate(&ES, 2, false);
+        assert_eq!(s.per_node[0], vec![0, 3], "sn1 gets q1, q4");
+        assert_eq!(s.per_node[1], vec![1, 2, 4], "sn2 gets q2, q3, q5");
+    }
+
+    #[test]
+    fn paper_example_sorted() {
+        let s = greedy_by_estimate(&ES, 2, true);
+        assert_eq!(s.per_node[0], vec![3, 4], "sn1 gets q4, q5");
+        assert_eq!(s.per_node[1], vec![2, 0, 1], "sn2 gets q3, q1, q2");
+    }
+
+    #[test]
+    fn paper_example_dynamic_order() {
+        let order = dynamic_order(&ES, true);
+        assert_eq!(order, vec![3, 2, 0, 4, 1], "descending estimates");
+        assert_eq!(dynamic_order(&ES, false), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn static_split_is_contiguous_and_complete() {
+        for n in [1usize, 5, 16, 17] {
+            for nodes in [1usize, 2, 4, 8] {
+                let s = static_split(n, nodes);
+                assert_eq!(s.total(), n);
+                let flat: Vec<usize> = s.per_node.iter().flatten().copied().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_assigns_every_query_once() {
+        let est: Vec<f64> = (0..37).map(|i| ((i * 13) % 11) as f64 + 1.0).collect();
+        for sorted in [false, true] {
+            let s = greedy_by_estimate(&est, 4, sorted);
+            let mut flat: Vec<usize> = s.per_node.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            assert_eq!(flat, (0..37).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn sorted_greedy_balances_better_than_static_on_ramps() {
+        // Progressively harder queries — the scenario where STATIC fails.
+        let est: Vec<f64> = (0..32).map(|i| (i + 1) as f64).collect();
+        let st = static_split(est.len(), 4);
+        let greedy = greedy_by_estimate(&est, 4, true);
+        assert!(
+            greedy.max_load(&est) < st.max_load(&est),
+            "greedy {} vs static {}",
+            greedy.max_load(&est),
+            st.max_load(&est)
+        );
+        // Sorted greedy is within 4/3 of the lower bound (LPT guarantee).
+        let ideal: f64 = est.iter().sum::<f64>() / 4.0;
+        assert!(greedy.max_load(&est) <= ideal * 4.0 / 3.0 + est[31]);
+    }
+
+    #[test]
+    fn scheduler_kind_metadata() {
+        assert!(SchedulerKind::PredictDn.needs_predictions());
+        assert!(SchedulerKind::PredictDn.is_dynamic());
+        assert!(!SchedulerKind::Static.needs_predictions());
+        assert!(!SchedulerKind::PredictSt.is_dynamic());
+        assert_eq!(SchedulerKind::all().len(), 5);
+        assert_eq!(SchedulerKind::Static.label(), "static");
+    }
+}

@@ -1,0 +1,250 @@
+//! Sigmoid fitting for the priority-queue size threshold `TH`
+//! (Section 3.2.1, Figure 6).
+//!
+//! The paper observes a correlation between a query's initial BSF and the
+//! *median size* of the priority queues produced while answering it, and
+//! fits the parameterized sigmoid
+//!
+//! ```text
+//! f(Z) = m + (M - m) / (1 + b * exp(-c * (Z - d)))
+//! ```
+//!
+//! The per-query threshold is the sigmoid's median-size estimate divided
+//! by a dataset-specific factor (16 for Seismic, Figure 6b).
+
+/// A fitted sigmoid `f(Z) = m + (M - m) / (1 + b e^{-c (Z - d)})`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigmoidFit {
+    /// Lower asymptote.
+    pub m: f64,
+    /// Upper asymptote.
+    pub big_m: f64,
+    /// Shape parameter `b` (positive).
+    pub b: f64,
+    /// Growth rate `c` (positive).
+    pub c: f64,
+    /// Midpoint `d`.
+    pub d: f64,
+    /// Sum of squared residuals of the fit.
+    pub sse: f64,
+}
+
+impl SigmoidFit {
+    /// Evaluates the sigmoid.
+    #[inline]
+    pub fn eval(&self, z: f64) -> f64 {
+        self.m + (self.big_m - self.m) / (1.0 + self.b * (-self.c * (z - self.d)).exp())
+    }
+
+    /// Fits the sigmoid to `(x, y)` points by a deterministic coarse grid
+    /// search over `(b, c, d)` followed by local refinement; the
+    /// asymptotes are anchored to the observed `y` range.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or fewer than four points.
+    pub fn fit(x: &[f64], y: &[f64]) -> Self {
+        assert_eq!(x.len(), y.len());
+        assert!(x.len() >= 4, "need at least four points to fit a sigmoid");
+        let (ymin, ymax) = y
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let (xmin, xmax) = x
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        let xspan = (xmax - xmin).max(1e-9);
+        let sse_of = |b: f64, c: f64, d: f64| -> f64 {
+            let s = SigmoidFit {
+                m: ymin,
+                big_m: ymax,
+                b,
+                c,
+                d,
+                sse: 0.0,
+            };
+            x.iter()
+                .zip(y)
+                .map(|(&xi, &yi)| {
+                    let r = s.eval(xi) - yi;
+                    r * r
+                })
+                .sum()
+        };
+        let mut best = (1.0f64, 1.0f64, (xmin + xmax) / 2.0);
+        let mut best_sse = f64::INFINITY;
+        for bi in 0..5 {
+            let b = 0.25 * 2f64.powi(bi); // 0.25 .. 4
+            for ci in 0..12 {
+                let c = (0.5 * 1.6f64.powi(ci)) / xspan; // scale-aware rates
+                for di in 0..=16 {
+                    let d = xmin + xspan * di as f64 / 16.0;
+                    let s = sse_of(b, c, d);
+                    if s < best_sse {
+                        best_sse = s;
+                        best = (b, c, d);
+                    }
+                }
+            }
+        }
+        // Local coordinate refinement.
+        let (mut b, mut c, mut d) = best;
+        let mut step_b = b * 0.5;
+        let mut step_c = c * 0.5;
+        let mut step_d = xspan / 16.0;
+        for _ in 0..40 {
+            let mut improved = false;
+            for (param, step) in [(0usize, step_b), (1, step_c), (2, step_d)] {
+                for dir in [-1.0f64, 1.0] {
+                    let (nb, nc, nd) = match param {
+                        0 => ((b + dir * step).max(1e-6), c, d),
+                        1 => (b, (c + dir * step).max(1e-9), d),
+                        _ => (b, c, d + dir * step),
+                    };
+                    let s = sse_of(nb, nc, nd);
+                    if s < best_sse {
+                        best_sse = s;
+                        b = nb;
+                        c = nc;
+                        d = nd;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                step_b *= 0.5;
+                step_c *= 0.5;
+                step_d *= 0.5;
+            }
+        }
+        SigmoidFit {
+            m: ymin,
+            big_m: ymax,
+            b,
+            c,
+            d,
+            sse: best_sse,
+        }
+    }
+}
+
+/// The per-query `TH` predictor: sigmoid estimate of the median queue
+/// size, divided by a dataset-specific factor (Figure 6b).
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdModel {
+    /// The fitted BSF → median-queue-size sigmoid.
+    pub sigmoid: SigmoidFit,
+    /// Division factor applied to the estimate.
+    pub division_factor: f64,
+}
+
+impl ThresholdModel {
+    /// Builds the model; the paper's Seismic configuration uses factor 16.
+    pub fn new(sigmoid: SigmoidFit, division_factor: f64) -> Self {
+        assert!(division_factor > 0.0);
+        ThresholdModel {
+            sigmoid,
+            division_factor,
+        }
+    }
+
+    /// Trains the sigmoid from per-query `(initial BSF, median queue
+    /// size)` observations.
+    pub fn train(initial_bsfs: &[f64], median_pq_sizes: &[f64], division_factor: f64) -> Self {
+        Self::new(SigmoidFit::fit(initial_bsfs, median_pq_sizes), division_factor)
+    }
+
+    /// Predicted threshold for a query with the given initial BSF
+    /// (always at least 1 so queues stay well-formed).
+    pub fn predict_th(&self, initial_bsf: f64) -> usize {
+        let est = self.sigmoid.eval(initial_bsf) / self.division_factor;
+        est.round().max(1.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sigmoid(m: f64, big_m: f64, b: f64, c: f64, d: f64, xs: &[f64]) -> Vec<f64> {
+        let s = SigmoidFit {
+            m,
+            big_m,
+            b,
+            c,
+            d,
+            sse: 0.0,
+        };
+        xs.iter().map(|&x| s.eval(x)).collect()
+    }
+
+    #[test]
+    fn eval_limits() {
+        let s = SigmoidFit {
+            m: 2.0,
+            big_m: 10.0,
+            b: 1.0,
+            c: 1.0,
+            d: 0.0,
+            sse: 0.0,
+        };
+        assert!((s.eval(-100.0) - 2.0).abs() < 1e-9);
+        assert!((s.eval(100.0) - 10.0).abs() < 1e-9);
+        assert!((s.eval(0.0) - 6.0).abs() < 1e-9, "midpoint = (m+M)/2 at b=1");
+    }
+
+    #[test]
+    fn fit_recovers_clean_sigmoid() {
+        let xs: Vec<f64> = (0..60).map(|i| i as f64 / 3.0).collect();
+        let ys = sample_sigmoid(100.0, 5000.0, 1.0, 0.8, 10.0, &xs);
+        let fit = SigmoidFit::fit(&xs, &ys);
+        // Predictions must be close even if parameters trade off.
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!(
+                (fit.eval(x) - y).abs() < 0.05 * (5000.0 - 100.0),
+                "x={x}: {} vs {y}",
+                fit.eval(x)
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_monotone_like_its_data() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let ys = sample_sigmoid(0.0, 1.0, 2.0, 0.3, 20.0, &xs);
+        let fit = SigmoidFit::fit(&xs, &ys);
+        let lo = fit.eval(0.0);
+        let hi = fit.eval(39.0);
+        assert!(hi > lo, "fitted curve must rise with the data");
+    }
+
+    #[test]
+    fn threshold_model_divides_and_clamps() {
+        let s = SigmoidFit {
+            m: 160.0,
+            big_m: 160.0,
+            b: 1.0,
+            c: 1.0,
+            d: 0.0,
+            sse: 0.0,
+        };
+        let model = ThresholdModel::new(s, 16.0);
+        assert_eq!(model.predict_th(3.0), 10);
+        let tiny = ThresholdModel::new(s, 1e9);
+        assert_eq!(tiny.predict_th(3.0), 1, "clamped to >= 1");
+    }
+
+    #[test]
+    fn train_produces_usable_thresholds() {
+        // Synthetic: median queue size grows with BSF.
+        let bsfs: Vec<f64> = (0..30).map(|i| 1.0 + i as f64 * 0.2).collect();
+        let sizes: Vec<f64> = bsfs.iter().map(|&b| 50.0 + 400.0 / (1.0 + (-2.0 * (b - 4.0)).exp())).collect();
+        let model = ThresholdModel::train(&bsfs, &sizes, 16.0);
+        let th_easy = model.predict_th(1.0);
+        let th_hard = model.predict_th(7.0);
+        assert!(th_easy >= 1);
+        assert!(th_hard >= th_easy, "harder queries get larger thresholds");
+    }
+}

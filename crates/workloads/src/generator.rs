@@ -1,0 +1,175 @@
+//! Dataset generators. All are seeded and deterministic.
+
+use odyssey_core::series::{znormalize, DatasetBuffer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-walk series (the paper's *Random* dataset): cumulative sums of
+/// Gaussian(0, 1) steps, z-normalized. Models stock-market-like data.
+pub fn random_walk(n_series: usize, series_len: usize, seed: u64) -> DatasetBuffer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n_series * series_len);
+    let mut s = Vec::with_capacity(series_len);
+    for _ in 0..n_series {
+        s.clear();
+        let mut acc = 0.0f32;
+        for _ in 0..series_len {
+            acc += gaussian(&mut rng);
+            s.push(acc);
+        }
+        znormalize(&mut s);
+        data.extend_from_slice(&s);
+    }
+    DatasetBuffer::from_vec(data, series_len)
+}
+
+/// Seismic-like series: random walks with heteroscedastic *noise bursts*
+/// (random segments with 10× step variance, like seismic events on a
+/// quiet background). Queries against such a collection span a wide
+/// difficulty range — the property behind Figures 4 and 10.
+pub fn noisy_walk(n_series: usize, series_len: usize, seed: u64) -> DatasetBuffer {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(n_series * series_len);
+    let mut s = Vec::with_capacity(series_len);
+    for _ in 0..n_series {
+        s.clear();
+        let mut acc = 0.0f32;
+        // 0–3 bursts per series.
+        let n_bursts = rng.gen_range(0..4);
+        let bursts: Vec<(usize, usize)> = (0..n_bursts)
+            .map(|_| {
+                let start = rng.gen_range(0..series_len);
+                let len = rng.gen_range(series_len / 16..=series_len / 4);
+                (start, (start + len).min(series_len))
+            })
+            .collect();
+        for i in 0..series_len {
+            let sigma = if bursts.iter().any(|&(a, b)| i >= a && i < b) {
+                10.0
+            } else {
+                1.0
+            };
+            acc += sigma * gaussian(&mut rng);
+            s.push(acc);
+        }
+        znormalize(&mut s);
+        data.extend_from_slice(&s);
+    }
+    DatasetBuffer::from_vec(data, series_len)
+}
+
+/// Cluster-mixture series (deep-embedding-like): each series is a random
+/// cluster centroid plus small Gaussian jitter. `spread` controls the
+/// jitter (relative to the centroid scale); small spreads create the
+/// density skew that DENSITY-AWARE partitioning targets.
+pub fn cluster_mixture(
+    n_series: usize,
+    series_len: usize,
+    n_clusters: usize,
+    spread: f32,
+    seed: u64,
+) -> DatasetBuffer {
+    assert!(n_clusters >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..n_clusters)
+        .map(|_| {
+            let mut acc = 0.0f32;
+            (0..series_len)
+                .map(|_| {
+                    acc += gaussian(&mut rng);
+                    acc
+                })
+                .collect()
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n_series * series_len);
+    let mut s = Vec::with_capacity(series_len);
+    for _ in 0..n_series {
+        let c = &centroids[rng.gen_range(0..n_clusters)];
+        s.clear();
+        s.extend(c.iter().map(|&v| v + spread * gaussian(&mut rng)));
+        znormalize(&mut s);
+        data.extend_from_slice(&s);
+    }
+    DatasetBuffer::from_vec(data, series_len)
+}
+
+/// Box-Muller standard normal sample.
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_walk(50, 64, 1);
+        let b = random_walk(50, 64, 1);
+        assert_eq!(a.raw(), b.raw());
+        let c = noisy_walk(50, 64, 2);
+        let d = noisy_walk(50, 64, 2);
+        assert_eq!(c.raw(), d.raw());
+        let e = cluster_mixture(50, 64, 4, 0.05, 3);
+        let f = cluster_mixture(50, 64, 4, 0.05, 3);
+        assert_eq!(e.raw(), f.raw());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_walk(10, 32, 1);
+        let b = random_walk(10, 32, 2);
+        assert_ne!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn series_are_znormalized() {
+        for buf in [
+            random_walk(20, 100, 7),
+            noisy_walk(20, 100, 7),
+            cluster_mixture(20, 100, 3, 0.1, 7),
+        ] {
+            for i in 0..buf.num_series() {
+                let s = buf.series(i);
+                let mean: f64 = s.iter().map(|&v| v as f64).sum::<f64>() / s.len() as f64;
+                let var: f64 = s
+                    .iter()
+                    .map(|&v| (v as f64 - mean).powi(2))
+                    .sum::<f64>()
+                    / s.len() as f64;
+                assert!(mean.abs() < 1e-4, "series {i} mean {mean}");
+                assert!((var - 1.0).abs() < 1e-3, "series {i} var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_mixture_members_are_close_to_centroids() {
+        // Series from the same cluster are much closer to each other than
+        // to other clusters' members.
+        let buf = cluster_mixture(40, 64, 2, 0.02, 9);
+        // Identify cluster membership by nearest-of-first-two heuristic:
+        // compute pairwise distance distribution — must be bimodal, so the
+        // minimum inter-series distance is far below the maximum.
+        let mut dmin = f64::INFINITY;
+        let mut dmax: f64 = 0.0;
+        for i in 0..buf.num_series() {
+            for j in (i + 1)..buf.num_series() {
+                let d = odyssey_core::distance::euclidean_sq(buf.series(i), buf.series(j));
+                dmin = dmin.min(d);
+                dmax = dmax.max(d);
+            }
+        }
+        assert!(dmax > 20.0 * dmin.max(1e-9), "dmin={dmin} dmax={dmax}");
+    }
+
+    #[test]
+    fn dims_are_respected() {
+        let b = random_walk(7, 96, 5);
+        assert_eq!(b.num_series(), 7);
+        assert_eq!(b.series_len(), 96);
+    }
+}

@@ -1,0 +1,29 @@
+//! # odyssey-workloads
+//!
+//! Synthetic datasets and query workloads standing in for the paper's
+//! evaluation data (Table 1).
+//!
+//! The paper's real datasets (Seismic, Astro, Deep, Sift, Yan-TtI) are
+//! 100 GB–800 GB collections that cannot ship with a reproduction. The
+//! generators here produce scaled-down collections with the two dataset
+//! properties the paper's results hinge on:
+//!
+//! * **query-difficulty variance** (drives the scheduling and
+//!   work-stealing results, Figures 4, 10): [`generator::noisy_walk`]
+//!   mixes smooth and bursty random walks, so initial BSFs — and hence
+//!   execution times — vary widely across queries;
+//! * **density skew** (drives the DENSITY-AWARE results, Figure 17d):
+//!   [`generator::cluster_mixture`] draws series from a mixture of dense
+//!   clusters, so naive contiguous partitioning concentrates similar
+//!   series on single nodes.
+//!
+//! [`registry`] catalogues the stand-ins with their paper counterparts.
+
+pub mod generator;
+pub mod io;
+pub mod queries;
+pub mod registry;
+
+pub use generator::{cluster_mixture, noisy_walk, random_walk};
+pub use queries::{QueryWorkload, WorkloadKind};
+pub use registry::{dataset_registry, DatasetSpec};

@@ -1,0 +1,235 @@
+//! Query workloads.
+//!
+//! Following the data-series benchmarking literature the paper cites, a
+//! query batch mixes **easy** queries (perturbed copies of indexed
+//! series — the approximate search finds a tight initial BSF and pruning
+//! is strong) and **hard** queries (independent random series — the
+//! initial BSF is loose and most leaves must be verified). The mix ratio
+//! controls the difficulty variance that the scheduling experiments need.
+
+use odyssey_core::series::{znormalize, DatasetBuffer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The difficulty profile of a generated batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// All queries perturb indexed series with the given relative noise.
+    Easy {
+        /// Noise amplitude relative to unit variance (e.g. `0.05`).
+        noise: f32,
+    },
+    /// All queries are independent random walks.
+    Hard,
+    /// A fraction of hard queries, the rest easy.
+    Mixed {
+        /// Fraction of hard queries in `[0, 1]`.
+        hard_fraction: f32,
+        /// Noise for the easy queries.
+        noise: f32,
+    },
+    /// Like [`WorkloadKind::Mixed`], but ordered easy-first with all the
+    /// hard queries at the end — the paper's adversarial case for static
+    /// and plain-dynamic scheduling ("a query batch includes a single
+    /// difficult query at the end", Section 3.1).
+    Ramp {
+        /// Fraction of hard queries in `[0, 1]`.
+        hard_fraction: f32,
+        /// Noise for the easy queries.
+        noise: f32,
+    },
+    /// Every query perturbs an indexed series, with per-query noise
+    /// graded linearly from `0.02` up to `max_noise`. All queries retain
+    /// *locality* (their neighborhood lives in one chunk — the property
+    /// the replication/BSF-sharing experiments depend on) while spanning
+    /// a wide difficulty range.
+    Graded {
+        /// Largest relative noise in the batch.
+        max_noise: f32,
+    },
+}
+
+/// A generated query batch.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The queries, one per row.
+    pub queries: DatasetBuffer,
+    /// `true` for queries generated as hard.
+    pub is_hard: Vec<bool>,
+}
+
+impl QueryWorkload {
+    /// Generates `n_queries` queries of the same length as `dataset`.
+    pub fn generate(
+        dataset: &DatasetBuffer,
+        n_queries: usize,
+        kind: WorkloadKind,
+        seed: u64,
+    ) -> Self {
+        let len = dataset.series_len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(n_queries * len);
+        let mut is_hard = Vec::with_capacity(n_queries);
+        for i in 0..n_queries {
+            let hard = match kind {
+                WorkloadKind::Easy { .. } => false,
+                WorkloadKind::Hard => true,
+                WorkloadKind::Mixed { hard_fraction, .. } => {
+                    rng.gen::<f32>() < hard_fraction
+                }
+                WorkloadKind::Ramp { hard_fraction, .. } => {
+                    // The last ceil(fraction * n) queries are hard.
+                    let hard_count =
+                        ((hard_fraction as f64) * n_queries as f64).ceil() as usize;
+                    i + hard_count >= n_queries
+                }
+                WorkloadKind::Graded { .. } => false,
+            };
+            let mut q: Vec<f32> = if hard {
+                // White Gaussian noise: after z-normalization its PAA is
+                // near zero on every segment, so iSAX lower bounds are
+                // loose and pruning collapses — the classic hard query
+                // for summarization-based indexes (cf. the paper's
+                // remark that "pruning is not very effective, especially
+                // for some hard datasets").
+                (0..len).map(|_| gaussian(&mut rng)).collect()
+            } else {
+                let noise = match kind {
+                    WorkloadKind::Easy { noise } => noise,
+                    WorkloadKind::Mixed { noise, .. } => noise,
+                    WorkloadKind::Ramp { noise, .. } => noise,
+                    WorkloadKind::Graded { max_noise } => {
+                        let t = i as f32 / (n_queries.max(2) - 1) as f32;
+                        0.02 + t * (max_noise - 0.02)
+                    }
+                    WorkloadKind::Hard => unreachable!(),
+                };
+                let base = dataset.series(rng.gen_range(0..dataset.num_series()));
+                base.iter().map(|&v| v + noise * gaussian(&mut rng)).collect()
+            };
+            znormalize(&mut q);
+            data.extend_from_slice(&q);
+            is_hard.push(hard);
+        }
+        QueryWorkload {
+            queries: DatasetBuffer::from_vec(data, len),
+            is_hard,
+        }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.num_series()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Query `i` as a slice.
+    pub fn query(&self, i: usize) -> &[f32] {
+        self.queries.series(i)
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::random_walk;
+
+    #[test]
+    fn easy_queries_are_near_dataset_series() {
+        let data = random_walk(200, 64, 4);
+        let w = QueryWorkload::generate(&data, 20, WorkloadKind::Easy { noise: 0.01 }, 5);
+        assert_eq!(w.len(), 20);
+        for qi in 0..w.len() {
+            let q = w.query(qi);
+            let best = (0..data.num_series())
+                .map(|i| odyssey_core::distance::euclidean_sq(q, data.series(i)))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 1.0, "easy query {qi} too far: {best}");
+        }
+    }
+
+    #[test]
+    fn hard_queries_are_far_from_dataset() {
+        let data = random_walk(200, 64, 4);
+        let w = QueryWorkload::generate(&data, 10, WorkloadKind::Hard, 6);
+        assert!(w.is_hard.iter().all(|&h| h));
+        let mut far = 0;
+        for qi in 0..w.len() {
+            let q = w.query(qi);
+            let best = (0..data.num_series())
+                .map(|i| odyssey_core::distance::euclidean_sq(q, data.series(i)))
+                .fold(f64::INFINITY, f64::min);
+            if best > 1.0 {
+                far += 1;
+            }
+        }
+        assert!(far >= 8, "most hard queries should be far: {far}/10");
+    }
+
+    #[test]
+    fn mixed_fraction_roughly_respected() {
+        let data = random_walk(100, 64, 4);
+        let w = QueryWorkload::generate(
+            &data,
+            200,
+            WorkloadKind::Mixed {
+                hard_fraction: 0.25,
+                noise: 0.05,
+            },
+            7,
+        );
+        let hard = w.is_hard.iter().filter(|&&h| h).count();
+        assert!((25..=75).contains(&hard), "hard count {hard} out of range");
+    }
+
+    #[test]
+    fn deterministic() {
+        let data = random_walk(50, 32, 1);
+        let a = QueryWorkload::generate(&data, 10, WorkloadKind::Hard, 3);
+        let b = QueryWorkload::generate(&data, 10, WorkloadKind::Hard, 3);
+        assert_eq!(a.queries.raw(), b.queries.raw());
+    }
+
+    #[test]
+    fn graded_difficulty_increases_along_the_batch() {
+        let data = random_walk(200, 64, 4);
+        let w = QueryWorkload::generate(&data, 16, WorkloadKind::Graded { max_noise: 1.5 }, 6);
+        assert!(w.is_hard.iter().all(|&h| !h));
+        // Nearest-neighbor distance grows (noisier queries are farther).
+        let nn = |q: &[f32]| {
+            (0..data.num_series())
+                .map(|i| odyssey_core::distance::euclidean_sq(q, data.series(i)))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let first = nn(w.query(0));
+        let last = nn(w.query(15));
+        assert!(last > first * 4.0, "first={first} last={last}");
+    }
+
+    #[test]
+    fn ramp_puts_hard_queries_at_the_end() {
+        let data = random_walk(100, 64, 4);
+        let w = QueryWorkload::generate(
+            &data,
+            20,
+            WorkloadKind::Ramp {
+                hard_fraction: 0.25,
+                noise: 0.05,
+            },
+            8,
+        );
+        assert_eq!(w.is_hard.iter().filter(|&&h| h).count(), 5);
+        assert!(w.is_hard[..15].iter().all(|&h| !h), "easy prefix");
+        assert!(w.is_hard[15..].iter().all(|&h| h), "hard suffix");
+    }
+}

@@ -1,0 +1,165 @@
+//! Dataset registry: the Table 1 stand-ins.
+//!
+//! Each entry names a paper dataset, its original scale, and the scaled
+//! synthetic generator this reproduction substitutes (see DESIGN.md §2
+//! for the substitution rationale).
+
+use crate::generator;
+use odyssey_core::series::DatasetBuffer;
+
+/// How a stand-in dataset is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Family {
+    /// Plain random walks (the paper's own synthetic *Random*).
+    RandomWalk,
+    /// Random walks with heteroscedastic noise bursts (seismic-like).
+    NoisyWalk,
+    /// Mixture of dense clusters (embedding-like), with
+    /// `(n_clusters, spread)`.
+    ClusterMixture(usize, f32),
+}
+
+/// A dataset stand-in: paper identity plus reproduction parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Stand-in name (matches the paper's dataset name).
+    pub name: &'static str,
+    /// The paper's collection size (for the Table 1 report).
+    pub paper_series: &'static str,
+    /// The paper's series length.
+    pub paper_len: usize,
+    /// The paper's on-disk size.
+    pub paper_size_gb: &'static str,
+    /// The paper's description.
+    pub description: &'static str,
+    /// Scaled-down default series count for this reproduction.
+    pub repro_series: usize,
+    /// Series length used here (matches the paper's).
+    pub repro_len: usize,
+    /// Generator family.
+    pub family: Family,
+}
+
+impl DatasetSpec {
+    /// Generates the stand-in at its default scale.
+    pub fn generate(&self, seed: u64) -> DatasetBuffer {
+        self.generate_scaled(self.repro_series, seed)
+    }
+
+    /// Generates the stand-in with an explicit series count (for the
+    /// dataset-size sweeps of Figures 12 and 17).
+    pub fn generate_scaled(&self, n_series: usize, seed: u64) -> DatasetBuffer {
+        match self.family {
+            Family::RandomWalk => generator::random_walk(n_series, self.repro_len, seed),
+            Family::NoisyWalk => generator::noisy_walk(n_series, self.repro_len, seed),
+            Family::ClusterMixture(k, spread) => {
+                generator::cluster_mixture(n_series, self.repro_len, k, spread, seed)
+            }
+        }
+    }
+}
+
+/// The Table 1 stand-ins. Lengths match the paper; series counts are
+/// scaled to single-machine scale (absolute numbers are not reproduction
+/// targets — shapes are).
+pub fn dataset_registry() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            name: "Seismic",
+            paper_series: "100M",
+            paper_len: 256,
+            paper_size_gb: "100",
+            description: "seismic records",
+            repro_series: 20_000,
+            repro_len: 256,
+            family: Family::NoisyWalk,
+        },
+        DatasetSpec {
+            name: "Astro",
+            paper_series: "270M",
+            paper_len: 256,
+            paper_size_gb: "265",
+            description: "astronomical data",
+            repro_series: 20_000,
+            repro_len: 256,
+            family: Family::ClusterMixture(32, 0.4),
+        },
+        DatasetSpec {
+            name: "Deep",
+            paper_series: "1B",
+            paper_len: 96,
+            paper_size_gb: "358",
+            description: "deep embeddings",
+            repro_series: 50_000,
+            repro_len: 96,
+            family: Family::ClusterMixture(64, 0.2),
+        },
+        DatasetSpec {
+            name: "Sift",
+            paper_series: "1B",
+            paper_len: 128,
+            paper_size_gb: "477",
+            description: "image descriptors",
+            repro_series: 40_000,
+            repro_len: 128,
+            family: Family::ClusterMixture(48, 0.3),
+        },
+        DatasetSpec {
+            name: "Yan-TtI",
+            paper_series: "1B",
+            paper_len: 200,
+            paper_size_gb: "800",
+            description: "image and text",
+            repro_series: 25_000,
+            repro_len: 200,
+            family: Family::ClusterMixture(16, 0.5),
+        },
+        DatasetSpec {
+            name: "Random",
+            paper_series: "100M-1600M",
+            paper_len: 256,
+            paper_size_gb: "100-1600",
+            description: "random walks",
+            repro_series: 20_000,
+            repro_len: 256,
+            family: Family::RandomWalk,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1() {
+        let reg = dataset_registry();
+        assert_eq!(reg.len(), 6);
+        let names: Vec<&str> = reg.iter().map(|d| d.name).collect();
+        assert_eq!(
+            names,
+            vec!["Seismic", "Astro", "Deep", "Sift", "Yan-TtI", "Random"]
+        );
+        // Paper lengths.
+        let lens: Vec<usize> = reg.iter().map(|d| d.paper_len).collect();
+        assert_eq!(lens, vec![256, 256, 96, 128, 200, 256]);
+        // Repro lengths match paper lengths.
+        assert!(reg.iter().all(|d| d.repro_len == d.paper_len));
+    }
+
+    #[test]
+    fn specs_generate_at_requested_scale() {
+        let reg = dataset_registry();
+        let d = reg[0].generate_scaled(100, 42);
+        assert_eq!(d.num_series(), 100);
+        assert_eq!(d.series_len(), 256);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = &dataset_registry()[2];
+        let a = spec.generate_scaled(50, 1);
+        let b = spec.generate_scaled(50, 1);
+        assert_eq!(a.raw(), b.raw());
+    }
+}

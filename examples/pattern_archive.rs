@@ -1,0 +1,77 @@
+//! Pattern archiving: subsequence search + index persistence.
+//!
+//! A monitoring pipeline (the paper's introduction motivates exactly
+//! this: seismology, astrophysics, engineering telemetry) keeps long
+//! recordings and repeatedly asks "where has this waveform occurred
+//! before?". This example:
+//!
+//! 1. builds a [`SubsequenceIndex`] over multi-hour recordings,
+//! 2. finds the best (and top-k non-trivial) occurrences of a pattern,
+//! 3. persists the underlying whole-matching index to disk and reloads
+//!    it — the build cost is paid once per archive, not per question.
+//!
+//! ```text
+//! cargo run --release --example pattern_archive
+//! ```
+
+use odyssey::core::persist;
+use odyssey::core::subsequence::SubsequenceIndex;
+use odyssey::workloads::generator::random_walk;
+
+fn main() {
+    // Three long "recordings" (random walks standing in for telemetry).
+    let recordings: Vec<Vec<f32>> = (0..3)
+        .map(|i| random_walk(1, 6_000 + i * 1000, 0xA5C + i as u64).series(0).to_vec())
+        .collect();
+    let window = 128;
+
+    // A pattern we know occurs: a slice of recording 1, plus small noise.
+    let mut pattern = recordings[1][2345..2345 + window].to_vec();
+    for (i, v) in pattern.iter_mut().enumerate() {
+        *v += 0.01 * ((i as f32) * 0.7).sin();
+    }
+
+    let t0 = std::time::Instant::now();
+    let archive = SubsequenceIndex::build(&recordings, window, 1, 2);
+    println!(
+        "archive: {} windows of {} points from {} recordings, indexed in {:?}",
+        archive.num_windows(),
+        window,
+        recordings.len(),
+        t0.elapsed()
+    );
+
+    // Where has this waveform occurred?
+    let (ans, at) = archive.best_match(&pattern, 2);
+    println!(
+        "best match: recording {} offset {} (z-normalized distance {:.4})",
+        at.sequence, at.offset, ans.distance
+    );
+    assert_eq!((at.sequence, at.offset), (1, 2345));
+
+    // Top 3 non-overlapping occurrences (exclusion = half a window).
+    let matches = archive.top_matches(&pattern, 3, window / 2, 2);
+    println!("top non-trivial matches:");
+    for (d_sq, r) in &matches {
+        println!(
+            "  recording {} offset {:>5} dist {:.4}",
+            r.sequence,
+            r.offset,
+            d_sq.sqrt()
+        );
+    }
+
+    // Persist the underlying index; a later session reloads it instantly.
+    let path = std::env::temp_dir().join("pattern_archive.idx");
+    persist::save_index_file(archive.index(), &path).expect("save");
+    let size_mb = std::fs::metadata(&path).expect("metadata").len() as f64 / 1048576.0;
+    let t1 = std::time::Instant::now();
+    let reloaded = persist::load_index_file(&path).expect("load");
+    println!(
+        "persisted {:.1} MB, reloaded {} windows in {:?} (no rebuild)",
+        size_mb,
+        reloaded.num_series(),
+        t1.elapsed()
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,63 @@
+//! The replication trade-off tour (Section 3.3): walk the whole
+//! PARTIAL-k spectrum on one dataset and watch space, index time, and
+//! query time move against each other — the trade-off Figures 14/15
+//! quantify and the reason `k` is a user-facing knob.
+//!
+//! ```text
+//! cargo run --release --example replication_tradeoff
+//! ```
+
+use odyssey::cluster::{units, ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey::workloads::generator::noisy_walk;
+use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
+
+fn main() {
+    let n_nodes = 8;
+    let data = noisy_walk(6_000, 128, 0x77AD);
+    let queries = QueryWorkload::generate(
+        &data,
+        24,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.3,
+            noise: 0.05,
+        },
+        0x7E5,
+    );
+    println!(
+        "{} series, {n_nodes} nodes, {} queries — sweeping PARTIAL-k\n",
+        data.num_series(),
+        queries.len()
+    );
+    println!(
+        "{:>14}  {:>6}  {:>12}  {:>12}  {:>12}  {:>8}",
+        "strategy", "degree", "index MB", "index (s)", "queries (s)", "steals"
+    );
+    // 8 nodes support 1 + log2(8) = 4 replication degrees.
+    for k in [8usize, 4, 2, 1] {
+        let rep = match k {
+            1 => Replication::Full,
+            8 => Replication::EquallySplit,
+            k => Replication::Partial(k),
+        };
+        let cfg = ClusterConfig::new(n_nodes)
+            .with_replication(rep)
+            .with_scheduler(SchedulerKind::PredictDn)
+            .with_work_stealing(true)
+            .with_leaf_capacity(128);
+        let tpn = cfg.threads_per_node;
+        let cluster = OdysseyCluster::build(&data, cfg);
+        let report = cluster.answer_batch(&queries.queries);
+        println!(
+            "{:>14}  {:>6}  {:>12.2}  {:>12.4}  {:>12.4}  {:>8}",
+            rep.label(),
+            cluster.topology().replication_degree(),
+            cluster.build_report().total_index_bytes() as f64 / 1048576.0,
+            units::units_to_seconds(cluster.build_report().max_index_units(), tpn),
+            report.makespan_seconds(tpn),
+            report.steals_successful,
+        );
+    }
+    println!("\nReading the table: replication degree buys query speed (stealing only");
+    println!("works inside replication groups) at the price of index space and");
+    println!("construction time. PARTIAL-k lets a deployment pick its point.");
+}

@@ -1,0 +1,43 @@
+//! # Odyssey
+//!
+//! A distributed data-series similarity-search framework, reproducing
+//! *"Odyssey: A Journey in the Land of Distributed Data Series Similarity
+//! Search"* (PVLDB 2023).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the iSAX index and Odyssey's single-node parallel exact
+//!   search (RS-batches, bounded priority queues, shared BSF).
+//! * [`sched`] — query execution-time prediction (linear regression on the
+//!   initial BSF) and the five scheduling policies.
+//! * [`partition`] — EQUALLY-SPLIT, RANDOM-SHUFFLE and the Gray-code-based
+//!   DENSITY-AWARE data partitioning.
+//! * [`cluster`] — the multi-node runtime: replication groups (PARTIAL-k),
+//!   dynamic scheduling, BSF sharing, and data-free work-stealing.
+//! * [`baselines`] — the competitors: DMESSI, DMESSI-SW-BSF, DPiSAX.
+//! * [`workloads`] — synthetic stand-ins for the paper's datasets and
+//!   query workloads.
+//!
+//! ## Example
+//!
+//! ```
+//! use odyssey::cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+//! use odyssey::workloads::generator::random_walk;
+//!
+//! let data = random_walk(2_000, 64, 42);
+//! let queries = random_walk(8, 64, 7);
+//! let cfg = ClusterConfig::new(4)
+//!     .with_replication(Replication::Partial(2))
+//!     .with_scheduler(SchedulerKind::PredictDn)
+//!     .with_threads_per_node(2);
+//! let cluster = OdysseyCluster::build(&data, cfg);
+//! let report = cluster.answer_batch(&queries);
+//! assert_eq!(report.answers.len(), 8);
+//! ```
+
+pub use odyssey_baselines as baselines;
+pub use odyssey_cluster as cluster;
+pub use odyssey_core as core;
+pub use odyssey_partition as partition;
+pub use odyssey_sched as sched;
+pub use odyssey_workloads as workloads;

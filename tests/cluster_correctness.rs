@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: every distributed configuration must
+//! return exactly the brute-force answer — the paper's systems are all
+//! *exact* search systems, so correctness is binary.
+
+use odyssey::baselines::{dmessi_config, dmessi_sw_bsf_config, DpiSaxCluster};
+use odyssey::cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey::core::search::answer::Answer;
+use odyssey::core::series::DatasetBuffer;
+use odyssey::partition::{DensityAwareConfig, PartitioningScheme};
+use odyssey::workloads::generator::{cluster_mixture, noisy_walk, random_walk};
+use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
+
+fn brute_force(data: &DatasetBuffer, q: &[f32]) -> Answer {
+    let mut best = Answer::none();
+    for i in 0..data.num_series() {
+        let d = odyssey::core::distance::euclidean_sq(q, data.series(i));
+        if d < best.distance_sq {
+            best = Answer::from_sq(d, Some(i as u32));
+        }
+    }
+    best
+}
+
+fn assert_batch_exact(data: &DatasetBuffer, queries: &QueryWorkload, cfg: ClusterConfig) {
+    let label = format!("{cfg:?}");
+    let cluster = OdysseyCluster::build(data, cfg);
+    let report = cluster.answer_batch(&queries.queries);
+    for qi in 0..queries.len() {
+        let want = brute_force(data, queries.query(qi));
+        let got = report.answers[qi];
+        assert!(
+            (got.distance - want.distance).abs() < 1e-9,
+            "{label} query {qi}: got {} want {}",
+            got.distance,
+            want.distance
+        );
+        // The reported id must realize the reported distance.
+        let id = got.series_id.expect("answer carries an id") as usize;
+        let check = odyssey::core::distance::euclidean_sq(queries.query(qi), data.series(id));
+        assert!((check - got.distance_sq).abs() < 1e-9, "{label} id mismatch");
+    }
+}
+
+#[test]
+fn full_matrix_replication_times_scheduler() {
+    let data = noisy_walk(1_500, 64, 101);
+    let queries = QueryWorkload::generate(
+        &data,
+        8,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.4,
+            noise: 0.05,
+        },
+        5,
+    );
+    for rep in [
+        Replication::Full,
+        Replication::Partial(2),
+        Replication::EquallySplit,
+    ] {
+        for sched in SchedulerKind::all() {
+            assert_batch_exact(
+                &data,
+                &queries,
+                ClusterConfig::new(4)
+                    .with_replication(rep)
+                    .with_scheduler(sched)
+                    .with_leaf_capacity(64),
+            );
+        }
+    }
+}
+
+#[test]
+fn stealing_and_sharing_matrix() {
+    let data = random_walk(1_500, 64, 55);
+    let queries = QueryWorkload::generate(
+        &data,
+        8,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.5,
+            noise: 0.05,
+        },
+        9,
+    );
+    for ws in [false, true] {
+        for bsf in [false, true] {
+            assert_batch_exact(
+                &data,
+                &queries,
+                ClusterConfig::new(8)
+                    .with_replication(Replication::Partial(2))
+                    .with_work_stealing(ws)
+                    .with_bsf_sharing(bsf)
+                    .with_leaf_capacity(64),
+            );
+        }
+    }
+}
+
+#[test]
+fn density_aware_partitioning_is_exact() {
+    let data = cluster_mixture(1_200, 64, 8, 0.1, 77);
+    let queries = QueryWorkload::generate(&data, 6, WorkloadKind::Hard, 3);
+    assert_batch_exact(
+        &data,
+        &queries,
+        ClusterConfig::new(4)
+            .with_replication(Replication::EquallySplit)
+            .with_partitioning(PartitioningScheme::DensityAware(DensityAwareConfig {
+                segments: 8,
+                lambda: 16,
+                balance_tolerance: 0.05,
+                n_threads: 2,
+            }))
+            .with_leaf_capacity(64),
+    );
+}
+
+#[test]
+fn baselines_agree_with_odyssey() {
+    let data = noisy_walk(1_200, 64, 31);
+    let queries = QueryWorkload::generate(
+        &data,
+        6,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.5,
+            noise: 0.05,
+        },
+        13,
+    );
+    let odyssey = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4).with_leaf_capacity(64),
+    )
+    .answer_batch(&queries.queries);
+    let dmessi = OdysseyCluster::build(&data, dmessi_config(4).with_leaf_capacity(64))
+        .answer_batch(&queries.queries);
+    let dmessi_bsf =
+        OdysseyCluster::build(&data, dmessi_sw_bsf_config(4).with_leaf_capacity(64))
+            .answer_batch(&queries.queries);
+    let dpisax = DpiSaxCluster::build(&data, 4, 7).answer_batch(&queries.queries);
+    for qi in 0..queries.len() {
+        let d0 = odyssey.answers[qi].distance;
+        for (name, r) in [
+            ("dmessi", &dmessi),
+            ("dmessi-sw-bsf", &dmessi_bsf),
+            ("dpisax", &dpisax),
+        ] {
+            assert!(
+                (r.answers[qi].distance - d0).abs() < 1e-9,
+                "{name} disagrees on query {qi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_cluster_matches_brute_force_top_k() {
+    let data = random_walk(900, 64, 71);
+    let queries = QueryWorkload::generate(&data, 4, WorkloadKind::Hard, 2);
+    let k = 7;
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4)
+            .with_replication(Replication::Partial(2))
+            .with_leaf_capacity(64),
+    );
+    let report = cluster.answer_batch_knn(&queries.queries, k);
+    for qi in 0..queries.len() {
+        let mut all: Vec<f64> = (0..data.num_series())
+            .map(|i| odyssey::core::distance::euclidean_sq(queries.query(qi), data.series(i)))
+            .collect();
+        all.sort_by(f64::total_cmp);
+        assert_eq!(report.answers[qi].neighbors.len(), k);
+        for j in 0..k {
+            assert!(
+                (report.answers[qi].neighbors[j].0 - all[j]).abs() < 1e-9,
+                "query {qi} rank {j}"
+            );
+        }
+        // Neighbor list is sorted and ids are distinct.
+        let mut ids: Vec<u32> = report.answers[qi].neighbors.iter().map(|n| n.1).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), k);
+    }
+}
+
+#[test]
+fn dtw_cluster_matches_brute_force() {
+    let data = random_walk(500, 64, 91);
+    let queries = QueryWorkload::generate(&data, 3, WorkloadKind::Hard, 6);
+    let window = 3;
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4)
+            .with_replication(Replication::Full)
+            .with_leaf_capacity(64),
+    );
+    let report = cluster.answer_batch_dtw(&queries.queries, window);
+    for qi in 0..queries.len() {
+        let mut best = f64::INFINITY;
+        for i in 0..data.num_series() {
+            if let Some(d) =
+                odyssey::core::distance::dtw_banded(queries.query(qi), data.series(i), window, best)
+            {
+                best = best.min(d);
+            }
+        }
+        assert!(
+            (report.answers[qi].distance_sq - best).abs() < 1e-9,
+            "query {qi}"
+        );
+    }
+}
+
+#[test]
+fn single_node_cluster_degenerates_gracefully() {
+    // A 1-node "cluster" is just the single-node index; everything works.
+    let data = random_walk(600, 64, 15);
+    let queries = QueryWorkload::generate(&data, 4, WorkloadKind::Hard, 1);
+    for rep in [Replication::Full, Replication::EquallySplit] {
+        assert_batch_exact(
+            &data,
+            &queries,
+            ClusterConfig::new(1)
+                .with_replication(rep)
+                .with_leaf_capacity(64),
+        );
+    }
+}

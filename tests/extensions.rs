@@ -1,0 +1,166 @@
+//! Integration tests for the features beyond the paper's evaluation
+//! (its stated future work): ε-approximate search, subsequence search,
+//! index persistence, streaming arrival, and approximate batches.
+
+use odyssey::cluster::{ClusterConfig, OdysseyCluster, Replication};
+use odyssey::core::index::{Index, IndexConfig};
+use odyssey::core::persist;
+use odyssey::core::search::epsilon::epsilon_search;
+use odyssey::core::search::exact::SearchParams;
+use odyssey::core::subsequence::SubsequenceIndex;
+use odyssey::workloads::generator::{noisy_walk, random_walk};
+use odyssey::workloads::io as wio;
+use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
+
+#[test]
+fn epsilon_search_guarantee_on_realistic_workload() {
+    let data = noisy_walk(1_500, 64, 0xE91);
+    let index = Index::build(
+        data.clone(),
+        IndexConfig::new(64).with_segments(8).with_leaf_capacity(64),
+        2,
+    );
+    let w = QueryWorkload::generate(
+        &data,
+        10,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.5,
+            noise: 0.1,
+        },
+        0xE92,
+    );
+    for qi in 0..w.len() {
+        let exact = index.brute_force(w.query(qi));
+        for eps in [0.1, 0.5] {
+            let (got, _) = epsilon_search(&index, w.query(qi), eps, &SearchParams::new(2));
+            assert!(got.distance <= (1.0 + eps) * exact.distance + 1e-9);
+            assert!(got.distance >= exact.distance - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn persisted_index_answers_like_the_original_through_files() {
+    let data = random_walk(700, 96, 0xAB);
+    let index = Index::build(
+        data.clone(),
+        IndexConfig::new(96).with_segments(12).with_leaf_capacity(48),
+        2,
+    );
+    let path = std::env::temp_dir().join(format!(
+        "odyssey_integration_{}.idx",
+        std::process::id()
+    ));
+    persist::save_index_file(&index, &path).expect("save");
+    let loaded = persist::load_index_file(&path).expect("load");
+    let w = QueryWorkload::generate(&data, 5, WorkloadKind::Hard, 0xCD);
+    for qi in 0..w.len() {
+        let a = index.exact_search(w.query(qi), 2);
+        let b = loaded.exact_search(w.query(qi), 2);
+        assert_eq!(a.distance, b.distance);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dataset_file_roundtrip_feeds_a_cluster() {
+    let data = random_walk(600, 64, 0x10);
+    let path = std::env::temp_dir().join(format!(
+        "odyssey_integration_{}.bin",
+        std::process::id()
+    ));
+    wio::write_bin(&data, &path).expect("write");
+    let back = wio::read_bin(&path, 64).expect("read");
+    let w = QueryWorkload::generate(&back, 4, WorkloadKind::Hard, 0x11);
+    let cluster = OdysseyCluster::build(
+        &back,
+        ClusterConfig::new(2)
+            .with_replication(Replication::EquallySplit)
+            .with_leaf_capacity(64),
+    );
+    let report = cluster.answer_batch(&w.queries);
+    for qi in 0..w.len() {
+        let mut best = f64::INFINITY;
+        for i in 0..data.num_series() {
+            best = best.min(odyssey::core::distance::euclidean_sq(
+                w.query(qi),
+                data.series(i),
+            ));
+        }
+        assert!((report.answers[qi].distance_sq - best).abs() < 1e-9);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn subsequence_search_over_generated_archives() {
+    // Two "long recordings"; a known pattern planted in the second.
+    let rec1: Vec<f32> = random_walk(1, 1500, 0x77).series(0).to_vec();
+    let mut rec2: Vec<f32> = random_walk(1, 1200, 0x78).series(0).to_vec();
+    let pattern: Vec<f32> = random_walk(1, 96, 0x79).series(0).to_vec();
+    rec2[300..396].copy_from_slice(&pattern);
+    let idx = SubsequenceIndex::build(&[rec1, rec2], 96, 1, 2);
+    let (ans, at) = idx.best_match(&pattern, 2);
+    assert_eq!(at.sequence, 1);
+    assert_eq!(at.offset, 300);
+    assert!(ans.distance < 1e-3);
+}
+
+#[test]
+fn streaming_and_batch_agree() {
+    let data = noisy_walk(900, 64, 0x21);
+    let w = QueryWorkload::generate(
+        &data,
+        9,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.3,
+            noise: 0.05,
+        },
+        0x22,
+    );
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4).with_replication(Replication::Full),
+    );
+    let batch = cluster.answer_batch(&w.queries);
+    let stream = cluster.answer_batch_stream(&w.queries, 2);
+    for qi in 0..w.len() {
+        assert!(
+            (batch.answers[qi].distance - stream.answers[qi].distance).abs() < 1e-9,
+            "query {qi}"
+        );
+    }
+}
+
+#[test]
+fn straggler_with_stealing_beats_straggler_without() {
+    let data = noisy_walk(4_000, 64, 0x31);
+    let w = QueryWorkload::generate(
+        &data,
+        16,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.4,
+            noise: 0.1,
+        },
+        0x32,
+    );
+    let base = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4)
+            .with_replication(Replication::Full)
+            .with_scheduler(odyssey::cluster::SchedulerKind::Dynamic)
+            .with_node_speed(0, 0.25)
+            .with_leaf_capacity(64),
+    );
+    let without = base
+        .reconfigured(|c| c.with_work_stealing(false))
+        .answer_batch(&w.queries);
+    let with = base.answer_batch(&w.queries);
+    // Exactness first.
+    for qi in 0..w.len() {
+        assert!((with.answers[qi].distance - without.answers[qi].distance).abs() < 1e-9);
+    }
+    // Stealing must not make the makespan dramatically worse; on most
+    // runs it improves it (timing-dependent, so only a loose bound).
+    assert!(with.makespan_units() <= without.makespan_units() * 3 / 2);
+}

@@ -1,0 +1,198 @@
+//! Property-based tests (proptest) over the core invariants that make
+//! exact search exact:
+//!
+//! * `mindist(paa(Q), isax(S)) <= ED(Q, S)` at every cardinality;
+//! * `LB_Keogh(Q, S) <= DTW(Q, S)` and the envelope-hull iSAX bound
+//!   below it;
+//! * the parallel engine equals brute force for arbitrary data and
+//!   arbitrary engine parameters;
+//! * partitioning schemes produce true partitions;
+//! * Gray-code bijectivity and the one-bit-step law;
+//! * scheduler assignments are complete and the greedy bound holds.
+
+use odyssey::core::distance::{dtw_banded, euclidean_sq, keogh_envelope, lb_keogh_sq};
+use odyssey::core::index::{Index, IndexConfig};
+use odyssey::core::paa::paa;
+use odyssey::core::sax::{mindist_paa_isax_sq, mindist_paa_sax_sq, sax_word_into, IsaxWord};
+use odyssey::core::search::dtw_search::DtwKernel;
+use odyssey::core::search::exact::{exact_search, SearchParams};
+use odyssey::core::search::kernel::QueryKernel;
+use odyssey::core::series::{znormalized, DatasetBuffer};
+use odyssey::partition::{gray, validate_partition, PartitioningScheme};
+use proptest::prelude::*;
+
+/// An arbitrary z-normalized series of the given length.
+fn series_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len).prop_map(|v| znormalized(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mindist_is_a_lower_bound_at_every_cardinality(
+        q in series_strategy(64),
+        s in series_strategy(64),
+        segs in 1usize..=16,
+    ) {
+        let qp = paa(&q, segs);
+        let sp = paa(&s, segs);
+        let mut sax = vec![0u8; segs];
+        sax_word_into(&sp, &mut sax);
+        let ed = euclidean_sq(&q, &s);
+        for bits in 1..=8u8 {
+            let w = IsaxWord::from_sax(&sax, bits);
+            let md = mindist_paa_isax_sq(&qp, &w, 64);
+            prop_assert!(md <= ed + 1e-6, "bits={bits}: {md} > {ed}");
+        }
+        prop_assert!(mindist_paa_sax_sq(&qp, &sax, 64) <= ed + 1e-6);
+    }
+
+    #[test]
+    fn lb_keogh_bounds_dtw_and_isax_bounds_lb_keogh(
+        q in series_strategy(48),
+        s in series_strategy(48),
+        window in 0usize..12,
+    ) {
+        let dtw = dtw_banded(&q, &s, window, f64::INFINITY).expect("unbounded");
+        let env = keogh_envelope(&q, window);
+        let lbk = lb_keogh_sq(&env, &s, f64::INFINITY).expect("unbounded");
+        prop_assert!(lbk <= dtw + 1e-6, "LB_Keogh {lbk} > DTW {dtw}");
+        // Envelope-hull iSAX bound (what the tree prunes with) is below
+        // the raw LB_Keogh.
+        let kernel = DtwKernel::new(&q, window, 8);
+        let sp = paa(&s, 8);
+        let mut sax = vec![0u8; 8];
+        sax_word_into(&sp, &mut sax);
+        prop_assert!(kernel.series_lb_sq(&sax) <= dtw + 1e-6);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_euclidean(
+        a in series_strategy(32),
+        b in series_strategy(32),
+        window in 0usize..8,
+    ) {
+        let dtw = dtw_banded(&a, &b, window, f64::INFINITY).expect("unbounded");
+        prop_assert!(dtw <= euclidean_sq(&a, &b) + 1e-6);
+    }
+
+    #[test]
+    fn gray_code_laws(v in 0u64..1_000_000) {
+        prop_assert_eq!(gray::from_gray(gray::to_gray(v)), v);
+        let step = gray::to_gray(v) ^ gray::to_gray(v + 1);
+        prop_assert_eq!(step.count_ones(), 1);
+    }
+
+    #[test]
+    fn partitions_are_valid(
+        n in 1usize..400,
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let es = PartitioningScheme::EquallySplit;
+        let rs = PartitioningScheme::RandomShuffle { seed };
+        let data = DatasetBuffer::from_vec(vec![0.5f32; n * 8], 8);
+        prop_assert!(validate_partition(&es.apply(&data, k), n).is_ok());
+        prop_assert!(validate_partition(&rs.apply(&data, k), n).is_ok());
+    }
+}
+
+proptest! {
+    // The engine-vs-brute-force property runs fewer cases: each case
+    // builds an index.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn persist_roundtrip_for_arbitrary_collections(
+        seed in any::<u64>(),
+        n in 20usize..200,
+        segs in 2usize..12,
+        cap in 4usize..40,
+    ) {
+        let data = odyssey::workloads::generator::noisy_walk(n, 48, seed);
+        let index = Index::build(
+            data,
+            IndexConfig::new(48).with_segments(segs).with_leaf_capacity(cap),
+            1,
+        );
+        let mut bytes = Vec::new();
+        odyssey::core::persist::save_index(&index, &mut bytes).expect("save");
+        let loaded = odyssey::core::persist::load_index(&mut bytes.as_slice())
+            .expect("load");
+        prop_assert_eq!(loaded.num_series(), n);
+        prop_assert_eq!(loaded.forest().len(), index.forest().len());
+        let qb = odyssey::workloads::generator::random_walk(1, 48, seed ^ 0x5);
+        let q = qb.series(0);
+        let a = exact_search(&index, q, &SearchParams::new(1));
+        let b = exact_search(&loaded, q, &SearchParams::new(1));
+        prop_assert_eq!(a.answer.distance, b.answer.distance);
+    }
+
+    #[test]
+    fn epsilon_guarantee_for_arbitrary_inputs(
+        seed in any::<u64>(),
+        eps in 0.0f64..3.0,
+    ) {
+        let data = odyssey::workloads::generator::random_walk(300, 32, seed);
+        let index = Index::build(
+            data.clone(),
+            IndexConfig::new(32).with_segments(8).with_leaf_capacity(16),
+            1,
+        );
+        let qb = odyssey::workloads::generator::random_walk(1, 32, seed ^ 0xE);
+        let q = qb.series(0);
+        let exact = index.brute_force(q);
+        let (got, _) = odyssey::core::search::epsilon::epsilon_search(
+            &index, q, eps, &SearchParams::new(1),
+        );
+        prop_assert!(got.distance <= (1.0 + eps) * exact.distance + 1e-9);
+        prop_assert!(got.distance >= exact.distance - 1e-9);
+    }
+
+    #[test]
+    fn engine_equals_brute_force_for_arbitrary_parameters(
+        seed in any::<u64>(),
+        n_threads in 1usize..4,
+        nsb in 1usize..10,
+        th in 1usize..64,
+        leaf_cap in 4usize..64,
+    ) {
+        let data = odyssey::workloads::generator::random_walk(400, 32, seed);
+        let index = Index::build(
+            data.clone(),
+            IndexConfig::new(32).with_segments(8).with_leaf_capacity(leaf_cap),
+            2,
+        );
+        let q = odyssey::workloads::generator::random_walk(1, 32, seed ^ 0xFFFF);
+        let q = q.series(0);
+        let want = index.brute_force(q);
+        let params = SearchParams::new(n_threads).with_nsb(nsb).with_th(th);
+        let got = exact_search(&index, q, &params);
+        prop_assert!((got.answer.distance - want.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_contains_the_1nn_answer(
+        seed in any::<u64>(),
+        k in 1usize..8,
+    ) {
+        let data = odyssey::workloads::generator::random_walk(300, 32, seed);
+        let index = Index::build(
+            data.clone(),
+            IndexConfig::new(32).with_segments(8).with_leaf_capacity(16),
+            1,
+        );
+        let qbuf = odyssey::workloads::generator::random_walk(1, 32, seed ^ 0xABCD);
+        let q = qbuf.series(0);
+        let one = exact_search(&index, q, &SearchParams::new(1)).answer;
+        let (knn, _) = odyssey::core::search::knn::knn_search(
+            &index, q, k, &SearchParams::new(2),
+        );
+        prop_assert!((knn.neighbors[0].0 - one.distance_sq).abs() < 1e-9);
+        // Sorted ascending.
+        for w in knn.neighbors.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+}
