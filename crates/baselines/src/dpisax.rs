@@ -129,7 +129,7 @@ fn split_region(region: Region, summaries: &Summaries) -> Option<(Region, Region
             continue;
         }
         let imbalance = region.sample.len().abs_diff(2 * ones);
-        if best.map_or(true, |(bi, _)| imbalance < bi) {
+        if best.is_none_or(|(bi, _)| imbalance < bi) {
             best = Some((imbalance, seg));
         }
     }

@@ -17,7 +17,7 @@ use odyssey_sched::LinearRegression;
 fn main() {
     let data = seismic_like(1);
     let n_queries = 64 * odyssey_bench::scale();
-    let queries = mixed_queries(&data, n_queries, 0xF19_04);
+    let queries = mixed_queries(&data, n_queries, 0xF1904);
     let cfg = IndexConfig::new(data.series_len())
         .with_segments(16)
         .with_leaf_capacity(128);

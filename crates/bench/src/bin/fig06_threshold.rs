@@ -15,7 +15,7 @@ use odyssey_sched::ThresholdModel;
 fn main() {
     let data = seismic_like(1);
     let n_queries = 48 * odyssey_bench::scale();
-    let queries = mixed_queries(&data, n_queries, 0xF19_06);
+    let queries = mixed_queries(&data, n_queries, 0xF1906);
     let cfg = IndexConfig::new(data.series_len())
         .with_segments(16)
         .with_leaf_capacity(128);

@@ -23,7 +23,7 @@ fn run_panel(title: &str, replication: Replication, node_counts: &[usize]) {
             hard_fraction: 0.15,
             noise: 0.05,
         },
-        0xF19_10,
+        0xF1910,
     );
     println!("{title} ({n_queries} queries)\n");
     let mut widths = vec![20usize];

@@ -22,7 +22,7 @@ fn run_panel(title: &str, replication: Replication, node_counts: &[usize]) {
     for &n in node_counts {
         let mut cells = vec![format!("{n} nodes")];
         for &nq in &query_counts {
-            let queries = mixed_queries(&data, nq, 0xF19_11);
+            let queries = mixed_queries(&data, nq, 0xF1911);
             let cfg = ClusterConfig::new(n)
                 .with_replication(replication)
                 .with_scheduler(SchedulerKind::Dynamic)

@@ -28,7 +28,7 @@ fn run_panel(title: &str, gen: impl Fn(usize) -> DatasetBuffer, mults: &[usize])
         let mut cells = vec![rep.label()];
         for &m in mults {
             let data = gen(m);
-            let queries = graded_queries(&data, n_queries, 0xF19_12);
+            let queries = graded_queries(&data, n_queries, 0xF1912);
             let cfg = ClusterConfig::new(n_nodes)
                 .with_replication(*rep)
                 .with_scheduler(SchedulerKind::PredictDn)

@@ -19,7 +19,7 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     print_table_header(&header_refs, &widths);
     for &nq in &query_counts {
-        let queries = mixed_queries(&data, nq, 0xF19_13);
+        let queries = mixed_queries(&data, nq, 0xF1913);
         let mut cells = vec![format!("{nq} qrs")];
         for &n in &node_counts {
             let cfg = ClusterConfig::new(n)

@@ -22,7 +22,7 @@ fn main() {
     for spec in dataset_registry() {
         // Scale the registry defaults down so all six datasets build fast.
         let n = (spec.repro_series / 4).max(2000) * scale;
-        let data = spec.generate_scaled(n, 0xF19_14);
+        let data = spec.generate_scaled(n, 0xF1914);
         let mut cells = vec![spec.name.to_string()];
         for rep in &reps {
             let cfg = ClusterConfig::new(n_nodes)

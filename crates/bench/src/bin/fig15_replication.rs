@@ -17,7 +17,7 @@ use odyssey_cluster::{units, ClusterConfig, OdysseyCluster, SchedulerKind};
 
 fn run_panel(n_queries: usize, node_counts: &[usize], total_time: bool) {
     let data = seismic_like(1);
-    let queries = graded_queries(&data, n_queries, 0xF19_15);
+    let queries = graded_queries(&data, n_queries, 0xF1915);
     let reps = replication_options(8);
     let mut widths = vec![14usize];
     widths.extend(node_counts.iter().map(|_| 11usize));

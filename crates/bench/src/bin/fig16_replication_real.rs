@@ -24,7 +24,7 @@ fn main() {
             continue; // Figure 15 covers Seismic; Random is synthetic.
         }
         let n = (spec.repro_series / 8).max(2000) * scale;
-        let data = spec.generate_scaled(n, 0xF19_16);
+        let data = spec.generate_scaled(n, 0xF1916);
         let queries = graded_queries(&data, n_queries, 0x16 ^ n as u64);
         println!("({}) {} — {n} series of length {}\n", spec.name, spec.description, data.series_len());
         let mut widths = vec![14usize];

@@ -93,7 +93,7 @@ fn main() {
     // --- (d) competitors + partitioning schemes -------------------------
     let data = seismic_like(1);
     let n_queries = 24 * scale;
-    let queries = graded_queries(&data, n_queries, 0xF19_17);
+    let queries = graded_queries(&data, n_queries, 0xF1917);
     println!("Figure 17d: WORK-STEAL-PREDICT vs competitors (seismic-like, {n_queries} queries)\n");
     let node_counts = [2usize, 4, 8];
     let mut widths = vec![34usize];

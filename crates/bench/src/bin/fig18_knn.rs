@@ -14,7 +14,7 @@ fn main() {
     let data = random_like(1);
     let k = 10;
     let n_queries = 16 * odyssey_bench::scale();
-    let queries = graded_queries(&data, n_queries, 0xF19_18);
+    let queries = graded_queries(&data, n_queries, 0xF1918);
     println!("Figure 18: {k}-NN query answering (random, {n_queries} queries)\n");
     let node_counts = [1usize, 2, 4, 8];
     let reps = replication_options(8);

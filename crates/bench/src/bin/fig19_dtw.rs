@@ -14,7 +14,7 @@ fn main() {
     let data = random_like(1);
     let window = (SERIES_LEN * 5) / 100; // 5% warping
     let n_queries = 12 * odyssey_bench::scale();
-    let queries = graded_queries(&data, n_queries, 0xF19_19);
+    let queries = graded_queries(&data, n_queries, 0xF1919);
     println!(
         "Figure 19: DTW query answering, 5% warping = {window} points (random, {n_queries} queries)\n"
     );

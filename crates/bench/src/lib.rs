@@ -125,7 +125,7 @@ pub fn replication_options(n_nodes: usize) -> Vec<odyssey_cluster::Replication> 
     let mut groups_seen = Vec::new();
     for r in [R::EquallySplit, R::Partial(4), R::Partial(2), R::Full] {
         let k = r.n_groups(n_nodes);
-        if k >= 1 && k <= n_nodes && n_nodes % k == 0 && !groups_seen.contains(&k) {
+        if k >= 1 && k <= n_nodes && n_nodes.is_multiple_of(k) && !groups_seen.contains(&k) {
             groups_seen.push(k);
             out.push(r);
         }

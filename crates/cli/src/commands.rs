@@ -178,9 +178,15 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     let queries =
         wio::read_bin(Path::new(args.require("queries")?), len).map_err(|e| e.to_string())?;
     let n_nodes: usize = args.get_or("nodes", 4)?;
+    if n_nodes == 0 {
+        return Err("--nodes must be at least 1".into());
+    }
     let replication = parse_replication(args.get("replication").unwrap_or("full"))?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("predict-dn"))?;
     let tpn: usize = args.get_or("threads-per-node", 2)?;
+    if tpn == 0 {
+        return Err("--threads-per-node must be at least 1".into());
+    }
     let cfg = ClusterConfig::new(n_nodes)
         .with_replication(replication)
         .with_scheduler(scheduler)

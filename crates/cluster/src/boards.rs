@@ -110,7 +110,7 @@ impl ResultSet for BoardBsf<'_> {
     fn threshold_sq(&self) -> f64 {
         if let Some((board, q)) = self.board {
             let c = self.calls.fetch_add(1, Ordering::Relaxed);
-            if c % CHECK_INTERVAL == 0 {
+            if c.is_multiple_of(CHECK_INTERVAL) {
                 let remote = board.get_sq(q);
                 if remote < self.local.get_sq() {
                     // Remote improvement: tighten the local bound (the id
@@ -253,7 +253,7 @@ impl ResultSet for BoardKnn<'_> {
         let mut t = self.local.threshold_sq();
         if let Some((board, q)) = self.board {
             let c = self.calls.fetch_add(1, Ordering::Relaxed);
-            if c % CHECK_INTERVAL == 0 {
+            if c.is_multiple_of(CHECK_INTERVAL) {
                 // The global k-th bound prunes candidates that cannot be
                 // in the global top-k, even if they would enter the local
                 // list.

@@ -507,7 +507,7 @@ impl OdysseyCluster {
                                 None
                             },
                             if stealing_enabled {
-                                Some((&steal_rx_workers[node], &steals_served))
+                                Some((&steal_rx_workers[node], steals_served))
                             } else {
                                 None
                             },

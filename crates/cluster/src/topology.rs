@@ -35,7 +35,7 @@ impl Topology {
                 "more replication groups ({n_groups}) than nodes ({n_nodes})"
             ));
         }
-        if n_nodes % n_groups != 0 {
+        if !n_nodes.is_multiple_of(n_groups) {
             return Err(format!(
                 "group count {n_groups} must divide node count {n_nodes}"
             ));
@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn groups_and_clusters_partition_nodes() {
         let t = Topology::new(12, 3).expect("valid");
-        let mut seen = vec![0u32; 12];
+        let mut seen = [0u32; 12];
         for g in 0..t.n_groups() {
             for n in t.nodes_in_group(g) {
                 seen[n] += 1;
@@ -143,7 +143,7 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&c| c == 1));
-        let mut seen = vec![0u32; 12];
+        let mut seen = [0u32; 12];
         for c in 0..t.replication_degree() {
             for n in t.nodes_in_cluster(c) {
                 seen[n] += 1;

@@ -85,8 +85,7 @@ pub fn keogh_envelope(query: &[f32], window: usize) -> LbKeoghEnvelope {
 pub fn lb_keogh_sq(env: &LbKeoghEnvelope, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
     debug_assert_eq!(env.upper.len(), candidate.len());
     let mut sum = 0.0f64;
-    for i in 0..candidate.len() {
-        let c = candidate[i];
+    for (i, &c) in candidate.iter().enumerate() {
         let d = if c > env.upper[i] {
             (c - env.upper[i]) as f64
         } else if c < env.lower[i] {
@@ -117,12 +116,12 @@ pub fn dtw_banded(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Opt
     const INF: f64 = f64::INFINITY;
     let mut prev = vec![INF; n];
     let mut curr = vec![INF; n];
-    for i in 0..n {
+    for (i, &ai) in a.iter().enumerate() {
         let lo = i.saturating_sub(w);
         let hi = (i + w).min(n - 1);
         let mut row_min = INF;
         for j in lo..=hi {
-            let d = (a[i] - b[j]) as f64;
+            let d = (ai - b[j]) as f64;
             let cost = d * d;
             let best_prev = if i == 0 && j == 0 {
                 0.0
@@ -193,8 +192,8 @@ mod tests {
     fn envelope_contains_query() {
         let q: Vec<f32> = (0..100).map(|i| (i as f32 * 0.3).sin()).collect();
         let env = keogh_envelope(&q, 5);
-        for i in 0..q.len() {
-            assert!(env.lower[i] <= q[i] && q[i] <= env.upper[i]);
+        for (i, &v) in q.iter().enumerate() {
+            assert!(env.lower[i] <= v && v <= env.upper[i]);
         }
     }
 

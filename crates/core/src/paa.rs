@@ -94,9 +94,9 @@ mod tests {
         let w = 7;
         let p = paa(&s, w);
         let mut weighted = 0.0f64;
-        for i in 0..w {
+        for (i, &pi) in p.iter().enumerate() {
             let (a, b) = segment_bounds(s.len(), w, i);
-            weighted += p[i] * (b - a) as f64;
+            weighted += pi * (b - a) as f64;
         }
         let mean: f64 = s.iter().map(|&v| v as f64).sum();
         assert!((weighted - mean).abs() < 1e-9);

@@ -28,7 +28,7 @@ fn inv_norm_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -191,7 +191,7 @@ pub fn mindist_paa_isax_sq(paa: &[f64], word: &IsaxWord, series_len: usize) -> f
     let bp = breakpoints();
     let w = paa.len();
     let mut sum = 0.0f64;
-    for i in 0..w {
+    for (i, &v) in paa.iter().enumerate() {
         let (lo_sym, hi_sym) = word.full_range(i);
         let lo = if lo_sym == 0 {
             f64::NEG_INFINITY
@@ -203,7 +203,6 @@ pub fn mindist_paa_isax_sq(paa: &[f64], word: &IsaxWord, series_len: usize) -> f
         } else {
             bp[hi_sym]
         };
-        let v = paa[i];
         let d = if v < lo {
             lo - v
         } else if v > hi {

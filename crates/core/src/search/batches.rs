@@ -122,7 +122,7 @@ mod tests {
     fn skewed_sizes_split_sanely() {
         // One huge subtree followed by many tiny ones.
         let mut sizes = vec![1000usize];
-        sizes.extend(std::iter::repeat(10).take(30));
+        sizes.extend(std::iter::repeat_n(10, 30));
         let b = RsBatches::build(&sizes, 4);
         assert_eq!(flatten(&b), (0..31).collect::<Vec<_>>());
         // The huge subtree gets (roughly) its own batch.

@@ -358,12 +358,12 @@ mod tests {
         all.sort_by(f64::total_cmp);
         let (got, _) = dtw_knn_search(&idx, &q, window, k, &SearchParams::new(2));
         assert_eq!(got.neighbors.len(), k);
-        for j in 0..k {
+        for (j, &want) in all.iter().take(k).enumerate() {
             assert!(
-                (got.neighbors[j].0 - all[j]).abs() < 1e-9,
+                (got.neighbors[j].0 - want).abs() < 1e-9,
                 "rank {j}: {} vs {}",
                 got.neighbors[j].0,
-                all[j]
+                want
             );
         }
     }

@@ -404,12 +404,12 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                 }
                 // Helping pass (Algorithm 2, lines 11–14): join batches
                 // that are still incomplete, bounded by HelpTH helpers.
-                for bi in 0..active.len() {
-                    if !bstates[bi].complete.load(Ordering::Acquire)
-                        && bstates[bi].helped.fetch_add(1, Ordering::Relaxed) < params.help_th
+                for (bi, bstate) in bstates.iter().enumerate() {
+                    if !bstate.complete.load(Ordering::Acquire)
+                        && bstate.helped.fetch_add(1, Ordering::Relaxed) < params.help_th
                     {
                         traverse_batch(bi);
-                        bstates[bi].complete.store(true, Ordering::Release);
+                        bstate.complete.store(true, Ordering::Release);
                     }
                 }
                 barrier.wait();

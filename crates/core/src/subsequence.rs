@@ -207,7 +207,7 @@ mod tests {
     #[test]
     fn stride_reduces_window_count() {
         let seq = long_sequence(1000, 9);
-        let dense = SubsequenceIndex::build(&[seq.clone()], 64, 1, 1);
+        let dense = SubsequenceIndex::build(std::slice::from_ref(&seq), 64, 1, 1);
         let sparse = SubsequenceIndex::build(&[seq], 64, 8, 1);
         assert_eq!(dense.num_windows(), 1000 - 64 + 1);
         assert_eq!(sparse.num_windows(), (1000 - 64) / 8 + 1);

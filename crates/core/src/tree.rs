@@ -142,7 +142,7 @@ fn choose_split(word: &IsaxWord, ids: &[u32], summaries: &Summaries) -> Option<u
             continue; // does not separate
         }
         let imbalance = ids.len().abs_diff(2 * ones);
-        if best.map_or(true, |(bi, _)| imbalance < bi) {
+        if best.is_none_or(|(bi, _)| imbalance < bi) {
             best = Some((imbalance, seg));
         }
     }

@@ -190,7 +190,7 @@ mod tests {
         let balanced = equally_split(100, 4);
         assert_eq!(balanced.imbalance(), 0.0);
         let skewed = Partition {
-            chunks: vec![vec![0; 30].iter().map(|_| 0u32).collect(), Vec::new()],
+            chunks: vec![vec![0u32; 30], Vec::new()],
         };
         assert!(skewed.imbalance() > 1.9);
     }

@@ -173,9 +173,9 @@ fn knn_cluster_matches_brute_force_top_k() {
             .collect();
         all.sort_by(f64::total_cmp);
         assert_eq!(report.answers[qi].neighbors.len(), k);
-        for j in 0..k {
+        for (j, &want) in all.iter().take(k).enumerate() {
             assert!(
-                (report.answers[qi].neighbors[j].0 - all[j]).abs() < 1e-9,
+                (report.answers[qi].neighbors[j].0 - want).abs() < 1e-9,
                 "query {qi} rank {j}"
             );
         }

@@ -152,15 +152,25 @@ fn straggler_with_stealing_beats_straggler_without() {
             .with_node_speed(0, 0.25)
             .with_leaf_capacity(64),
     );
-    let without = base
-        .reconfigured(|c| c.with_work_stealing(false))
-        .answer_batch(&w.queries);
-    let with = base.answer_batch(&w.queries);
-    // Exactness first.
-    for qi in 0..w.len() {
-        assert!((with.answers[qi].distance - without.answers[qi].distance).abs() < 1e-9);
-    }
+    let no_steal = base.reconfigured(|c| c.with_work_stealing(false));
     // Stealing must not make the makespan dramatically worse; on most
-    // runs it improves it (timing-dependent, so only a loose bound).
-    assert!(with.makespan_units() <= without.makespan_units() * 3 / 2);
+    // runs it improves it. The measurement depends on real thread
+    // interleavings, so allow a few attempts before declaring failure —
+    // exactness is asserted on every attempt, only the timing bound
+    // retries.
+    let mut last = (0, 0);
+    let ok = (0..3).any(|_| {
+        let without = no_steal.answer_batch(&w.queries);
+        let with = base.answer_batch(&w.queries);
+        for qi in 0..w.len() {
+            assert!((with.answers[qi].distance - without.answers[qi].distance).abs() < 1e-9);
+        }
+        last = (with.makespan_units(), without.makespan_units());
+        last.0 <= last.1 * 3 / 2
+    });
+    assert!(
+        ok,
+        "stealing makespan {} repeatedly exceeded 1.5x the no-stealing makespan {}",
+        last.0, last.1
+    );
 }

@@ -1,0 +1,274 @@
+//! Offline stand-in for the `rand` crate (0.8-compatible surface).
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the `rand` API it actually
+//! uses: a seedable `StdRng` (xoshiro256++ seeded via splitmix64),
+//! the `Rng` sampling methods (`gen`, `gen_range`, `gen_bool`) and
+//! `seq::SliceRandom::shuffle`/`choose`. Determinism for a given seed
+//! is guaranteed across runs and platforms, which is all the
+//! reproduction's generators and tests rely on.
+
+/// Low-level source of random `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling conveniences layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the "standard" distribution of `T`
+    /// (uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Deterministic fallback: the shim has no OS entropy source, so
+    /// "entropy" seeding uses a fixed constant. No workspace code path
+    /// relies on nondeterministic seeding.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// Standard-distribution sampling for a concrete type.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform sampling from a range expression.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                // Closed unit interval [0, 1] so `hi` is reachable,
+                // matching rand's inclusive-range contract.
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator, seeded via splitmix64 — deterministic,
+    /// fast, and statistically strong enough for workload generation
+    /// and tests.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling and random choice.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates.
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(2usize..=5);
+            assert!((2..=5).contains(&w));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}
