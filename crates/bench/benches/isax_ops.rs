@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use odyssey_core::paa::paa;
 use odyssey_core::sax::{
-    mindist_paa_isax_sq, mindist_paa_sax_sq, sax_word_into, IsaxWord,
+    mindist_paa_isax_sq, mindist_paa_sax_sq, sax_word_into, IsaxWord, MindistTable,
 };
 use odyssey_workloads::generator::random_walk;
 
@@ -33,6 +33,33 @@ fn bench_isax(c: &mut Criterion) {
     });
     group.bench_function("mindist_paa_sax", |b| {
         b.iter(|| mindist_paa_sax_sq(black_box(&qpaa), black_box(&sax), len))
+    });
+    // The per-query lookup table the kernels actually use on the hot
+    // path: same bounds, bit-identical, but w lookups + adds instead of
+    // breakpoint and segment-bound arithmetic per candidate.
+    let table = MindistTable::from_paa(&qpaa, len);
+    group.bench_function("table_build", |b| {
+        b.iter(|| MindistTable::from_paa(black_box(&qpaa), black_box(len)))
+    });
+    group.bench_function("table_series_lb", |b| {
+        b.iter(|| black_box(&table).series_lb_sq(black_box(&sax)))
+    });
+    group.bench_function("table_word_lb", |b| {
+        b.iter(|| black_box(&table).word_lb_sq(black_box(&word)))
+    });
+    // A leaf-sized contiguous SAX block (128 candidates), as drained by
+    // the batched pruning pass.
+    let n_block = 128usize;
+    let block_data = random_walk(n_block, len, 11);
+    let mut block = Vec::with_capacity(n_block * segs);
+    for i in 0..n_block {
+        let mut w = vec![0u8; segs];
+        sax_word_into(&paa(block_data.series(i), segs), &mut w);
+        block.extend_from_slice(&w);
+    }
+    let mut out = vec![0.0f64; n_block];
+    group.bench_function("table_block_lb_128", |b| {
+        b.iter(|| black_box(&table).block_lb_sq(black_box(&block), &mut out))
     });
     group.finish();
 }

@@ -1,0 +1,87 @@
+//! Hot-path smoke benchmark: emits `BENCH_hotpath.json` with the median
+//! exact-search latency and the per-query lower-bound / real-distance
+//! work counters.
+//!
+//! Runs as a CI smoke step to seed the performance trajectory of the
+//! query hot path (per-query mindist tables + leaf-contiguous layout +
+//! batched pruning): the JSON is small, diffable, and cheap enough to
+//! regenerate on every change.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin hotpath [out.json]
+//! ```
+//!
+//! `ODYSSEY_BENCH_SCALE` multiplies the dataset and query counts as in
+//! every other harness.
+
+use odyssey_bench::mixed_queries;
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::exact::{exact_search, SearchParams};
+use odyssey_workloads::generator::random_walk;
+
+fn median_us(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let scale = odyssey_bench::scale();
+    let n_series = 8_000 * scale;
+    let series_len = 128;
+    let n_queries = 24 * scale;
+    let data = random_walk(n_series, series_len, 0x407);
+    let index = Index::build(
+        data.clone(),
+        IndexConfig::new(series_len)
+            .with_segments(16)
+            .with_leaf_capacity(128),
+        2,
+    );
+    let queries = mixed_queries(&data, n_queries, 0x408);
+    let params = SearchParams::new(2);
+
+    // Warm-up pass (touches the layout and fills caches), then the
+    // measured pass.
+    for qi in 0..n_queries.min(4) {
+        let _ = exact_search(&index, queries.query(qi), &params);
+    }
+    let mut latencies_us = Vec::with_capacity(n_queries);
+    let mut lb_series = 0u64;
+    let mut real_dist = 0u64;
+    let mut lb_node = 0u64;
+    let mut mismatches = 0usize;
+    for qi in 0..n_queries {
+        let q = queries.query(qi);
+        let t0 = std::time::Instant::now();
+        let out = exact_search(&index, q, &params);
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        lb_series += out.stats.lb_series_computations;
+        real_dist += out.stats.real_distance_computations;
+        lb_node += out.stats.lb_node_computations;
+        // Exactness is part of the smoke contract.
+        let want = index.brute_force(q);
+        if (out.answer.distance - want.distance).abs() > 1e-9 {
+            mismatches += 1;
+        }
+    }
+    let nq = n_queries as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"hotpath\",\n  \"n_series\": {n_series},\n  \
+         \"series_len\": {series_len},\n  \"n_queries\": {n_queries},\n  \
+         \"median_exact_search_us\": {:.1},\n  \
+         \"mean_lb_node_per_query\": {:.1},\n  \
+         \"mean_lb_series_per_query\": {:.1},\n  \
+         \"mean_real_dist_per_query\": {:.1},\n  \
+         \"brute_force_mismatches\": {mismatches}\n}}\n",
+        median_us(latencies_us),
+        lb_node as f64 / nq,
+        lb_series as f64 / nq,
+        real_dist as f64 / nq,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    print!("{json}");
+    assert_eq!(mismatches, 0, "exact search diverged from brute force");
+}

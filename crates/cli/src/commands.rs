@@ -104,7 +104,7 @@ fn cmd_index_info(args: &Args) -> Result<(), String> {
     println!(
         "  overhead:      {:.2} MB (+ {:.2} MB raw data)",
         index.size_bytes() as f64 / 1048576.0,
-        index.data().size_bytes() as f64 / 1048576.0
+        index.layout().data().size_bytes() as f64 / 1048576.0
     );
     Ok(())
 }

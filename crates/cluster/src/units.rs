@@ -41,7 +41,7 @@ pub fn tree_units(index: &odyssey_core::Index) -> u64 {
                     stack.push((&children[1], depth + 1));
                 }
                 odyssey_core::tree::Node::Leaf(l) => {
-                    total += l.ids.len() as u64 * depth;
+                    total += l.slice.len() as u64 * depth;
                 }
             }
         }

@@ -7,6 +7,7 @@
 //! the index so harnesses can report the same breakdown.
 
 use crate::buffers::{root_key_of_sax, SummarizationBuffers, Summaries};
+use crate::layout::LeafLayout;
 use crate::paa::paa;
 use crate::sax::{mindist_paa_isax_sq, sax_word_into};
 use crate::search::answer::Answer;
@@ -71,10 +72,15 @@ impl BuildTimes {
 }
 
 /// An in-memory iSAX index over one data chunk.
+///
+/// The raw series and SAX words are stored **leaf-contiguously** in a
+/// [`LeafLayout`]: tree leaves hold slot ranges, not id lists, so
+/// draining a leaf during search reads sequential memory. All public
+/// ids (answers, [`Index::summaries`]) remain *original* dataset ids;
+/// the layout keeps the position/id mapping.
 pub struct Index {
     config: IndexConfig,
-    data: DatasetBuffer,
-    summaries: Summaries,
+    layout: LeafLayout,
     forest: Vec<RootSubtree>,
     build_times: BuildTimes,
 }
@@ -109,12 +115,15 @@ impl Index {
         let buffers = SummarizationBuffers::build(&summaries);
         let buffer_time = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let forest = build_forest(&buffers, &summaries, config.leaf_capacity, n_threads);
+        let (forest, scan_to_id) = build_forest(&buffers, &summaries, config.leaf_capacity, n_threads);
+        // Materialize the leaf-contiguous scan layout; the dataset-ordered
+        // buffer is dropped — the permuted copy plus the id mapping is the
+        // single copy of the raw values.
+        let layout = LeafLayout::build(&data, &summaries, scan_to_id);
         let tree_time = t1.elapsed();
         Index {
             config,
-            data,
-            summaries,
+            layout,
             forest,
             build_times: BuildTimes {
                 buffer_time,
@@ -123,22 +132,23 @@ impl Index {
         }
     }
 
-    /// Reassembles an index from parts (the persistence path). The
-    /// caller guarantees consistency (`crate::persist` validates it);
-    /// build times are zeroed since nothing was built.
+    /// Reassembles an index from parts (the persistence path): raw
+    /// data, SAX words, and the permutation all in **scan order**, plus
+    /// the forest. The caller guarantees consistency (`crate::persist`
+    /// validates it); build times are zeroed since nothing was built.
     pub fn from_parts(
         config: IndexConfig,
-        data: DatasetBuffer,
-        summaries: crate::buffers::Summaries,
+        scan_data: DatasetBuffer,
+        scan_sax: Vec<u8>,
+        scan_to_id: Vec<u32>,
         forest: Vec<crate::tree::RootSubtree>,
     ) -> Self {
-        assert_eq!(data.series_len(), config.series_len);
-        assert_eq!(summaries.segments(), config.segments);
-        assert_eq!(summaries.num_series(), data.num_series());
+        assert_eq!(scan_data.series_len(), config.series_len);
+        let layout =
+            LeafLayout::from_scan_parts(scan_data, scan_sax, scan_to_id, config.segments);
         Index {
             config,
-            data,
-            summaries,
+            layout,
             forest,
             build_times: BuildTimes::default(),
         }
@@ -150,16 +160,25 @@ impl Index {
         &self.config
     }
 
-    /// The indexed collection.
+    /// The leaf-contiguous scan layout (position-indexed raw data and
+    /// SAX words plus the position/id mappings).
     #[inline]
-    pub fn data(&self) -> &DatasetBuffer {
-        &self.data
+    pub fn layout(&self) -> &LeafLayout {
+        &self.layout
     }
 
-    /// Per-series full-cardinality SAX words.
+    /// Raw values of the series with original dataset id `id`.
     #[inline]
-    pub fn summaries(&self) -> &Summaries {
-        &self.summaries
+    pub fn series_by_id(&self, id: u32) -> &[f32] {
+        self.layout.series_by_id(id)
+    }
+
+    /// Full-cardinality SAX word of the series with original dataset id
+    /// `id` (looked up through the scan layout — the SAX bytes are
+    /// stored exactly once, in scan order).
+    #[inline]
+    pub fn sax_by_id(&self, id: u32) -> &[u8] {
+        self.layout.sax(self.layout.scan_pos(id))
     }
 
     /// The root subtrees, sorted by root key.
@@ -177,7 +196,7 @@ impl Index {
     /// Number of indexed series.
     #[inline]
     pub fn num_series(&self) -> usize {
-        self.data.num_series()
+        self.layout.num_series()
     }
 
     /// Total leaves in the forest.
@@ -185,10 +204,11 @@ impl Index {
         self.forest.iter().map(|t| t.node.leaf_count()).sum()
     }
 
-    /// Index overhead in bytes: summaries plus tree structure, excluding
-    /// the raw data (the quantity plotted in Figure 14).
+    /// Index overhead in bytes: the scan layout (SAX words + id
+    /// mappings) and the tree structure, excluding the raw data (the
+    /// quantity plotted in Figure 14).
     pub fn size_bytes(&self) -> usize {
-        self.summaries.size_bytes()
+        self.layout.size_bytes()
             + self
                 .forest
                 .iter()
@@ -249,20 +269,23 @@ impl Index {
                     node = if d0 <= d1 { &children[0] } else { &children[1] };
                 }
                 Node::Leaf(leaf) => {
+                    // Leaf-contiguous scan: sequential raw values; slice
+                    // positions ascend in original-id order, so ties
+                    // resolve exactly as a dataset-order scan would.
                     let mut best = f64::INFINITY;
                     let mut best_id = None;
-                    for &id in &leaf.ids {
-                        let d = crate::distance::euclidean_sq(query, self.data.series(id as usize));
+                    for p in leaf.slice.range() {
+                        let d = crate::distance::euclidean_sq(query, self.layout.series(p));
                         if d < best {
                             best = d;
-                            best_id = Some(id);
+                            best_id = Some(self.layout.original_id(p));
                         }
                     }
                     return ApproxResult {
                         distance: best.sqrt(),
                         distance_sq: best,
                         series_id: best_id,
-                        leaf_size: leaf.ids.len(),
+                        leaf_size: leaf.slice.len(),
                     };
                 }
             }
@@ -277,11 +300,13 @@ impl Index {
     }
 
     /// Brute-force 1-NN scan; the test oracle for every search algorithm.
+    /// Scans in original-id order (via the layout's id mapping) so tie
+    /// resolution matches the pre-layout oracle exactly.
     pub fn brute_force(&self, query: &[f32]) -> Answer {
         let mut best = f64::INFINITY;
         let mut best_id = None;
-        for id in 0..self.data.num_series() {
-            let d = crate::distance::euclidean_sq(query, self.data.series(id));
+        for id in 0..self.num_series() {
+            let d = crate::distance::euclidean_sq(query, self.layout.series_by_id(id as u32));
             if d < best {
                 best = d;
                 best_id = Some(id as u32);
@@ -350,7 +375,7 @@ mod tests {
         let idx = test_index(400);
         // Query = an indexed series: approximate search lands in its own
         // leaf region, so the distance must be exactly zero.
-        let q = idx.data().series(123).to_vec();
+        let q = idx.series_by_id(123).to_vec();
         let r = idx.approx_search(&q);
         assert_eq!(r.distance, 0.0);
         assert_eq!(r.series_id, Some(123));

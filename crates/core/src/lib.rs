@@ -47,6 +47,7 @@
 pub mod buffers;
 pub mod distance;
 pub mod index;
+pub mod layout;
 pub mod paa;
 pub mod persist;
 pub mod sax;

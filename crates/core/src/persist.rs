@@ -8,26 +8,34 @@
 //! serialization dependency) and fully validated on load — a corrupted
 //! or truncated file produces an error, never a wrong index.
 //!
+//! Version 2 ("ODY2") persists the leaf-contiguous scan layout: raw
+//! values in **scan order**, the scan permutation, and per-leaf slot
+//! ranges instead of id lists. Loading validates that the permutation
+//! is a bijection and that the leaf slices partition the position
+//! space, so a loaded index satisfies the same layout contract as a
+//! freshly built one.
+//!
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! magic "ODY1" | u32 series_len | u32 segments | u32 leaf_capacity
-//! u64 num_series | raw f32 data | per-series SAX bytes
+//! magic "ODY2" | u32 series_len | u32 segments | u32 leaf_capacity
+//! u64 num_series | raw f32 data (scan order)
+//! per-series SAX bytes (scan order)
+//! scan permutation: u32 original id per scan position
 //! u64 n_subtrees | per subtree: u64 key, node tree (pre-order)
 //! node: u8 tag (0=leaf, 1=inner)
-//!   leaf : word, u64 n_ids, u32 ids...
+//!   leaf : word, u32 slice offset, u32 slice len
 //!   inner: word, u32 split_seg, then both children
 //! word : per segment u8 symbol, then per segment u8 card_bits
 //! ```
 
-use crate::buffers::Summaries;
 use crate::index::{Index, IndexConfig};
 use crate::sax::IsaxWord;
 use crate::series::DatasetBuffer;
-use crate::tree::{Leaf, Node, RootSubtree};
+use crate::tree::{Leaf, LeafSlice, Node, RootSubtree};
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"ODY1";
+const MAGIC: &[u8; 4] = b"ODY2";
 
 /// Errors produced when loading a persisted index.
 #[derive(Debug)]
@@ -85,10 +93,8 @@ impl<W: Write> Writer<'_, W> {
             Node::Leaf(l) => {
                 self.u8(0)?;
                 self.word(&l.word)?;
-                self.u64(l.ids.len() as u64)?;
-                for &id in &l.ids {
-                    self.u32(id)?;
-                }
+                self.u32(l.slice.offset)?;
+                self.u32(l.slice.len)?;
             }
             Node::Inner {
                 word,
@@ -137,26 +143,41 @@ impl<R: Read> Reader<'_, R> {
         }
         Ok(IsaxWord { symbols, card_bits })
     }
-    fn node(&mut self, num_series: u64, depth: usize) -> Result<Node, PersistError> {
+    /// Reads a node, marking each leaf's slice positions in `covered`
+    /// (the caller validates the slices partition the position space).
+    fn node(
+        &mut self,
+        num_series: u64,
+        depth: usize,
+        covered: &mut [bool],
+    ) -> Result<Node, PersistError> {
         if depth > 16 * crate::sax::MAX_CARD_BITS as usize + 64 {
             return Err(corrupt("tree deeper than any valid iSAX tree"));
         }
         match self.u8()? {
             0 => {
                 let word = self.word()?;
-                let n = self.u64()?;
-                if n > num_series {
-                    return Err(corrupt("leaf larger than the collection"));
+                let offset = self.u32()?;
+                let len = self.u32()?;
+                let end = u64::from(offset) + u64::from(len);
+                if end > num_series {
+                    return Err(corrupt("leaf slice out of range"));
                 }
-                let mut ids = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    let id = self.u32()?;
-                    if u64::from(id) >= num_series {
-                        return Err(corrupt("series id out of range"));
+                for (p, slot) in covered
+                    .iter_mut()
+                    .enumerate()
+                    .take(end as usize)
+                    .skip(offset as usize)
+                {
+                    if *slot {
+                        return Err(corrupt(format!("scan position {p} covered twice")));
                     }
-                    ids.push(id);
+                    *slot = true;
                 }
-                Ok(Node::Leaf(Leaf { word, ids }))
+                Ok(Node::Leaf(Leaf {
+                    word,
+                    slice: LeafSlice { offset, len },
+                }))
             }
             1 => {
                 let word = self.word()?;
@@ -164,8 +185,8 @@ impl<R: Read> Reader<'_, R> {
                 if split_seg >= self.segments {
                     return Err(corrupt("split segment out of range"));
                 }
-                let c0 = self.node(num_series, depth + 1)?;
-                let c1 = self.node(num_series, depth + 1)?;
+                let c0 = self.node(num_series, depth + 1, covered)?;
+                let c1 = self.node(num_series, depth + 1, covered)?;
                 Ok(Node::Inner {
                     word,
                     split_seg,
@@ -177,7 +198,8 @@ impl<R: Read> Reader<'_, R> {
     }
 }
 
-/// Serializes a built index (including its raw data) to a writer.
+/// Serializes a built index (including its raw data, in scan order) to
+/// a writer.
 pub fn save_index<W: Write>(index: &Index, out: &mut W) -> io::Result<()> {
     let mut w = Writer { out };
     let cfg = index.config();
@@ -187,11 +209,12 @@ pub fn save_index<W: Write>(index: &Index, out: &mut W) -> io::Result<()> {
     w.u32(cfg.leaf_capacity as u32)?;
     let n = index.num_series();
     w.u64(n as u64)?;
-    for &v in index.data().raw() {
+    for &v in index.layout().data().raw() {
         w.bytes(&v.to_le_bytes())?;
     }
-    for id in 0..n as u32 {
-        w.bytes(index.summaries().sax(id))?;
+    w.bytes(index.layout().sax_block(0..n))?;
+    for &id in index.layout().scan_to_id() {
+        w.u32(id)?;
     }
     w.u64(index.forest().len() as u64)?;
     for st in index.forest() {
@@ -229,6 +252,22 @@ pub fn load_index<R: Read>(inp: &mut R) -> Result<Index, PersistError> {
     }
     let mut sax = vec![0u8; n * segments];
     hdr.inp.read_exact(&mut sax)?;
+    // The scan permutation must be a bijection onto [0, n).
+    let mut scan_to_id = Vec::with_capacity(n);
+    {
+        let mut seen = vec![false; n];
+        for _ in 0..n {
+            let id = hdr.u32()? as usize;
+            if id >= n {
+                return Err(corrupt("scan permutation id out of range"));
+            }
+            if seen[id] {
+                return Err(corrupt(format!("id {id} appears twice in permutation")));
+            }
+            seen[id] = true;
+            scan_to_id.push(id as u32);
+        }
+    }
     let n_subtrees = hdr.u64()? as usize;
     if n_subtrees > n.max(1) {
         return Err(corrupt("more subtrees than series"));
@@ -240,6 +279,9 @@ pub fn load_index<R: Read>(inp: &mut R) -> Result<Index, PersistError> {
     let mut forest = Vec::with_capacity(n_subtrees);
     let mut prev_key: Option<u64> = None;
     let mut total = 0usize;
+    // Leaf slices must partition the scan positions (no overlap, full
+    // coverage) — the layout contract every search path relies on.
+    let mut covered = vec![false; n];
     for _ in 0..n_subtrees {
         let key = reader.u64()?;
         if let Some(p) = prev_key {
@@ -248,7 +290,7 @@ pub fn load_index<R: Read>(inp: &mut R) -> Result<Index, PersistError> {
             }
         }
         prev_key = Some(key);
-        let node = reader.node(n as u64, 0)?;
+        let node = reader.node(n as u64, 0, &mut covered)?;
         let size = node.series_count();
         total += size;
         forest.push(RootSubtree { key, node, size });
@@ -258,14 +300,32 @@ pub fn load_index<R: Read>(inp: &mut R) -> Result<Index, PersistError> {
             "forest stores {total} series, header says {n}"
         )));
     }
+    if !covered.iter().all(|&c| c) {
+        return Err(corrupt("leaf slices do not cover every scan position"));
+    }
+    // The determinism contract documented on `LeafSlice`: within each
+    // leaf, positions ascend in original-id order. A file violating it
+    // would load into an index whose tie resolution diverges from a
+    // freshly built one.
+    for st in &forest {
+        let mut ordered = true;
+        st.node.for_each_leaf(&mut |leaf| {
+            let ids = &scan_to_id[leaf.slice.range()];
+            if ids.windows(2).any(|w| w[0] >= w[1]) {
+                ordered = false;
+            }
+        });
+        if !ordered {
+            return Err(corrupt("leaf ids not in dataset order"));
+        }
+    }
     let data = DatasetBuffer::from_vec(raw, series_len);
-    let summaries = Summaries::from_raw(sax.into(), segments);
     let cfg = IndexConfig {
         series_len,
         segments,
         leaf_capacity,
     };
-    Ok(Index::from_parts(cfg, data, summaries, forest))
+    Ok(Index::from_parts(cfg, data, sax, scan_to_id, forest))
 }
 
 /// Saves an index to a file path.
@@ -334,17 +394,23 @@ mod tests {
         let mut bytes = Vec::new();
         save_index(&index, &mut bytes).expect("save");
         let loaded = load_index(&mut bytes.as_slice()).expect("load");
+        assert_eq!(
+            index.layout().scan_to_id(),
+            loaded.layout().scan_to_id(),
+            "scan permutation survives"
+        );
         for (a, b) in index.forest().iter().zip(loaded.forest()) {
             assert_eq!(a.key, b.key);
             assert_eq!(a.size, b.size);
             let mut la = Vec::new();
             let mut lb = Vec::new();
-            a.node.for_each_leaf(&mut |l| la.push((l.word.clone(), l.ids.clone())));
-            b.node.for_each_leaf(&mut |l| lb.push((l.word.clone(), l.ids.clone())));
+            a.node.for_each_leaf(&mut |l| la.push((l.word.clone(), l.slice)));
+            b.node.for_each_leaf(&mut |l| lb.push((l.word.clone(), l.slice)));
             assert_eq!(la, lb);
         }
         for id in 0..400u32 {
-            assert_eq!(index.summaries().sax(id), loaded.summaries().sax(id));
+            assert_eq!(index.sax_by_id(id), loaded.sax_by_id(id));
+            assert_eq!(index.series_by_id(id), loaded.series_by_id(id));
         }
     }
 
@@ -379,10 +445,65 @@ mod tests {
         let index = build(50);
         let mut bytes = Vec::new();
         save_index(&index, &mut bytes).expect("save");
-        // Lower the series count in the header: stored ids now exceed it.
+        // Lower the series count in the header: everything downstream
+        // (permutation, slices) is now inconsistent with it.
         let off = 4 + 4 + 4 + 4; // magic + 3 u32s
         bytes[off..off + 8].copy_from_slice(&10u64.to_le_bytes());
         assert!(load_index(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_scan_permutation() {
+        let index = build(50);
+        let cfg = *index.config();
+        let n = index.num_series();
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        // Overwrite the first permutation entry with a copy of the
+        // second: the permutation is no longer a bijection.
+        let perm_off = 4 + 12 + 8 + n * cfg.series_len * 4 + n * cfg.segments;
+        let dup = bytes[perm_off + 4..perm_off + 8].to_vec();
+        bytes[perm_off..perm_off + 4].copy_from_slice(&dup);
+        match load_index(&mut bytes.as_slice()) {
+            Err(PersistError::Corrupt(m)) => {
+                assert!(m.contains("twice"), "unexpected message: {m}")
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_leaf_ids_out_of_dataset_order() {
+        let index = build(200);
+        let cfg = *index.config();
+        let n = index.num_series();
+        // Find a leaf holding at least two series.
+        let mut off = None;
+        for st in index.forest() {
+            st.node.for_each_leaf(&mut |l| {
+                if off.is_none() && l.slice.len() >= 2 {
+                    off = Some(l.slice.offset as usize);
+                }
+            });
+        }
+        let off = off.expect("some leaf holds two series");
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        // Swap the leaf's first two permutation entries: still a valid
+        // bijection with valid slices, but the within-leaf dataset
+        // order — and hence tie-resolution determinism — is broken.
+        let perm_off =
+            4 + 12 + 8 + n * cfg.series_len * 4 + n * cfg.segments + off * 4;
+        let (a, b) = (perm_off, perm_off + 4);
+        for i in 0..4 {
+            bytes.swap(a + i, b + i);
+        }
+        match load_index(&mut bytes.as_slice()) {
+            Err(PersistError::Corrupt(m)) => {
+                assert!(m.contains("dataset order"), "unexpected message: {m}")
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
     }
 
     #[test]

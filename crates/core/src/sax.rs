@@ -251,6 +251,165 @@ pub fn mindist_paa_sax_sq(paa: &[f64], sax: &[u8], series_len: usize) -> f64 {
     sum
 }
 
+/// Per-query `mindist` lookup table: the query-time hot path of the
+/// engine.
+///
+/// [`mindist_paa_sax_sq`] recomputes breakpoints, segment bounds, and
+/// gap arithmetic for *every candidate series*. A query, however, is
+/// fixed for the whole search, so all of that folds into a
+/// `segments × 256` table built once at kernel construction:
+/// entry `(i, sym)` is the squared, length-weighted gap contribution of
+/// segment `i` when the candidate's full-cardinality symbol is `sym`.
+/// The per-series lower bound then becomes `w` table lookups plus adds
+/// ([`MindistTable::series_lb_sq`]), and the node-level bound reuses the
+/// same rows by clamping a per-segment *reference symbol* into the
+/// word's covered symbol range ([`MindistTable::word_lb_sq`]).
+///
+/// The table is built from a per-segment query **envelope**
+/// `[lo_i, hi_i]`: a degenerate point (`lo == hi ==` the query PAA) for
+/// Euclidean queries, or the LB_Keogh envelope hull for DTW queries.
+/// For any envelope the resulting bounds are **bit-identical** to the
+/// reference implementations ([`mindist_paa_sax_sq`] /
+/// [`mindist_paa_isax_sq`] for points, the DTW kernel's interval-gap
+/// arithmetic for hulls): the same subtractions, products, and
+/// summation order are performed, only hoisted out of the per-candidate
+/// loop. Property tests in `crates/core` and `tests/property_tests.rs`
+/// pin this equivalence down.
+///
+/// At 16 segments the table occupies 32 KiB — L1/L2-cache-resident for
+/// the entire queue-drain phase.
+#[derive(Debug, Clone)]
+pub struct MindistTable {
+    /// Segment-major gap contributions: entry `i * MAX_CARD + sym`.
+    table: Vec<f64>,
+    /// Per-segment region index of the envelope's lower end. Clamping it
+    /// into a word's `[lo_sym, hi_sym]` range selects the table entry
+    /// that realizes the envelope-to-region-interval distance (see
+    /// `word_lb_sq` for the case analysis).
+    ref_sym: Vec<u8>,
+    segments: usize,
+}
+
+impl MindistTable {
+    /// Table for a point query summary (the Euclidean case): the
+    /// envelope of segment `i` is the single PAA value `paa[i]`.
+    pub fn from_paa(paa: &[f64], series_len: usize) -> Self {
+        Self::from_envelope(paa, paa, series_len)
+    }
+
+    /// Table for a per-segment envelope `[lo_i, hi_i]` (the DTW case:
+    /// the LB_Keogh envelope hull of each segment).
+    ///
+    /// # Panics
+    /// Panics if `lo` and `hi` differ in length or `lo[i] > hi[i]`.
+    pub fn from_envelope(lo: &[f64], hi: &[f64], series_len: usize) -> Self {
+        assert_eq!(lo.len(), hi.len(), "ragged envelope");
+        let w = lo.len();
+        let bp = breakpoints();
+        let mut table = vec![0.0f64; w * MAX_CARD];
+        let mut ref_sym = vec![0u8; w];
+        for i in 0..w {
+            assert!(lo[i] <= hi[i], "inverted envelope on segment {i}");
+            let (s, e) = crate::paa::segment_bounds(series_len, w, i);
+            let weight = (e - s) as f64;
+            ref_sym[i] = sax_symbol(lo[i]);
+            let row = &mut table[i * MAX_CARD..(i + 1) * MAX_CARD];
+            for (sym, slot) in row.iter_mut().enumerate() {
+                let region_lo = if sym == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    bp[sym - 1]
+                };
+                let region_hi = if sym == MAX_CARD - 1 {
+                    f64::INFINITY
+                } else {
+                    bp[sym]
+                };
+                // Distance between the envelope interval and the region
+                // interval; identical arithmetic to the reference
+                // mindist implementations, evaluated once per symbol.
+                let d = if lo[i] > region_hi {
+                    lo[i] - region_hi
+                } else if region_lo > hi[i] {
+                    region_lo - hi[i]
+                } else {
+                    0.0
+                };
+                *slot = d * d * weight;
+            }
+        }
+        MindistTable {
+            table,
+            ref_sym,
+            segments: w,
+        }
+    }
+
+    /// Number of segments (table rows).
+    #[inline]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Per-series lower bound: `w` lookups + adds. Bit-identical to
+    /// [`mindist_paa_sax_sq`] when built via [`MindistTable::from_paa`].
+    #[inline]
+    pub fn series_lb_sq(&self, sax: &[u8]) -> f64 {
+        debug_assert_eq!(sax.len(), self.segments);
+        let mut sum = 0.0f64;
+        for (i, &sym) in sax.iter().enumerate() {
+            sum += self.table[i * MAX_CARD + sym as usize];
+        }
+        sum
+    }
+
+    /// Node-level lower bound for an iSAX word, reusing the per-symbol
+    /// rows. Bit-identical to [`mindist_paa_isax_sq`] for point
+    /// envelopes.
+    ///
+    /// Per segment the word covers the contiguous symbol range
+    /// `[lo_sym, hi_sym]`; the gap from the envelope to the union of
+    /// those regions is realized by exactly one table entry:
+    ///
+    /// * envelope entirely above the range — entry `hi_sym` (gap to the
+    ///   range's upper edge);
+    /// * envelope entirely below the range — entry `lo_sym`;
+    /// * overlap — any entry whose region meets the envelope, gap 0.
+    ///
+    /// All three cases collapse to clamping the envelope's reference
+    /// symbol into `[lo_sym, hi_sym]`.
+    pub fn word_lb_sq(&self, word: &IsaxWord) -> f64 {
+        debug_assert_eq!(word.segments(), self.segments);
+        let mut sum = 0.0f64;
+        for i in 0..self.segments {
+            let (lo_sym, hi_sym) = word.full_range(i);
+            let idx = (self.ref_sym[i] as usize).clamp(lo_sym, hi_sym);
+            sum += self.table[i * MAX_CARD + idx];
+        }
+        sum
+    }
+
+    /// Per-series lower bounds for a contiguous block of
+    /// full-cardinality SAX words (`segments` bytes per candidate,
+    /// `out.len()` candidates) — the batched pruning pass over a leaf's
+    /// scan-contiguous summary block. One tight loop over table-resident
+    /// data: no branches, no breakpoint math.
+    ///
+    /// # Panics
+    /// Panics if `sax_block.len() != out.len() * segments`.
+    pub fn block_lb_sq(&self, sax_block: &[u8], out: &mut [f64]) {
+        let w = self.segments;
+        assert_eq!(sax_block.len(), out.len() * w, "ragged SAX block");
+        for (slot, word) in out.iter_mut().zip(sax_block.chunks_exact(w)) {
+            let mut sum = 0.0f64;
+            for (i, &sym) in word.iter().enumerate() {
+                sum += self.table[i * MAX_CARD + sym as usize];
+            }
+            *slot = sum;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +556,121 @@ mod tests {
             let md = mindist_paa_isax_sq(&qp, &w, len);
             assert!(md + 1e-12 >= prev, "bits={bits}: {md} < {prev}");
             prev = md;
+        }
+    }
+
+    #[test]
+    fn table_series_lb_bit_identical_to_reference() {
+        let len = 96;
+        let segs = 8;
+        for qa in 0..8u64 {
+            let q = pseudo_series(qa + 3, len);
+            let qp = paa(&q, segs);
+            let table = MindistTable::from_paa(&qp, len);
+            for sb in 0..8u64 {
+                let s = pseudo_series(sb + 400, len);
+                let sp = paa(&s, segs);
+                let mut sax = vec![0u8; segs];
+                sax_word_into(&sp, &mut sax);
+                let want = mindist_paa_sax_sq(&qp, &sax, len);
+                let got = table.series_lb_sq(&sax);
+                assert_eq!(got.to_bits(), want.to_bits(), "qa={qa} sb={sb}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_word_lb_bit_identical_to_reference() {
+        let len = 64;
+        let segs = 8;
+        for qa in 0..6u64 {
+            let q = pseudo_series(qa + 9, len);
+            let qp = paa(&q, segs);
+            let table = MindistTable::from_paa(&qp, len);
+            for sb in 0..6u64 {
+                let s = pseudo_series(sb + 800, len);
+                let sp = paa(&s, segs);
+                let mut sax = vec![0u8; segs];
+                sax_word_into(&sp, &mut sax);
+                for bits in 0..=8u8 {
+                    let word = if bits == 0 {
+                        IsaxWord {
+                            symbols: vec![0; segs],
+                            card_bits: vec![0; segs],
+                        }
+                    } else {
+                        IsaxWord::from_sax(&sax, bits)
+                    };
+                    let want = mindist_paa_isax_sq(&qp, &word, len);
+                    let got = table.word_lb_sq(&word);
+                    assert_eq!(got.to_bits(), want.to_bits(), "qa={qa} sb={sb} bits={bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_block_matches_per_word_lookups() {
+        let len = 64;
+        let segs = 8;
+        let q = pseudo_series(17, len);
+        let table = MindistTable::from_paa(&paa(&q, segs), len);
+        let mut block = Vec::new();
+        let mut want = Vec::new();
+        for sb in 0..20u64 {
+            let s = pseudo_series(sb + 100, len);
+            let mut sax = vec![0u8; segs];
+            sax_word_into(&paa(&s, segs), &mut sax);
+            want.push(table.series_lb_sq(&sax));
+            block.extend_from_slice(&sax);
+        }
+        let mut got = vec![0.0f64; want.len()];
+        table.block_lb_sq(&block, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn envelope_table_gap_matches_interval_arithmetic() {
+        // Interval envelopes (the DTW hull case): the table entry for a
+        // word range must equal the direct interval-to-interval gap.
+        let len = 64;
+        let segs = 8;
+        let q = pseudo_series(23, len);
+        let qp = paa(&q, segs);
+        let lo: Vec<f64> = qp.iter().map(|v| v - 0.4).collect();
+        let hi: Vec<f64> = qp.iter().map(|v| v + 0.3).collect();
+        let table = MindistTable::from_envelope(&lo, &hi, len);
+        let bp = breakpoints();
+        for sb in 0..10u64 {
+            let s = pseudo_series(sb + 50, len);
+            let mut sax = vec![0u8; segs];
+            sax_word_into(&paa(&s, segs), &mut sax);
+            for bits in 1..=8u8 {
+                let word = IsaxWord::from_sax(&sax, bits);
+                let mut want = 0.0f64;
+                for i in 0..segs {
+                    let (a, b) = word.full_range(i);
+                    let rlo = if a == 0 { f64::NEG_INFINITY } else { bp[a - 1] };
+                    let rhi = if b == MAX_CARD - 1 {
+                        f64::INFINITY
+                    } else {
+                        bp[b]
+                    };
+                    let d = if lo[i] > rhi {
+                        lo[i] - rhi
+                    } else if rlo > hi[i] {
+                        rlo - hi[i]
+                    } else {
+                        0.0
+                    };
+                    let (s0, e0) = crate::paa::segment_bounds(len, segs, i);
+                    want += d * d * (e0 - s0) as f64;
+                }
+                let got = table.word_lb_sq(&word);
+                assert_eq!(got.to_bits(), want.to_bits(), "sb={sb} bits={bits}");
+            }
         }
     }
 

@@ -21,17 +21,20 @@ use super::kernel::QueryKernel;
 use crate::distance::{dtw_banded, keogh_envelope, lb_keogh_sq, LbKeoghEnvelope};
 use crate::index::Index;
 use crate::paa::segment_bounds;
-use crate::sax::{breakpoints, IsaxWord, MAX_CARD};
+use crate::sax::{IsaxWord, MindistTable};
 
 /// The DTW query kernel: envelope, per-segment envelope hull, window.
+///
+/// Like [`super::kernel::EdKernel`], construction folds the hull and
+/// the breakpoints into a per-query [`MindistTable`]: the envelope of
+/// segment `i` is `[min lower, max upper]` over the segment's points,
+/// so every table-based bound equals the interval-gap arithmetic the
+/// kernel previously evaluated per candidate — and stays below
+/// LB_Keogh, hence below DTW (the soundness chain).
 pub struct DtwKernel<'q> {
     query: &'q [f32],
     env: LbKeoghEnvelope,
-    /// Per-segment max of the upper envelope.
-    seg_upper: Vec<f64>,
-    /// Per-segment min of the lower envelope.
-    seg_lower: Vec<f64>,
-    series_len: usize,
+    table: MindistTable,
     window: usize,
 }
 
@@ -48,12 +51,11 @@ impl<'q> DtwKernel<'q> {
             seg_upper[i] = env.upper[s..e].iter().cloned().fold(f32::MIN, f32::max) as f64;
             seg_lower[i] = env.lower[s..e].iter().cloned().fold(f32::MAX, f32::min) as f64;
         }
+        let table = MindistTable::from_envelope(&seg_lower, &seg_upper, n);
         DtwKernel {
             query,
             env,
-            seg_upper,
-            seg_lower,
-            series_len: n,
+            table,
             window,
         }
     }
@@ -62,52 +64,23 @@ impl<'q> DtwKernel<'q> {
     pub fn window(&self) -> usize {
         self.window
     }
-
-    /// Gap (squared, length-weighted) between the envelope hull and a
-    /// breakpoint interval `[lo_sym, hi_sym]` on segment `i`.
-    #[inline]
-    fn segment_gap_sq(&self, i: usize, lo_sym: usize, hi_sym: usize) -> f64 {
-        let bp = breakpoints();
-        let region_lo = if lo_sym == 0 {
-            f64::NEG_INFINITY
-        } else {
-            bp[lo_sym - 1]
-        };
-        let region_hi = if hi_sym == MAX_CARD - 1 {
-            f64::INFINITY
-        } else {
-            bp[hi_sym]
-        };
-        // Distance between intervals [seg_lower, seg_upper] and
-        // [region_lo, region_hi]; zero when they overlap.
-        let d = if self.seg_lower[i] > region_hi {
-            self.seg_lower[i] - region_hi
-        } else if region_lo > self.seg_upper[i] {
-            region_lo - self.seg_upper[i]
-        } else {
-            0.0
-        };
-        let (s, e) = segment_bounds(self.series_len, self.seg_upper.len(), i);
-        d * d * (e - s) as f64
-    }
 }
 
 impl QueryKernel for DtwKernel<'_> {
+    #[inline]
     fn node_lb_sq(&self, word: &IsaxWord) -> f64 {
-        let mut sum = 0.0f64;
-        for i in 0..word.segments() {
-            let (lo, hi) = word.full_range(i);
-            sum += self.segment_gap_sq(i, lo, hi);
-        }
-        sum
+        self.table.word_lb_sq(word)
     }
 
+    #[inline]
     fn series_lb_sq(&self, sax: &[u8]) -> f64 {
-        let mut sum = 0.0f64;
-        for (i, &sym) in sax.iter().enumerate() {
-            sum += self.segment_gap_sq(i, sym as usize, sym as usize);
-        }
-        sum
+        self.table.series_lb_sq(sax)
+    }
+
+    #[inline]
+    fn lb_block_sq(&self, sax_block: &[u8], segments: usize, out: &mut [f64]) {
+        debug_assert_eq!(segments, self.table.segments());
+        self.table.block_lb_sq(sax_block, out);
     }
 
     fn distance_sq(&self, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
@@ -143,18 +116,16 @@ pub fn approx_dtw(index: &Index, kernel: &DtwKernel) -> (f64, Option<u32>) {
                 node = if d0 <= d1 { &children[0] } else { &children[1] };
             }
             Node::Leaf(leaf) => {
+                let layout = index.layout();
                 let mut best = f64::INFINITY;
                 let mut best_id = None;
-                for &id in &leaf.ids {
-                    if let Some(d) = dtw_banded(
-                        kernel.query,
-                        index.data().series(id as usize),
-                        kernel.window,
-                        best,
-                    ) {
+                for p in leaf.slice.range() {
+                    if let Some(d) =
+                        dtw_banded(kernel.query, layout.series(p), kernel.window, best)
+                    {
                         if d < best {
                             best = d;
-                            best_id = Some(id);
+                            best_id = Some(layout.original_id(p));
                         }
                     }
                 }
@@ -221,14 +192,12 @@ pub fn dtw_knn_search(
                     node = if d0 <= d1 { &children[0] } else { &children[1] };
                 }
                 Node::Leaf(leaf) => {
-                    for &id in &leaf.ids {
-                        if let Some(d) = dtw_banded(
-                            query,
-                            index.data().series(id as usize),
-                            window,
-                            knn.threshold_sq(),
-                        ) {
-                            knn.offer(d, id);
+                    let layout = index.layout();
+                    for p in leaf.slice.range() {
+                        if let Some(d) =
+                            dtw_banded(query, layout.series(p), window, knn.threshold_sq())
+                        {
+                            knn.offer(d, layout.original_id(p));
                         }
                     }
                     break;
@@ -248,12 +217,13 @@ pub fn dtw_knn_search(
     (knn.snapshot(), stats)
 }
 
-/// Brute-force DTW 1-NN oracle.
+/// Brute-force DTW 1-NN oracle. Scans in original-id order so tie
+/// resolution matches the pre-layout oracle exactly.
 pub fn dtw_brute_force(index: &Index, query: &[f32], window: usize) -> Answer {
     let mut best = f64::INFINITY;
     let mut best_id = None;
     for id in 0..index.num_series() {
-        if let Some(d) = dtw_banded(query, index.data().series(id), window, best) {
+        if let Some(d) = dtw_banded(query, index.series_by_id(id as u32), window, best) {
             if d < best {
                 best = d;
                 best_id = Some(id as u32);
@@ -338,7 +308,7 @@ mod tests {
     #[test]
     fn dtw_search_finds_identical_series() {
         let idx = build(400);
-        let q = idx.data().series(123).to_vec();
+        let q = idx.series_by_id(123).to_vec();
         let (ans, _) = dtw_search(&idx, &q, 3, &SearchParams::new(2));
         assert_eq!(ans.distance, 0.0);
     }
@@ -352,7 +322,8 @@ mod tests {
         // Oracle: all DTW distances, sorted.
         let mut all: Vec<f64> = (0..idx.num_series())
             .map(|i| {
-                dtw_banded(&q, idx.data().series(i), window, f64::INFINITY).expect("unbounded")
+                dtw_banded(&q, idx.series_by_id(i as u32), window, f64::INFINITY)
+                    .expect("unbounded")
             })
             .collect();
         all.sort_by(f64::total_cmp);

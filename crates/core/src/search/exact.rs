@@ -336,6 +336,8 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
     let n_threads = params.n_threads.max(1);
     let barrier = Barrier::new(n_threads);
 
+    // Work counters: workers accumulate in per-thread locals and flush
+    // once, so the hot loops never touch shared cache lines.
     let lb_node = AtomicU64::new(0);
     let lb_series = AtomicU64::new(0);
     let real_dist = AtomicU64::new(0);
@@ -345,8 +347,8 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
     // Phase boundaries in nanoseconds since `start` (written by tid 0).
     let traversal_ns = AtomicU64::new(0);
 
-    let summaries = index.summaries();
-    let data = index.data();
+    let layout = index.layout();
+    let segments = index.config().segments;
 
     std::thread::scope(|scope| {
         for tid in 0..n_threads {
@@ -365,7 +367,9 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
             let traversal_ns = &traversal_ns;
             scope.spawn(move || {
                 // --- Phase 1: tree traversal over RS-batches -------------
-                let traverse_batch = |bi: usize| {
+                let mut lb_node_local = 0u64;
+                let mut leaves_local = 0u64;
+                let traverse_batch = |bi: usize, lb_node_local: &mut u64, leaves_local: &mut u64| {
                     let range = batches.range(active[bi]);
                     loop {
                         let off = bstates[bi].next_subtree.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +381,7 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                         let mut stack: Vec<&Node> = vec![&subtree.node];
                         while let Some(node) = stack.pop() {
                             let lb = kernel.node_lb_sq(node.word());
-                            lb_node.fetch_add(1, Ordering::Relaxed);
+                            *lb_node_local += 1;
                             if lb >= results.threshold_sq() {
                                 continue; // prune the whole subtree
                             }
@@ -388,7 +392,7 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                                 }
                                 Node::Leaf(leaf) => {
                                     bstates[bi].pqs.lock().push(lb, leaf);
-                                    leaves.fetch_add(1, Ordering::Relaxed);
+                                    *leaves_local += 1;
                                 }
                             }
                         }
@@ -399,7 +403,7 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                     if bi >= active.len() {
                         break;
                     }
-                    traverse_batch(bi);
+                    traverse_batch(bi, &mut lb_node_local, &mut leaves_local);
                     bstates[bi].complete.store(true, Ordering::Release);
                 }
                 // Helping pass (Algorithm 2, lines 11–14): join batches
@@ -408,10 +412,12 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                     if !bstate.complete.load(Ordering::Acquire)
                         && bstate.helped.fetch_add(1, Ordering::Relaxed) < params.help_th
                     {
-                        traverse_batch(bi);
+                        traverse_batch(bi, &mut lb_node_local, &mut leaves_local);
                         bstate.complete.store(true, Ordering::Release);
                     }
                 }
+                lb_node.fetch_add(lb_node_local, Ordering::Relaxed);
+                leaves.fetch_add(leaves_local, Ordering::Relaxed);
                 barrier.wait();
 
                 // --- Phase 2: queue preprocessing (thread 0 only) --------
@@ -449,6 +455,16 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                 barrier.wait();
 
                 // --- Phase 3: queue processing ---------------------------
+                // Each popped leaf is drained in two passes over its
+                // contiguous scan slots: a tight lower-bound sweep over
+                // the dense SAX block into a reusable scratch buffer,
+                // then real distances for the survivors only. The shared
+                // threshold is loaded once per leaf (a stale — i.e.
+                // larger — value only prunes less, never wrongly), and
+                // work counters stay in per-thread locals.
+                let mut lb_series_local = 0u64;
+                let mut real_dist_local = 0u64;
+                let mut lb_scratch: Vec<f64> = Vec::new();
                 let sorted_guard = sorted.read();
                 loop {
                     service();
@@ -462,19 +478,33 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                     }
                     let mut q = q.lock();
                     while let Some(cand) = q.pop() {
-                        if cand.lb_sq >= results.threshold_sq() {
+                        let thr = results.threshold_sq();
+                        if cand.lb_sq >= thr {
                             break; // min-heap: the rest is prunable too
                         }
-                        for &id in &cand.leaf.ids {
-                            let thr = results.threshold_sq();
-                            lb_series.fetch_add(1, Ordering::Relaxed);
-                            if kernel.series_lb_sq(summaries.sax(id)) >= thr {
+                        let range = cand.leaf.slice.range();
+                        let n_cand = range.len();
+                        if n_cand == 0 {
+                            continue;
+                        }
+                        // Pass 1: batched lower bounds over the leaf's
+                        // contiguous SAX block.
+                        lb_scratch.resize(n_cand, 0.0);
+                        kernel.lb_block_sq(
+                            layout.sax_block(range.clone()),
+                            segments,
+                            &mut lb_scratch,
+                        );
+                        lb_series_local += n_cand as u64;
+                        // Pass 2: real distances for survivors, reading
+                        // sequentially from the leaf's raw-series run.
+                        for (lb, p) in lb_scratch.iter().zip(range) {
+                            if *lb >= thr {
                                 continue;
                             }
-                            real_dist.fetch_add(1, Ordering::Relaxed);
-                            if let Some(d) =
-                                kernel.distance_sq(data.series(id as usize), thr)
-                            {
+                            real_dist_local += 1;
+                            if let Some(d) = kernel.distance_sq(layout.series(p), thr) {
+                                let id = layout.original_id(p);
                                 if results.offer(d, id) {
                                     on_improve(d, id);
                                 }
@@ -482,6 +512,8 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
                         }
                     }
                 }
+                lb_series.fetch_add(lb_series_local, Ordering::Relaxed);
+                real_dist.fetch_add(real_dist_local, Ordering::Relaxed);
             });
         }
     });
@@ -565,7 +597,7 @@ mod tests {
     #[test]
     fn exact_finds_planted_identical_series() {
         let idx = build(800, 16);
-        let q = idx.data().series(391).to_vec();
+        let q = idx.series_by_id(391).to_vec();
         let out = exact_search(&idx, &q, &SearchParams::new(2));
         assert_eq!(out.answer.distance, 0.0);
         assert_eq!(out.answer.series_id, Some(391));

@@ -9,8 +9,14 @@
 //! `node_lb_sq(word) <= series_lb_sq(sax(S)) <= distance_sq(S)` for every
 //! series `S` summarized by `word` — that chain is exactly what makes
 //! pruning exact.
+//!
+//! Both shipped kernels precompute a per-query
+//! [`MindistTable`](crate::sax::MindistTable) at construction, so every
+//! lower bound on the hot path is `w` table lookups plus adds instead of
+//! breakpoint and segment-bound arithmetic, and blocks of candidates can
+//! be bounded in one tight pass ([`QueryKernel::lb_block_sq`]).
 
-use crate::sax::{mindist_paa_isax_sq, mindist_paa_sax_sq, IsaxWord};
+use crate::sax::{IsaxWord, MindistTable};
 
 /// The distance family of a query (see module docs for the contract).
 pub trait QueryKernel: Sync {
@@ -22,27 +28,42 @@ pub trait QueryKernel: Sync {
     /// full-cardinality SAX word `sax`.
     fn series_lb_sq(&self, sax: &[u8]) -> f64;
 
+    /// Lower bounds for a contiguous block of full-cardinality SAX words
+    /// (`segments` bytes per candidate, `out.len()` candidates) — the
+    /// batched pruning pass over a leaf's scan-contiguous summary block.
+    /// Each `out[j]` must equal `series_lb_sq` of the `j`-th word; the
+    /// default implementation delegates, table-backed kernels override
+    /// with a branch-free loop.
+    fn lb_block_sq(&self, sax_block: &[u8], segments: usize, out: &mut [f64]) {
+        debug_assert_eq!(sax_block.len(), out.len() * segments);
+        for (slot, word) in out.iter_mut().zip(sax_block.chunks_exact(segments)) {
+            *slot = self.series_lb_sq(word);
+        }
+    }
+
     /// Real (squared) distance to `candidate`, early-abandoning past
     /// `threshold_sq` (return `None` when the candidate cannot win).
     fn distance_sq(&self, candidate: &[f32], threshold_sq: f64) -> Option<f64>;
 }
 
 /// The Euclidean-distance kernel (the paper's primary setting).
+///
+/// Construction folds the query PAA, the breakpoints, and the segment
+/// weights into a [`MindistTable`]; `node_lb_sq` and `series_lb_sq` are
+/// bit-identical to [`crate::sax::mindist_paa_isax_sq`] and
+/// [`crate::sax::mindist_paa_sax_sq`] (asserted by property tests).
 pub struct EdKernel<'q> {
     query: &'q [f32],
     qpaa: Vec<f64>,
-    series_len: usize,
+    table: MindistTable,
 }
 
 impl<'q> EdKernel<'q> {
     /// Builds the kernel for `query` under `segments` iSAX segments.
     pub fn new(query: &'q [f32], segments: usize) -> Self {
         let qpaa = crate::paa::paa(query, segments);
-        EdKernel {
-            query,
-            qpaa,
-            series_len: query.len(),
-        }
+        let table = MindistTable::from_paa(&qpaa, query.len());
+        EdKernel { query, qpaa, table }
     }
 
     /// The query's PAA (used by the approximate search).
@@ -59,12 +80,18 @@ impl<'q> EdKernel<'q> {
 impl QueryKernel for EdKernel<'_> {
     #[inline]
     fn node_lb_sq(&self, word: &IsaxWord) -> f64 {
-        mindist_paa_isax_sq(&self.qpaa, word, self.series_len)
+        self.table.word_lb_sq(word)
     }
 
     #[inline]
     fn series_lb_sq(&self, sax: &[u8]) -> f64 {
-        mindist_paa_sax_sq(&self.qpaa, sax, self.series_len)
+        self.table.series_lb_sq(sax)
+    }
+
+    #[inline]
+    fn lb_block_sq(&self, sax_block: &[u8], segments: usize, out: &mut [f64]) {
+        debug_assert_eq!(segments, self.table.segments());
+        self.table.block_lb_sq(sax_block, out);
     }
 
     #[inline]
@@ -76,7 +103,7 @@ impl QueryKernel for EdKernel<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sax::sax_word_into;
+    use crate::sax::{mindist_paa_isax_sq, mindist_paa_sax_sq, sax_word_into};
     use crate::series::znormalize;
 
     fn pseudo_series(seed: u64, len: usize) -> Vec<f32> {
@@ -115,6 +142,48 @@ mod tests {
                 let node_lb = kernel.node_lb_sq(&word);
                 assert!(node_lb <= series_lb + 1e-9, "bits={bits}");
             }
+        }
+    }
+
+    #[test]
+    fn ed_kernel_bit_identical_to_reference_mindist() {
+        let len = 96;
+        let segs = 8;
+        let q = pseudo_series(41, len);
+        let kernel = EdKernel::new(&q, segs);
+        for seed in 0..10u64 {
+            let s = pseudo_series(seed + 900, len);
+            let mut sax = vec![0u8; segs];
+            sax_word_into(&crate::paa::paa(&s, segs), &mut sax);
+            let want = mindist_paa_sax_sq(kernel.qpaa(), &sax, len);
+            assert_eq!(kernel.series_lb_sq(&sax).to_bits(), want.to_bits());
+            for bits in 1..=8u8 {
+                let word = IsaxWord::from_sax(&sax, bits);
+                let want = mindist_paa_isax_sq(kernel.qpaa(), &word, len);
+                assert_eq!(kernel.node_lb_sq(&word).to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn ed_kernel_block_bounds_match_scalar_path() {
+        let len = 64;
+        let segs = 8;
+        let q = pseudo_series(7, len);
+        let kernel = EdKernel::new(&q, segs);
+        let mut block = Vec::new();
+        let mut want = Vec::new();
+        for seed in 0..16u64 {
+            let s = pseudo_series(seed + 300, len);
+            let mut sax = vec![0u8; segs];
+            sax_word_into(&crate::paa::paa(&s, segs), &mut sax);
+            want.push(kernel.series_lb_sq(&sax));
+            block.extend_from_slice(&sax);
+        }
+        let mut got = vec![0.0f64; want.len()];
+        kernel.lb_block_sq(&block, segs, &mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
         }
     }
 

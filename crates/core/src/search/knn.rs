@@ -46,9 +46,10 @@ pub fn seed_from_approx_leaf(index: &Index, query: &[f32], knn: &SharedKnn) {
                 node = if d0 <= d1 { &children[0] } else { &children[1] };
             }
             Node::Leaf(leaf) => {
-                for &id in &leaf.ids {
-                    let d = crate::distance::euclidean_sq(query, index.data().series(id as usize));
-                    knn.offer(d, id);
+                let layout = index.layout();
+                for p in leaf.slice.range() {
+                    let d = crate::distance::euclidean_sq(query, layout.series(p));
+                    knn.offer(d, layout.original_id(p));
                 }
                 return;
             }
@@ -83,7 +84,7 @@ pub fn knn_brute_force(index: &Index, query: &[f32], k: usize) -> KnnAnswer {
     let mut all: Vec<(f64, u32)> = (0..index.num_series())
         .map(|id| {
             (
-                crate::distance::euclidean_sq(query, index.data().series(id)),
+                crate::distance::euclidean_sq(query, index.series_by_id(id as u32)),
                 id as u32,
             )
         })

@@ -54,6 +54,14 @@ impl<'a> LeafPq<'a> {
         }
     }
 
+    /// An empty queue with `cap` slots preallocated (sealing-threshold
+    /// sized queues never reallocate while filling).
+    pub fn with_capacity(cap: usize) -> Self {
+        LeafPq {
+            heap: BinaryHeap::with_capacity(cap),
+        }
+    }
+
     /// Inserts a candidate.
     #[inline]
     pub fn push(&mut self, lb_sq: f64, leaf: &'a Leaf) {
@@ -78,6 +86,12 @@ impl<'a> LeafPq<'a> {
         self.heap.len()
     }
 
+    /// Allocated heap slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Whether the queue is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -95,23 +109,39 @@ pub struct BoundedPqSet<'a> {
 }
 
 impl<'a> BoundedPqSet<'a> {
+    /// Heap slots preallocated for a bounded queue: exactly `th` (a
+    /// queue seals the moment it reaches `th` entries), capped so an
+    /// unbounded or absurdly large threshold does not reserve memory up
+    /// front.
+    fn prealloc(th: usize) -> usize {
+        if th == usize::MAX {
+            0
+        } else {
+            th.min(1 << 16)
+        }
+    }
+
     /// A new set with threshold `th` (`usize::MAX` = unbounded, one queue).
     pub fn new(th: usize) -> Self {
         assert!(th > 0, "threshold must be positive");
         BoundedPqSet {
             th,
-            active: LeafPq::new(),
+            active: LeafPq::with_capacity(Self::prealloc(th)),
             sealed: Vec::new(),
         }
     }
 
     /// Pushes a leaf; seals the active queue when it reaches the
     /// threshold ("the thread gives up this priority queue and initiates
-    /// a new one").
+    /// a new one"). The replacement queue is preallocated at the
+    /// threshold size, so rollover never grows heaps incrementally.
     pub fn push(&mut self, lb_sq: f64, leaf: &'a Leaf) {
         self.active.push(lb_sq, leaf);
         if self.active.len() >= self.th {
-            let full = std::mem::take(&mut self.active);
+            let full = std::mem::replace(
+                &mut self.active,
+                LeafPq::with_capacity(Self::prealloc(self.th)),
+            );
             self.sealed.push(full);
         }
     }
@@ -142,7 +172,7 @@ mod tests {
                 symbols: vec![0; 4],
                 card_bits: vec![1; 4],
             },
-            ids: vec![1, 2, 3],
+            slice: crate::tree::LeafSlice { offset: 0, len: 3 },
         }
     }
 
@@ -184,6 +214,21 @@ mod tests {
         let mut sizes: Vec<usize> = queues.iter().map(|q| q.len()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 3, 3]);
+    }
+
+    #[test]
+    fn bounded_set_preallocates_threshold_capacity() {
+        let l = leaf();
+        let mut set = BoundedPqSet::new(64);
+        assert!(set.active.capacity() >= 64, "initial queue preallocated");
+        for i in 0..64 {
+            set.push(i as f64, &l);
+        }
+        assert_eq!(set.sealed.len(), 1);
+        assert!(
+            set.active.capacity() >= 64,
+            "rollover queue preallocated, not grown from empty"
+        );
     }
 
     #[test]

@@ -3,25 +3,69 @@
 //! Each summarization buffer becomes one **root subtree** (Figure 1d).
 //! Inner nodes split by refining one segment's cardinality by one bit; the
 //! two children cover the two halves of the parent's region. Leaves hold
-//! series ids only — the raw values stay in the shared [`DatasetBuffer`]
-//! and the per-series SAX words in [`Summaries`], which is what lets the
-//! work-stealing protocol hand work across nodes without moving data.
+//! no series data at all — only a [`LeafSlice`]: a contiguous slot range
+//! in the index's *scan layout* (`crate::layout::LeafLayout`), where the
+//! raw values and SAX words of every leaf are stored back to back. The
+//! work-stealing protocol still never moves data across nodes: thieves
+//! rebuild identical trees (construction is deterministic — split
+//! choices and the leaf permutation depend only on the data), so slot
+//! ranges mean the same thing on every node of a replication group.
 //!
-//! Construction is deterministic (split choices depend only on the data),
-//! so nodes of a replication group build bit-identical trees from their
-//! shared chunk.
+//! [`build_forest`] therefore returns the forest *plus* the scan
+//! permutation (`scan position -> original series id`) that the layout
+//! is materialized from.
 
 use crate::buffers::{SummarizationBuffer, SummarizationBuffers, Summaries};
 use crate::sax::{IsaxWord, MAX_CARD_BITS};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A leaf node: the series ids whose summaries fall in `word`'s region.
+/// A contiguous range of scan-layout slots (see
+/// `crate::layout::LeafLayout`).
+///
+/// **Contract:** leaf slices of one index partition `[0, num_series)` —
+/// pairwise disjoint, and every position covered by exactly one leaf.
+/// Within a slice, positions are ordered by ascending original series
+/// id (dataset order), which is what keeps construction — and hence the
+/// replication/stealing protocol — deterministic. The mapping from
+/// positions back to original ids lives in the index's layout
+/// (`LeafLayout::original_id`); answers always report original ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafSlice {
+    /// First scan position of the leaf's series.
+    pub offset: u32,
+    /// Number of series stored in the leaf.
+    pub len: u32,
+}
+
+impl LeafSlice {
+    /// The covered scan positions as a `usize` range.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        let s = self.offset as usize;
+        s..s + self.len as usize
+    }
+
+    /// Number of series in the leaf.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the leaf stores no series.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A leaf node: an iSAX region plus the scan-layout slots of the series
+/// whose summaries fall in that region.
 #[derive(Debug)]
 pub struct Leaf {
     /// The iSAX region this leaf covers.
     pub word: IsaxWord,
-    /// Ids of the series stored here, in dataset order.
-    pub ids: Vec<u32>,
+    /// The leaf's contiguous slot range in the scan layout.
+    pub slice: LeafSlice,
 }
 
 /// A tree node.
@@ -66,7 +110,7 @@ impl Node {
             Node::Inner { children, .. } => {
                 children[0].series_count() + children[1].series_count()
             }
-            Node::Leaf(l) => l.ids.len(),
+            Node::Leaf(l) => l.slice.len(),
         }
     }
 
@@ -78,8 +122,9 @@ impl Node {
         }
     }
 
-    /// Approximate heap size of the subtree in bytes (ids + words + nodes);
-    /// feeds the index-size experiment (Figure 14).
+    /// Approximate heap size of the subtree in bytes (words + nodes);
+    /// feeds the index-size experiment (Figure 14). Per-leaf id storage
+    /// lives in the scan layout and is accounted there.
     pub fn size_bytes(&self) -> usize {
         let word_bytes = |w: &IsaxWord| w.symbols.len() * 2;
         match self {
@@ -89,9 +134,7 @@ impl Node {
                     + children[0].size_bytes()
                     + children[1].size_bytes()
             }
-            Node::Leaf(l) => {
-                std::mem::size_of::<Node>() + word_bytes(&l.word) + l.ids.len() * 4
-            }
+            Node::Leaf(l) => std::mem::size_of::<Node>() + word_bytes(&l.word),
         }
     }
 
@@ -169,19 +212,30 @@ fn choose_split(word: &IsaxWord, ids: &[u32], summaries: &Summaries) -> Option<u
     }
 }
 
-/// Recursively builds a node for `word` covering `ids`.
+/// Recursively builds a node for `word` covering `ids`, appending each
+/// finished leaf's ids to `perm` (the subtree-local scan permutation)
+/// and recording the covered range as the leaf's slice.
 fn build_node(
     word: IsaxWord,
     ids: Vec<u32>,
     summaries: &Summaries,
     leaf_capacity: usize,
+    perm: &mut Vec<u32>,
 ) -> Node {
+    let make_leaf = |word: IsaxWord, ids: Vec<u32>, perm: &mut Vec<u32>| {
+        let slice = LeafSlice {
+            offset: perm.len() as u32,
+            len: ids.len() as u32,
+        };
+        perm.extend_from_slice(&ids);
+        Node::Leaf(Leaf { word, slice })
+    };
     if ids.len() <= leaf_capacity {
-        return Node::Leaf(Leaf { word, ids });
+        return make_leaf(word, ids, perm);
     }
     let Some(seg) = choose_split(&word, &ids, summaries) else {
         // Identical summaries beyond capacity: keep an oversized leaf.
-        return Node::Leaf(Leaf { word, ids });
+        return make_leaf(word, ids, perm);
     };
     let shift = MAX_CARD_BITS - word.card_bits[seg] - 1;
     let (mut zeros, mut ones) = (Vec::new(), Vec::new());
@@ -192,8 +246,8 @@ fn build_node(
             zeros.push(id);
         }
     }
-    let child0 = build_node(word.refine(seg, 0), zeros, summaries, leaf_capacity);
-    let child1 = build_node(word.refine(seg, 1), ones, summaries, leaf_capacity);
+    let child0 = build_node(word.refine(seg, 0), zeros, summaries, leaf_capacity, perm);
+    let child1 = build_node(word.refine(seg, 1), ones, summaries, leaf_capacity, perm);
     Node::Inner {
         word,
         split_seg: seg,
@@ -201,12 +255,14 @@ fn build_node(
     }
 }
 
-/// Builds the root subtree of one summarization buffer.
+/// Builds the root subtree of one summarization buffer, returning the
+/// subtree (leaf slices local to this subtree, i.e. starting at 0) and
+/// its scan permutation (local position -> original series id).
 pub fn build_root_subtree(
     buffer: &SummarizationBuffer,
     summaries: &Summaries,
     leaf_capacity: usize,
-) -> RootSubtree {
+) -> (RootSubtree, Vec<u32>) {
     let segs = summaries.segments();
     let mut symbols = vec![0u8; segs];
     for (i, sym) in symbols.iter_mut().enumerate() {
@@ -216,11 +272,27 @@ pub fn build_root_subtree(
         symbols,
         card_bits: vec![1; segs],
     };
-    let node = build_node(word, buffer.ids.clone(), summaries, leaf_capacity);
-    RootSubtree {
-        key: buffer.key,
-        node,
-        size: buffer.ids.len(),
+    let mut perm = Vec::with_capacity(buffer.ids.len());
+    let node = build_node(word, buffer.ids.clone(), summaries, leaf_capacity, &mut perm);
+    (
+        RootSubtree {
+            key: buffer.key,
+            node,
+            size: buffer.ids.len(),
+        },
+        perm,
+    )
+}
+
+/// Shifts every leaf slice below `node` by `base` scan positions
+/// (relocating a subtree-local permutation into the global one).
+fn shift_slices(node: &mut Node, base: u32) {
+    match node {
+        Node::Inner { children, .. } => {
+            shift_slices(&mut children[0], base);
+            shift_slices(&mut children[1], base);
+        }
+        Node::Leaf(l) => l.slice.offset += base,
     }
 }
 
@@ -228,14 +300,19 @@ pub fn build_root_subtree(
 /// with `Fetch&Add` and grow them independently (the embarrassingly
 /// parallel phase the paper inherits from MESSI). Output order matches
 /// buffer order (ascending key), independent of thread interleaving.
+///
+/// Returns the forest plus the global scan permutation: subtree-local
+/// permutations concatenated in buffer order, with every leaf slice
+/// shifted to its global offset. `perm[p]` is the original id of the
+/// series stored at scan position `p`.
 pub fn build_forest(
     buffers: &SummarizationBuffers,
     summaries: &Summaries,
     leaf_capacity: usize,
     n_threads: usize,
-) -> Vec<RootSubtree> {
+) -> (Vec<RootSubtree>, Vec<u32>) {
     let nb = buffers.len();
-    let mut slots: Vec<Option<RootSubtree>> = Vec::with_capacity(nb);
+    let mut slots: Vec<Option<(RootSubtree, Vec<u32>)>> = Vec::with_capacity(nb);
     slots.resize_with(nb, || None);
     let next = AtomicUsize::new(0);
     let n_threads = n_threads.max(1).min(nb.max(1));
@@ -257,13 +334,18 @@ pub fn build_forest(
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every buffer index was claimed"))
-        .collect()
+    let mut forest = Vec::with_capacity(nb);
+    let mut perm = Vec::with_capacity(summaries.num_series());
+    for slot in slots {
+        let (mut st, local) = slot.expect("every buffer index was claimed");
+        shift_slices(&mut st.node, perm.len() as u32);
+        perm.extend_from_slice(&local);
+        forest.push(st);
+    }
+    (forest, perm)
 }
 
-struct SlotsPtr(*mut Option<RootSubtree>);
+struct SlotsPtr(*mut Option<(RootSubtree, Vec<u32>)>);
 unsafe impl Send for SlotsPtr {}
 unsafe impl Sync for SlotsPtr {}
 
@@ -292,41 +374,51 @@ mod tests {
         DatasetBuffer::from_vec(data, len)
     }
 
-    fn forest_for(n: usize, cap: usize) -> (Vec<RootSubtree>, Summaries) {
+    fn forest_for(n: usize, cap: usize) -> (Vec<RootSubtree>, Vec<u32>, Summaries) {
         let data = walk_dataset(n, 64, 1234);
         let summaries = Summaries::compute(&data, 8, 2);
         let buffers = SummarizationBuffers::build(&summaries);
-        let forest = build_forest(&buffers, &summaries, cap, 3);
-        (forest, summaries)
+        let (forest, perm) = build_forest(&buffers, &summaries, cap, 3);
+        (forest, perm, summaries)
     }
 
     #[test]
     fn forest_stores_every_series_once() {
-        let (forest, _) = forest_for(800, 16);
+        let (forest, perm, _) = forest_for(800, 16);
         let total: usize = forest.iter().map(|t| t.node.series_count()).sum();
         assert_eq!(total, 800);
-        let mut seen = vec![false; 800];
+        assert_eq!(perm.len(), 800);
+        // Leaf slices partition the scan positions, and the permutation
+        // covers every original id exactly once.
+        let mut pos_seen = vec![false; 800];
         for t in &forest {
             t.node.for_each_leaf(&mut |leaf| {
-                for &id in &leaf.ids {
-                    assert!(!seen[id as usize]);
-                    seen[id as usize] = true;
+                for p in leaf.slice.range() {
+                    assert!(!pos_seen[p], "position {p} covered twice");
+                    pos_seen[p] = true;
                 }
             });
         }
-        assert!(seen.iter().all(|&b| b));
+        assert!(pos_seen.iter().all(|&b| b));
+        let mut id_seen = vec![false; 800];
+        for &id in &perm {
+            assert!(!id_seen[id as usize], "id {id} appears twice");
+            id_seen[id as usize] = true;
+        }
+        assert!(id_seen.iter().all(|&b| b));
     }
 
     #[test]
     fn leaves_respect_capacity_or_are_unsplittable() {
-        let (forest, summaries) = forest_for(1000, 8);
+        let (forest, perm, summaries) = forest_for(1000, 8);
         for t in &forest {
             t.node.for_each_leaf(&mut |leaf| {
-                if leaf.ids.len() > 8 {
+                if leaf.slice.len() > 8 {
                     // Oversized leaves are only allowed when summaries are
                     // identical on all refinable bits.
-                    let first = summaries.sax(leaf.ids[0]).to_vec();
-                    for &id in &leaf.ids {
+                    let ids = &perm[leaf.slice.range()];
+                    let first = summaries.sax(ids[0]).to_vec();
+                    for &id in ids {
                         assert_eq!(summaries.sax(id), &first[..]);
                     }
                 }
@@ -335,11 +427,26 @@ mod tests {
     }
 
     #[test]
-    fn leaf_words_contain_their_series() {
-        let (forest, summaries) = forest_for(600, 12);
+    fn leaf_ids_ascend_within_each_slice() {
+        // The permutation stores each leaf's series in dataset order —
+        // the determinism contract documented on `LeafSlice`.
+        let (forest, perm, _) = forest_for(700, 10);
         for t in &forest {
             t.node.for_each_leaf(&mut |leaf| {
-                for &id in &leaf.ids {
+                let ids = &perm[leaf.slice.range()];
+                for w in ids.windows(2) {
+                    assert!(w[0] < w[1], "leaf ids must ascend");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn leaf_words_contain_their_series() {
+        let (forest, perm, summaries) = forest_for(600, 12);
+        for t in &forest {
+            t.node.for_each_leaf(&mut |leaf| {
+                for &id in &perm[leaf.slice.range()] {
                     assert!(
                         leaf.word.contains(summaries.sax(id)),
                         "leaf word must cover every stored series"
@@ -366,7 +473,7 @@ mod tests {
                 }
             }
         }
-        let (forest, _) = forest_for(700, 10);
+        let (forest, _, _) = forest_for(700, 10);
         for t in &forest {
             check(&t.node);
         }
@@ -377,16 +484,17 @@ mod tests {
         let data = walk_dataset(500, 64, 77);
         let summaries = Summaries::compute(&data, 8, 2);
         let buffers = SummarizationBuffers::build(&summaries);
-        let f1 = build_forest(&buffers, &summaries, 10, 1);
-        let f4 = build_forest(&buffers, &summaries, 10, 4);
+        let (f1, p1) = build_forest(&buffers, &summaries, 10, 1);
+        let (f4, p4) = build_forest(&buffers, &summaries, 10, 4);
         assert_eq!(f1.len(), f4.len());
+        assert_eq!(p1, p4, "scan permutation must not depend on threads");
         for (a, b) in f1.iter().zip(&f4) {
             assert_eq!(a.key, b.key);
             assert_eq!(a.size, b.size);
             let mut la = Vec::new();
             let mut lb = Vec::new();
-            a.node.for_each_leaf(&mut |l| la.push(l.ids.clone()));
-            b.node.for_each_leaf(&mut |l| lb.push(l.ids.clone()));
+            a.node.for_each_leaf(&mut |l| la.push(l.slice));
+            b.node.for_each_leaf(&mut |l| lb.push(l.slice));
             assert_eq!(la, lb);
         }
     }

@@ -63,6 +63,74 @@ fn persisted_index_answers_like_the_original_through_files() {
 }
 
 #[test]
+fn persisted_layout_supports_stolen_batch_runs() {
+    // The leaf-contiguous layout must survive persistence *including*
+    // the work-stealing contract: an owner run with pre-stolen batches
+    // plus a thief run on the loaded copy — two "nodes" of a
+    // replication group, one built fresh, one loaded from disk — must
+    // compose to the exact answer. This only works if the loaded index
+    // has a bit-identical scan permutation and forest.
+    use odyssey::core::search::bsf::SharedBsf;
+    use odyssey::core::search::exact::{run_search, StealView};
+    use odyssey::core::search::kernel::EdKernel;
+
+    let data = random_walk(1_400, 64, 0xBEEF);
+    let index = Index::build(
+        data.clone(),
+        IndexConfig::new(64).with_segments(8).with_leaf_capacity(24),
+        2,
+    );
+    let mut bytes = Vec::new();
+    persist::save_index(&index, &mut bytes).expect("save");
+    let loaded = persist::load_index(&mut bytes.as_slice()).expect("load");
+    assert_eq!(
+        index.layout().scan_to_id(),
+        loaded.layout().scan_to_id(),
+        "replication determinism: loaded scan permutation is identical"
+    );
+
+    let w = QueryWorkload::generate(&data, 4, WorkloadKind::Hard, 0xFEED);
+    for qi in 0..w.len() {
+        let q = w.query(qi);
+        let want = index.brute_force(q);
+        // Plain answers agree between fresh and loaded copies.
+        let a = index.exact_search(q, 2);
+        let b = loaded.exact_search(q, 2);
+        assert_eq!(a.distance, b.distance, "query {qi}");
+        assert_eq!(a.series_id, b.series_id, "query {qi}");
+
+        // Owner (fresh index) runs with two batches pre-stolen; the
+        // thief completes them on the *loaded* index.
+        let kernel = EdKernel::new(q, index.config().segments);
+        let params = SearchParams::new(2).with_nsb(6);
+        let approx = index.approx_search(q);
+        let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
+        let view = StealView::new();
+        view.test_init(6);
+        let stolen = view.try_steal(2);
+        assert_eq!(stolen.len(), 0, "nothing stealable before processing");
+        // Mark batches 4 and 5 stolen up front via the published state.
+        view.test_publish(vec![0, 1, 2, 3, 4, 5]);
+        let stolen = view.try_steal(2);
+        assert_eq!(stolen, vec![5, 4]);
+        run_search(&index, &kernel, &params, &bsf, None, &view, &|_, _| {});
+        run_search(
+            &loaded,
+            &kernel,
+            &params,
+            &bsf,
+            Some(&stolen),
+            &StealView::new(),
+            &|_, _| {},
+        );
+        assert!(
+            (bsf.answer().distance - want.distance).abs() < 1e-9,
+            "query {qi}: stolen-batch composition across persistence"
+        );
+    }
+}
+
+#[test]
 fn dataset_file_roundtrip_feeds_a_cluster() {
     let data = random_walk(600, 64, 0x10);
     let path = std::env::temp_dir().join(format!(

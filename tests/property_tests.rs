@@ -16,7 +16,7 @@ use odyssey::core::paa::paa;
 use odyssey::core::sax::{mindist_paa_isax_sq, mindist_paa_sax_sq, sax_word_into, IsaxWord};
 use odyssey::core::search::dtw_search::DtwKernel;
 use odyssey::core::search::exact::{exact_search, SearchParams};
-use odyssey::core::search::kernel::QueryKernel;
+use odyssey::core::search::kernel::{EdKernel, QueryKernel};
 use odyssey::core::series::{znormalized, DatasetBuffer};
 use odyssey::partition::{gray, validate_partition, PartitioningScheme};
 use proptest::prelude::*;
@@ -75,6 +75,30 @@ proptest! {
     ) {
         let dtw = dtw_banded(&a, &b, window, f64::INFINITY).expect("unbounded");
         prop_assert!(dtw <= euclidean_sq(&a, &b) + 1e-6);
+    }
+
+    #[test]
+    fn table_kernel_bit_identical_to_reference_mindist(
+        q in series_strategy(64),
+        sax in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        // The per-query lookup-table kernel must reproduce the reference
+        // mindist implementations *bit for bit* — for arbitrary symbol
+        // words, not just words of real series.
+        let segs = sax.len();
+        let kernel = EdKernel::new(&q, segs);
+        let qp = paa(&q, segs);
+        let want_series = mindist_paa_sax_sq(&qp, &sax, 64);
+        prop_assert_eq!(kernel.series_lb_sq(&sax).to_bits(), want_series.to_bits());
+        for bits in 1..=8u8 {
+            let word = IsaxWord::from_sax(&sax, bits);
+            let want_node = mindist_paa_isax_sq(&qp, &word, 64);
+            prop_assert_eq!(kernel.node_lb_sq(&word).to_bits(), want_node.to_bits());
+        }
+        // The batched block pass must agree with the scalar path.
+        let mut out = [0.0f64];
+        kernel.lb_block_sq(&sax, segs, &mut out);
+        prop_assert_eq!(out[0].to_bits(), want_series.to_bits());
     }
 
     #[test]
@@ -170,6 +194,66 @@ proptest! {
         let params = SearchParams::new(n_threads).with_nsb(nsb).with_th(th);
         let got = exact_search(&index, q, &params);
         prop_assert!((got.answer.distance - want.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soundness_chain_holds_under_leaf_contiguous_layout(
+        seed in any::<u64>(),
+        segs in 2usize..12,
+        cap in 4usize..32,
+    ) {
+        // For every leaf and every scan position inside it:
+        // node_lb(leaf word) <= series_lb(scan sax) <= true distance —
+        // the chain that makes pruning over the permuted layout exact.
+        // Also pins the layout's position/id coherence.
+        let data = odyssey::workloads::generator::noisy_walk(250, 48, seed);
+        let index = Index::build(
+            data,
+            IndexConfig::new(48).with_segments(segs).with_leaf_capacity(cap),
+            2,
+        );
+        let qb = odyssey::workloads::generator::random_walk(1, 48, seed ^ 0x99);
+        let q = qb.series(0);
+        let kernel = EdKernel::new(q, segs);
+        let layout = index.layout();
+        for st in index.forest() {
+            let mut ok = Ok(());
+            st.node.for_each_leaf(&mut |leaf| {
+                if ok.is_err() {
+                    return;
+                }
+                let node_lb = kernel.node_lb_sq(&leaf.word);
+                for p in leaf.slice.range() {
+                    let id = layout.original_id(p);
+                    if layout.sax(p) != index.sax_by_id(id) {
+                        ok = Err("scan sax diverges from summaries");
+                        return;
+                    }
+                    if layout.series(p) != index.series_by_id(id) {
+                        ok = Err("scan data diverges from id lookup");
+                        return;
+                    }
+                    let series_lb = kernel.series_lb_sq(layout.sax(p));
+                    let real = euclidean_sq(q, layout.series(p));
+                    if node_lb > series_lb + 1e-9 {
+                        ok = Err("node_lb exceeds series_lb");
+                        return;
+                    }
+                    if series_lb > real + 1e-6 {
+                        ok = Err("series_lb exceeds the true distance");
+                        return;
+                    }
+                }
+            });
+            prop_assert!(ok.is_ok(), "{}", ok.unwrap_err());
+        }
+        // Sanity: the leaf view above saw a real partition of the data.
+        let covered: usize = index
+            .forest()
+            .iter()
+            .map(|st| st.node.series_count())
+            .sum();
+        prop_assert_eq!(covered, index.num_series());
     }
 
     #[test]
