@@ -1,0 +1,154 @@
+//! Batch-engine throughput smoke benchmark: emits `BENCH_batch.json`
+//! comparing the persistent [`BatchEngine`] worker pool against the
+//! per-query `std::thread::scope` path on the same easy-query workload
+//! (where per-query thread/scratch setup dominates).
+//!
+//! Runs as a CI smoke step next to `hotpath`: queries/sec plus p50/p99
+//! latency for both execution modes, and a brute-force exactness check
+//! (zero mismatches is part of the contract).
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin batch_throughput [out.json]
+//! ```
+//!
+//! `ODYSSEY_BENCH_SCALE` multiplies the dataset and query counts as in
+//! every other harness.
+
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::engine::{BatchEngine, BatchQuery, QueryKind};
+use odyssey_core::search::exact::{exact_search, SearchParams};
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+use std::sync::Arc;
+
+/// Threads per query execution (both modes). Easy queries do not
+/// profit from intra-query parallelism, which is exactly the regime
+/// where per-query thread provisioning is pure overhead.
+const THREADS: usize = 8;
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct ModeReport {
+    median_us: f64,
+    p99_us: f64,
+    qps: f64,
+}
+
+fn report(mut latencies_us: Vec<f64>, total_s: f64) -> ModeReport {
+    latencies_us.sort_by(f64::total_cmp);
+    ModeReport {
+        median_us: percentile_us(&latencies_us, 0.5),
+        p99_us: percentile_us(&latencies_us, 0.99),
+        qps: latencies_us.len() as f64 / total_s,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+    let scale = odyssey_bench::scale();
+    let n_series = 8_000 * scale;
+    let series_len = 128;
+    let n_queries = 64 * scale;
+    let data = random_walk(n_series, series_len, 0x501);
+    let index = Arc::new(Index::build(
+        data.clone(),
+        IndexConfig::new(series_len)
+            .with_segments(16)
+            .with_leaf_capacity(128),
+        2,
+    ));
+    // The easy-query mix: near-duplicates of indexed series, whose
+    // searches finish quickly — setup overhead dominates.
+    let workload = QueryWorkload::generate(&data, n_queries, WorkloadKind::Easy { noise: 0.005 }, 0x502);
+    let params = SearchParams::new(THREADS);
+    let engine = BatchEngine::new(Arc::clone(&index), THREADS);
+
+    // Warm-up both paths (page in the layout, spin up the pool).
+    for qi in 0..n_queries.min(4) {
+        let _ = exact_search(&index, workload.query(qi), &params);
+        let _ = engine.exact(workload.query(qi), &params);
+    }
+
+    // --- Per-query-scope baseline (the pre-engine execution path) ------
+    let mut scope_lat = Vec::with_capacity(n_queries);
+    let mut scope_answers = Vec::with_capacity(n_queries);
+    let t0 = std::time::Instant::now();
+    for qi in 0..n_queries {
+        let q = workload.query(qi);
+        let t = std::time::Instant::now();
+        let out = exact_search(&index, q, &params);
+        scope_lat.push(t.elapsed().as_secs_f64() * 1e6);
+        scope_answers.push(out.answer);
+    }
+    let scope_total = t0.elapsed().as_secs_f64();
+
+    // --- Persistent pool, one query at a time ---------------------------
+    let mut pool_lat = Vec::with_capacity(n_queries);
+    let mut pool_answers = Vec::with_capacity(n_queries);
+    let t0 = std::time::Instant::now();
+    for qi in 0..n_queries {
+        let q = workload.query(qi);
+        let t = std::time::Instant::now();
+        let out = engine.exact(q, &params);
+        pool_lat.push(t.elapsed().as_secs_f64() * 1e6);
+        pool_answers.push(out.answer);
+    }
+    let pool_total = t0.elapsed().as_secs_f64();
+
+    // --- Whole-batch entry point (what schedulers feed) -----------------
+    let batch: Vec<BatchQuery> = (0..n_queries)
+        .map(|qi| BatchQuery {
+            data: workload.query(qi),
+            kind: QueryKind::Exact,
+        })
+        .collect();
+    let order: Vec<usize> = (0..n_queries).collect();
+    let batch_out = engine.run_batch(&batch, &order, &params);
+    let batch_qps = n_queries as f64 / batch_out.wall.as_secs_f64();
+
+    // Exactness: both modes against brute force, and against each other.
+    let mut mismatches = 0usize;
+    for qi in 0..n_queries {
+        let want = index.brute_force(workload.query(qi));
+        for got in [
+            &scope_answers[qi],
+            &pool_answers[qi],
+            batch_out.items[qi].answer.nn(),
+        ] {
+            if (got.distance - want.distance).abs() > 1e-9 {
+                mismatches += 1;
+            }
+        }
+    }
+
+    let scope = report(scope_lat, scope_total);
+    let pool = report(pool_lat, pool_total);
+    let json = format!(
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"n_series\": {n_series},\n  \
+         \"series_len\": {series_len},\n  \"n_queries\": {n_queries},\n  \
+         \"threads\": {THREADS},\n  \
+         \"scope_median_us\": {:.1},\n  \"scope_p99_us\": {:.1},\n  \
+         \"scope_qps\": {:.1},\n  \
+         \"pool_median_us\": {:.1},\n  \"pool_p99_us\": {:.1},\n  \
+         \"pool_qps\": {:.1},\n  \"batch_qps\": {:.1},\n  \
+         \"speedup_median\": {:.3},\n  \"speedup_throughput\": {:.3},\n  \
+         \"brute_force_mismatches\": {mismatches}\n}}\n",
+        scope.median_us,
+        scope.p99_us,
+        scope.qps,
+        pool.median_us,
+        pool.p99_us,
+        pool.qps,
+        batch_qps,
+        scope.median_us / pool.median_us,
+        pool.qps / scope.qps,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_batch.json");
+    print!("{json}");
+    assert_eq!(mismatches, 0, "engine diverged from brute force");
+}

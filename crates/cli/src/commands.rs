@@ -4,12 +4,13 @@ use crate::args::Args;
 use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
 use odyssey_core::index::{Index, IndexConfig};
 use odyssey_core::persist;
-use odyssey_core::search::dtw_search::dtw_search;
-use odyssey_core::search::exact::{exact_search, SearchParams};
-use odyssey_core::search::knn::knn_search;
+use odyssey_core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
+use odyssey_core::search::exact::SearchParams;
+use odyssey_sched::scheduler::dynamic_order;
 use odyssey_workloads::generator;
 use odyssey_workloads::io as wio;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
@@ -109,6 +110,11 @@ fn cmd_index_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Answers the whole query file as **one batch** on a persistent
+/// [`BatchEngine`]: the worker pool and scratch arenas are set up once,
+/// and the dispatch order comes from the PREDICT-DN policy (descending
+/// approximate-search cost estimate), exactly how the cluster runtime's
+/// schedulers feed node engines.
 fn cmd_query(args: &Args) -> Result<(), String> {
     let index = persist::load_index_file(Path::new(args.require("index")?))
         .map_err(|e| e.to_string())?;
@@ -119,33 +125,55 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let k: usize = args.get_or("k", 1)?;
     let dtw_window: usize = args.get_or("dtw-window", 0)?;
     let params = SearchParams::new(threads);
-    for qi in 0..queries.num_series() {
-        let q = queries.series(qi);
-        if dtw_window > 0 {
-            let (ans, stats) = dtw_search(&index, q, dtw_window, &params);
-            println!(
+    let kind = if dtw_window > 0 {
+        QueryKind::Dtw(dtw_window)
+    } else if k > 1 {
+        QueryKind::Knn(k)
+    } else {
+        QueryKind::Exact
+    };
+    // PREDICT-DN dispatch order: hardest (highest initial-BSF) first.
+    let estimates: Vec<f64> = (0..queries.num_series())
+        .map(|qi| index.approx_search(queries.series(qi)).distance)
+        .collect();
+    let order = dynamic_order(&estimates, true);
+    let batch: Vec<BatchQuery> = (0..queries.num_series())
+        .map(|qi| BatchQuery {
+            data: queries.series(qi),
+            kind,
+        })
+        .collect();
+    let engine = BatchEngine::new(Arc::new(index), threads);
+    let outcome = engine.run_batch(&batch, &order, &params);
+    for (qi, item) in outcome.items.iter().enumerate() {
+        match &item.answer {
+            BatchAnswer::Nn(ans) if dtw_window > 0 => println!(
                 "query {qi}: DTW 1-NN id={:?} dist={:.6} ({} dtw computations)",
-                ans.series_id, ans.distance, stats.real_distance_computations
-            );
-        } else if k > 1 {
-            let (knn, _) = knn_search(&index, q, k, &params);
-            let hits: Vec<String> = knn
-                .neighbors
-                .iter()
-                .map(|&(d, id)| format!("{id}:{:.4}", d.sqrt()))
-                .collect();
-            println!("query {qi}: {k}-NN [{}]", hits.join(", "));
-        } else {
-            let out = exact_search(&index, q, &params);
-            println!(
+                ans.series_id, ans.distance, item.stats.real_distance_computations
+            ),
+            BatchAnswer::Nn(ans) => println!(
                 "query {qi}: 1-NN id={:?} dist={:.6} (initial BSF {:.4}, {} real dists)",
-                out.answer.series_id,
-                out.answer.distance,
-                out.stats.initial_bsf,
-                out.stats.real_distance_computations
-            );
+                ans.series_id,
+                ans.distance,
+                item.stats.initial_bsf,
+                item.stats.real_distance_computations
+            ),
+            BatchAnswer::Knn(knn) => {
+                let hits: Vec<String> = knn
+                    .neighbors
+                    .iter()
+                    .map(|&(d, id)| format!("{id}:{:.4}", d.sqrt()))
+                    .collect();
+                println!("query {qi}: {k}-NN [{}]", hits.join(", "));
+            }
         }
     }
+    println!(
+        "batch: {} queries in {:?} on a {}-thread engine",
+        outcome.items.len(),
+        outcome.wall,
+        engine.n_threads()
+    );
     Ok(())
 }
 

@@ -20,7 +20,8 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 use odyssey_core::index::{BuildTimes, Index, IndexConfig};
 use odyssey_core::search::answer::{Answer, KnnAnswer};
 use odyssey_core::search::dtw_search::{approx_dtw, DtwKernel};
-use odyssey_core::search::exact::{run_search, SearchParams, SearchStats, StealView};
+use odyssey_core::search::engine::BatchEngine;
+use odyssey_core::search::exact::{SearchParams, SearchStats, StealView};
 use odyssey_core::search::kernel::{EdKernel, QueryKernel};
 use odyssey_core::search::knn::seed_from_approx_leaf;
 use odyssey_core::series::DatasetBuffer;
@@ -492,9 +493,16 @@ impl OdysseyCluster {
                 // Node worker thread.
                 let speed = self.config.node_speed(node);
                 scope.spawn(move || {
+                    // One persistent engine per node: thread-pool and
+                    // scratch setup is paid once for the whole batch,
+                    // not once per query (the node's "resident" cores).
+                    let engine = BatchEngine::new(
+                        Arc::clone(&index),
+                        self.config.threads_per_node,
+                    );
                     while let Some(qid) = dispatch[g].next(member_idx) {
                         let stats = self.execute_query(
-                            &index,
+                            &engine,
                             queries.series(qid),
                             qid,
                             mode,
@@ -543,7 +551,7 @@ impl OdysseyCluster {
                             steals_successful.fetch_add(1, Ordering::Relaxed);
                             let qid = resp.query_id.expect("non-empty steal has query");
                             let stats = self.execute_query(
-                                &index,
+                                &engine,
                                 queries.series(qid),
                                 qid,
                                 mode,
@@ -662,11 +670,12 @@ impl OdysseyCluster {
     }
 
     /// Executes one query (or one stolen batch subset of it) on a node's
-    /// index, merging the local answer into the boards.
+    /// resident [`BatchEngine`], merging the local answer into the
+    /// boards.
     #[allow(clippy::too_many_arguments)]
     fn execute_query(
         &self,
-        index: &Arc<Index>,
+        engine: &BatchEngine,
         query: &[f32],
         qid: usize,
         mode: BatchMode,
@@ -678,6 +687,7 @@ impl OdysseyCluster {
         stolen: Option<(&[usize], f64)>,
         speed: f64,
     ) -> SearchStats {
+        let index = engine.index();
         let params = SearchParams::new(self.config.threads_per_node)
             .with_th(self.config.pq_threshold)
             .with_nsb(self.config.rs_batches);
@@ -719,8 +729,7 @@ impl OdysseyCluster {
                     }
                 }
             };
-            let stats = odyssey_core::search::exact::run_search_with_service(
-                index,
+            let stats = engine.run_query(
                 kernel,
                 &params,
                 &bsf,
@@ -803,6 +812,10 @@ impl OdysseyCluster {
                 let per_node_units = &per_node_units;
                 let index = Arc::clone(&self.chunk_index[g]);
                 scope.spawn(move || {
+                    let engine = BatchEngine::new(
+                        Arc::clone(&index),
+                        self.config.threads_per_node,
+                    );
                     let params = SearchParams::new(self.config.threads_per_node)
                         .with_th(self.config.pq_threshold)
                         .with_nsb(self.config.rs_batches);
@@ -812,14 +825,14 @@ impl OdysseyCluster {
                         let set = BoardKnn::new(k, board_opt);
                         seed_from_approx_leaf(&index, q, &set.local);
                         let kernel = EdKernel::new(q, index.config().segments);
-                        let stats = run_search(
-                            &index,
+                        let stats = engine.run_query(
                             &kernel,
                             &params,
                             &set,
                             None,
                             &StealView::new(),
                             &|_, _| {},
+                            &|| {},
                         );
                         let mut local = set.local.snapshot();
                         // Translate chunk-local ids to global ids.

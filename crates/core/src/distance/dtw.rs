@@ -24,13 +24,37 @@ pub struct LbKeoghEnvelope {
 ///
 /// Uses the monotonic-deque (Lemire) algorithm, O(n).
 pub fn keogh_envelope(query: &[f32], window: usize) -> LbKeoghEnvelope {
+    ENVELOPE_DEQUES.with(|cell| {
+        let (max_dq, min_dq) = &mut *cell.borrow_mut();
+        max_dq.clear();
+        min_dq.clear();
+        keogh_envelope_with(query, window, max_dq, min_dq)
+    })
+}
+
+thread_local! {
+    /// Reusable monotonic-deque allocations for [`keogh_envelope`]: a
+    /// worker computing DTW-query envelopes back to back (the batch
+    /// engine's workload) allocates them once per thread, not per query.
+    static ENVELOPE_DEQUES: std::cell::RefCell<(
+        std::collections::VecDeque<usize>,
+        std::collections::VecDeque<usize>,
+    )> = const {
+        std::cell::RefCell::new((std::collections::VecDeque::new(), std::collections::VecDeque::new()))
+    };
+}
+
+fn keogh_envelope_with(
+    query: &[f32],
+    window: usize,
+    max_dq: &mut std::collections::VecDeque<usize>,
+    min_dq: &mut std::collections::VecDeque<usize>,
+) -> LbKeoghEnvelope {
     let n = query.len();
     let w = window.min(n.saturating_sub(1));
     let mut upper = vec![0.0f32; n];
     let mut lower = vec![0.0f32; n];
     // Deques of indices; front is the extremum of the current window.
-    let mut max_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-    let mut min_dq: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     for i in 0..n + w {
         if i < n {
             while let Some(&b) = max_dq.back() {
@@ -78,35 +102,90 @@ pub fn keogh_envelope(query: &[f32], window: usize) -> LbKeoghEnvelope {
     }
 }
 
+/// Independent accumulators / abandon-check block of the LB_Keogh
+/// kernel (mirrors the early-abandoning Euclidean kernel).
+const ACCS: usize = 4;
+const ABANDON_BLOCK: usize = 32;
+
+/// Squared pointwise envelope excess, written branchless so the blocked
+/// inner loop vectorizes: `max(c - upper, lower - c, 0)²`.
+#[inline(always)]
+fn env_excess_sq(c: f32, upper: f32, lower: f32) -> f64 {
+    let d = (c - upper).max(lower - c).max(0.0) as f64;
+    d * d
+}
+
 /// Squared LB_Keogh lower bound of the DTW distance between the enveloped
 /// query and `candidate`. Early-abandons past `threshold_sq`, returning
-/// `None` (candidate prunable).
+/// `None` (candidate prunable). Accumulates into [`ACCS`] independent
+/// lanes with one abandon check per [`ABANDON_BLOCK`] elements, so the
+/// inner loop stays branch-free and vectorizable.
 #[inline]
 pub fn lb_keogh_sq(env: &LbKeoghEnvelope, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
     debug_assert_eq!(env.upper.len(), candidate.len());
-    let mut sum = 0.0f64;
-    for (i, &c) in candidate.iter().enumerate() {
-        let d = if c > env.upper[i] {
-            (c - env.upper[i]) as f64
-        } else if c < env.lower[i] {
-            (env.lower[i] - c) as f64
-        } else {
-            0.0
-        };
-        sum += d * d;
-        if sum > threshold_sq {
+    let mut acc = [0.0f64; ACCS];
+    let mut bc = candidate.chunks_exact(ABANDON_BLOCK);
+    let mut bu = env.upper.chunks_exact(ABANDON_BLOCK);
+    let mut bl = env.lower.chunks_exact(ABANDON_BLOCK);
+    for ((cb, ub), lb) in bc.by_ref().zip(bu.by_ref()).zip(bl.by_ref()) {
+        for ((cq, uq), lq) in cb
+            .chunks_exact(ACCS)
+            .zip(ub.chunks_exact(ACCS))
+            .zip(lb.chunks_exact(ACCS))
+        {
+            for l in 0..ACCS {
+                acc[l] += env_excess_sq(cq[l], uq[l], lq[l]);
+            }
+        }
+        if acc[0] + acc[1] + acc[2] + acc[3] > threshold_sq {
             return None;
         }
     }
-    Some(sum)
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for ((&c, &u), &l) in bc
+        .remainder()
+        .iter()
+        .zip(bu.remainder())
+        .zip(bl.remainder())
+    {
+        sum += env_excess_sq(c, u, l);
+    }
+    if sum > threshold_sq {
+        None
+    } else {
+        Some(sum)
+    }
 }
 
 /// Squared DTW distance constrained to a Sakoe-Chiba band of half-width
 /// `window`, with early abandoning: returns `None` once every cell of a row
 /// exceeds `threshold_sq`.
 ///
-/// Uses a two-row dynamic program, O(n·window) time and O(n) space.
+/// Uses a two-row dynamic program, O(n·window) time and O(n) space. The
+/// two rows live in a per-thread scratch (the hottest allocation of the
+/// DTW path: one pair per *candidate*, not per query), cleared — not
+/// reallocated — between calls.
 pub fn dtw_banded(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Option<f64> {
+    DTW_ROWS.with(|cell| {
+        let (prev, curr) = &mut *cell.borrow_mut();
+        dtw_banded_with(a, b, window, threshold_sq, prev, curr)
+    })
+}
+
+thread_local! {
+    /// Reusable DP band rows for [`dtw_banded`].
+    static DTW_ROWS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn dtw_banded_with(
+    a: &[f32],
+    b: &[f32],
+    window: usize,
+    threshold_sq: f64,
+    prev: &mut Vec<f64>,
+    curr: &mut Vec<f64>,
+) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
     if n == 0 {
@@ -114,8 +193,10 @@ pub fn dtw_banded(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Opt
     }
     let w = window.min(n.saturating_sub(1));
     const INF: f64 = f64::INFINITY;
-    let mut prev = vec![INF; n];
-    let mut curr = vec![INF; n];
+    prev.clear();
+    prev.resize(n, INF);
+    curr.clear();
+    curr.resize(n, INF);
     for (i, &ai) in a.iter().enumerate() {
         let lo = i.saturating_sub(w);
         let hi = (i + w).min(n - 1);
@@ -144,7 +225,7 @@ pub fn dtw_banded(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Opt
         if row_min > threshold_sq {
             return None;
         }
-        std::mem::swap(&mut prev, &mut curr);
+        std::mem::swap(prev, curr);
         curr[lo..=hi].iter_mut().for_each(|v| *v = INF);
     }
     let result = prev[n - 1];

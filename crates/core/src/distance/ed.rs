@@ -43,31 +43,48 @@ pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
     euclidean_sq(a, b).sqrt()
 }
 
+/// Number of independent accumulators of the early-abandoning kernels:
+/// breaking the additive dependency chain lets the compiler keep four
+/// FMA chains in flight (and vectorize the inner loop).
+const ACCS: usize = 4;
+
+/// Elements processed between two abandon checks. Checking per block —
+/// instead of per element or per 8-lane chunk — keeps the branch out of
+/// the vectorizable inner loop; the cost is at most one extra block of
+/// arithmetic past the abandon point, which is far cheaper than a
+/// serialized inner loop.
+const ABANDON_BLOCK: usize = 32;
+
 /// Early-abandoning squared Euclidean distance.
 ///
 /// Returns `None` as soon as the partial sum exceeds `threshold_sq`
-/// (the current best-so-far, squared); otherwise returns the full squared
-/// distance. The abandon check runs once per 8-lane chunk so the inner
-/// loop stays vectorizable.
+/// (the current best-so-far, squared); otherwise returns the full
+/// squared distance. Accumulates into [`ACCS`] independent lanes and
+/// checks the abandon condition once per [`ABANDON_BLOCK`] elements.
+///
+/// The returned value may differ from [`euclidean_sq`] in the last few
+/// ulps (different summation order); the `Some`/`None` decision is
+/// exact with respect to this kernel's own sum.
 #[inline]
 pub fn euclidean_sq_early_abandon(a: &[f32], b: &[f32], threshold_sq: f64) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
-    let mut sum = 0.0f64;
-    let chunks = a.len() / LANES;
-    for c in 0..chunks {
-        let base = c * LANES;
-        let mut part = 0.0f64;
-        for l in 0..LANES {
-            let d = (a[base + l] - b[base + l]) as f64;
-            part += d * d;
+    let mut acc = [0.0f64; ACCS];
+    let mut blocks_a = a.chunks_exact(ABANDON_BLOCK);
+    let mut blocks_b = b.chunks_exact(ABANDON_BLOCK);
+    for (ba, bb) in blocks_a.by_ref().zip(blocks_b.by_ref()) {
+        for (qa, qb) in ba.chunks_exact(ACCS).zip(bb.chunks_exact(ACCS)) {
+            for l in 0..ACCS {
+                let d = (qa[l] - qb[l]) as f64;
+                acc[l] += d * d;
+            }
         }
-        sum += part;
-        if sum > threshold_sq {
+        if acc[0] + acc[1] + acc[2] + acc[3] > threshold_sq {
             return None;
         }
     }
-    for i in chunks * LANES..a.len() {
-        let d = (a[i] - b[i]) as f64;
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for (&x, &y) in blocks_a.remainder().iter().zip(blocks_b.remainder()) {
+        let d = (x - y) as f64;
         sum += d * d;
     }
     if sum > threshold_sq {

@@ -17,9 +17,10 @@
 //!
 //! The distributed layer (replication, scheduling, work-stealing) lives in
 //! the `odyssey-cluster` crate and is built on top of the hooks exposed
-//! here (notably [`search::exact::ExactSearcher`] which can traverse an
-//! explicit subset of RS-batches, the primitive that makes data-free
-//! work-stealing possible).
+//! here: [`search::exact::run_search`] can traverse an explicit subset of
+//! RS-batches (the primitive that makes data-free work-stealing
+//! possible), and [`search::engine::BatchEngine`] keeps a node's worker
+//! threads and scratch arenas resident across a whole query batch.
 //!
 //! ## Quick start
 //!

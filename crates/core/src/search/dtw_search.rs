@@ -90,23 +90,18 @@ impl QueryKernel for DtwKernel<'_> {
     }
 }
 
-/// Descends to the approximate-search leaf and returns the best *DTW*
-/// squared distance inside it plus the series id (the initial BSF for
-/// DTW queries). Public so the distributed layer can seed per-node BSFs.
-pub fn approx_dtw(index: &Index, kernel: &DtwKernel) -> (f64, Option<u32>) {
+/// Greedy root-to-leaf descent under the DTW kernel's node bounds:
+/// returns the most promising leaf, or `None` on an empty forest. The
+/// single place both DTW seeding paths ([`approx_dtw`] and
+/// [`dtw_knn_search`]) derive their initial leaf from.
+fn most_promising_leaf<'i>(index: &'i Index, kernel: &DtwKernel) -> Option<&'i crate::tree::Leaf> {
     use crate::tree::Node;
-    if index.forest().is_empty() {
-        return (f64::INFINITY, None);
-    }
     let forest = index.forest();
-    let subtree = forest
-        .iter()
-        .min_by(|a, b| {
-            kernel
-                .node_lb_sq(a.node.word())
-                .total_cmp(&kernel.node_lb_sq(b.node.word()))
-        })
-        .expect("non-empty forest");
+    let subtree = forest.iter().min_by(|a, b| {
+        kernel
+            .node_lb_sq(a.node.word())
+            .total_cmp(&kernel.node_lb_sq(b.node.word()))
+    })?;
     let mut node = &subtree.node;
     loop {
         match node {
@@ -115,24 +110,43 @@ pub fn approx_dtw(index: &Index, kernel: &DtwKernel) -> (f64, Option<u32>) {
                 let d1 = kernel.node_lb_sq(children[1].word());
                 node = if d0 <= d1 { &children[0] } else { &children[1] };
             }
-            Node::Leaf(leaf) => {
-                let layout = index.layout();
-                let mut best = f64::INFINITY;
-                let mut best_id = None;
-                for p in leaf.slice.range() {
-                    if let Some(d) =
-                        dtw_banded(kernel.query, layout.series(p), kernel.window, best)
-                    {
-                        if d < best {
-                            best = d;
-                            best_id = Some(layout.original_id(p));
-                        }
-                    }
-                }
-                return (best, best_id);
+            Node::Leaf(leaf) => return Some(leaf),
+        }
+    }
+}
+
+/// Descends to the approximate-search leaf and returns the best *DTW*
+/// squared distance inside it plus the series id (the initial BSF for
+/// DTW queries). Public so the distributed layer can seed per-node BSFs.
+pub fn approx_dtw(index: &Index, kernel: &DtwKernel) -> (f64, Option<u32>) {
+    let Some(leaf) = most_promising_leaf(index, kernel) else {
+        return (f64::INFINITY, None);
+    };
+    let layout = index.layout();
+    let mut best = f64::INFINITY;
+    let mut best_id = None;
+    for p in leaf.slice.range() {
+        if let Some(d) = dtw_banded(kernel.query, layout.series(p), kernel.window, best) {
+            if d < best {
+                best = d;
+                best_id = Some(layout.original_id(p));
             }
         }
     }
+    (best, best_id)
+}
+
+/// Builds the DTW kernel and an approx-seeded [`SharedBsf`] — the DTW
+/// analogue of [`super::exact::seed_ed`], shared by [`dtw_search`] and
+/// the batch engine.
+pub(crate) fn seed_dtw<'q>(
+    index: &Index,
+    query: &'q [f32],
+    window: usize,
+) -> (DtwKernel<'q>, SharedBsf, f64) {
+    let kernel = DtwKernel::new(query, window, index.config().segments);
+    let (init_sq, init_id) = approx_dtw(index, &kernel);
+    (kernel, SharedBsf::new(init_sq, init_id), init_sq.sqrt())
 }
 
 /// Exact 1-NN DTW search with a Sakoe-Chiba band of `window` points.
@@ -142,9 +156,7 @@ pub fn dtw_search(
     window: usize,
     params: &SearchParams,
 ) -> (Answer, SearchStats) {
-    let kernel = DtwKernel::new(query, window, index.config().segments);
-    let (init_sq, init_id) = approx_dtw(index, &kernel);
-    let bsf = SharedBsf::new(init_sq, init_id);
+    let (kernel, bsf, initial) = seed_dtw(index, query, window);
     let mut stats = run_search(
         index,
         &kernel,
@@ -154,7 +166,7 @@ pub fn dtw_search(
         &StealView::new(),
         &|_, _| {},
     );
-    stats.initial_bsf = init_sq.sqrt();
+    stats.initial_bsf = initial;
     (bsf.answer(), stats)
 }
 
@@ -169,39 +181,14 @@ pub fn dtw_knn_search(
     params: &SearchParams,
 ) -> (super::answer::KnnAnswer, SearchStats) {
     use super::bsf::{ResultSet, SharedKnn};
-    use crate::tree::Node;
     let kernel = DtwKernel::new(query, window, index.config().segments);
     let knn = SharedKnn::new(k);
     // Seed from the most promising leaf (DTW distances).
-    if !index.forest().is_empty() {
-        let forest = index.forest();
-        let subtree = forest
-            .iter()
-            .min_by(|a, b| {
-                kernel
-                    .node_lb_sq(a.node.word())
-                    .total_cmp(&kernel.node_lb_sq(b.node.word()))
-            })
-            .expect("non-empty forest");
-        let mut node = &subtree.node;
-        loop {
-            match node {
-                Node::Inner { children, .. } => {
-                    let d0 = kernel.node_lb_sq(children[0].word());
-                    let d1 = kernel.node_lb_sq(children[1].word());
-                    node = if d0 <= d1 { &children[0] } else { &children[1] };
-                }
-                Node::Leaf(leaf) => {
-                    let layout = index.layout();
-                    for p in leaf.slice.range() {
-                        if let Some(d) =
-                            dtw_banded(query, layout.series(p), window, knn.threshold_sq())
-                        {
-                            knn.offer(d, layout.original_id(p));
-                        }
-                    }
-                    break;
-                }
+    if let Some(leaf) = most_promising_leaf(index, &kernel) {
+        let layout = index.layout();
+        for p in leaf.slice.range() {
+            if let Some(d) = dtw_banded(query, layout.series(p), window, knn.threshold_sq()) {
+                knn.offer(d, layout.original_id(p));
             }
         }
     }

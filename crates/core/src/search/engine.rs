@@ -1,0 +1,655 @@
+//! The persistent batch-query engine.
+//!
+//! Odyssey's headline results are about *batch* throughput: hundreds of
+//! queries dispatched by a scheduling policy onto a fixed set of node
+//! threads. The per-query entry points
+//! ([`exact_search`](super::exact::exact_search) and friends) pay
+//! `std::thread::scope` spawn/join, barrier construction, and scratch
+//! allocation for **every** query; a [`BatchEngine`] pays them **once
+//! per index** instead:
+//!
+//! * a pool of worker threads is created at engine construction and
+//!   stays resident (pinned to cores, best-effort, on Linux) until the
+//!   engine drops;
+//! * each worker owns a scratch arena (lower-bound block buffers,
+//!   priority-queue heap allocations, traversal stacks) that is cleared
+//!   — not reallocated — between queries;
+//! * queries execute **one at a time across all workers**, preserving
+//!   the paper's intra-query parallelism, RS-batch/HelpTH semantics and
+//!   [`StealView`] work-stealing hooks unchanged — the engine runs the
+//!   exact same three-phase body as the per-query path.
+//!
+//! The submitting thread participates as worker 0, so a 1-thread engine
+//! runs queries inline with zero synchronization, and an `n`-thread
+//! engine keeps only `n - 1` resident workers.
+//!
+//! [`BatchEngine::run_batch`] is the entry point the scheduling layer
+//! feeds: it takes a set of [`BatchQuery`]s plus a dispatch *order* (a
+//! permutation, e.g. the descending-cost order of `odyssey-sched`'s
+//! PREDICT-DN policy) and executes the batch on the resident pool.
+
+use super::answer::{Answer, KnnAnswer};
+use super::bsf::ResultSet;
+use super::dtw_search::seed_dtw;
+use super::epsilon::EpsilonRelaxed;
+use super::exact::{
+    seed_ed, ExecShared, SearchOutcome, SearchParams, SearchStats, StealView,
+};
+use super::kernel::QueryKernel;
+use super::knn::seed_knn;
+use super::scratch::WorkerScratch;
+use crate::index::Index;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One query of a batch.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// The (z-normalized) query series.
+    pub data: &'a [f32],
+    /// Which search to run.
+    pub kind: QueryKind,
+}
+
+/// The search mode of a [`BatchQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Euclidean exact 1-NN.
+    Exact,
+    /// Euclidean exact k-NN.
+    Knn(usize),
+    /// DTW exact 1-NN with a Sakoe-Chiba band of the given half-width.
+    Dtw(usize),
+}
+
+/// The answer of one batch item.
+#[derive(Debug, Clone)]
+pub enum BatchAnswer {
+    /// 1-NN answer (Euclidean or DTW).
+    Nn(Answer),
+    /// k-NN answer.
+    Knn(KnnAnswer),
+}
+
+impl BatchAnswer {
+    /// The 1-NN answer, panicking on a k-NN item (test/CLI convenience).
+    pub fn nn(&self) -> &Answer {
+        match self {
+            BatchAnswer::Nn(a) => a,
+            BatchAnswer::Knn(_) => panic!("k-NN item has no 1-NN answer"),
+        }
+    }
+}
+
+/// Result of one query inside a batch.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The answer.
+    pub answer: BatchAnswer,
+    /// Execution statistics of this query.
+    pub stats: SearchStats,
+}
+
+/// Result of [`BatchEngine::run_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One item per input query, in **input order** (not dispatch order).
+    pub items: Vec<BatchItem>,
+    /// Wall-clock duration of the whole batch.
+    pub wall: Duration,
+}
+
+/// A persistent worker-pool search engine bound to one index.
+pub struct BatchEngine {
+    index: Arc<Index>,
+    pool: WorkerPool,
+}
+
+impl BatchEngine {
+    /// Creates an engine with `n_threads` total execution threads (the
+    /// submitting thread counts as one; `n_threads - 1` workers are
+    /// spawned and stay resident until drop).
+    pub fn new(index: Arc<Index>, n_threads: usize) -> Self {
+        let pool = WorkerPool::new(n_threads.max(1));
+        BatchEngine { index, pool }
+    }
+
+    /// The engine's index.
+    pub fn index(&self) -> &Arc<Index> {
+        &self.index
+    }
+
+    /// Total execution threads per query (pool workers + submitter).
+    pub fn n_threads(&self) -> usize {
+        self.pool.n_threads
+    }
+
+    /// Runs one query on the resident pool. Mirrors
+    /// [`super::exact::run_search_with_service`] — same three-phase
+    /// engine, same `batch_subset`/[`StealView`]/`on_improve`/`service`
+    /// hooks — but `params.n_threads` is overridden by the pool size and
+    /// no threads are spawned.
+    ///
+    /// # Panics
+    /// A panic raised by a hook (or the engine body) during the queue
+    /// processing phase propagates to the caller after all workers have
+    /// finished the query. A panic *between the phase barriers* instead
+    /// deadlocks the pool — the same contract as the scoped per-query
+    /// driver, whose threads also block on a shared barrier.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_query<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
+        &self,
+        kernel: &K,
+        params: &SearchParams,
+        results: &R,
+        batch_subset: Option<&[usize]>,
+        view: &StealView,
+        on_improve: &(dyn Fn(f64, u32) + Sync),
+        service: &(dyn Fn() + Sync),
+    ) -> SearchStats {
+        let mut eff = *params;
+        eff.n_threads = self.pool.n_threads;
+        let shared = ExecShared::new(
+            &self.index,
+            kernel,
+            &eff,
+            results,
+            batch_subset,
+            view,
+            on_improve,
+            service,
+        );
+        if shared.has_work() {
+            let barrier = &self.pool.inner.barrier;
+            self.pool
+                .run(&|tid, scratch| shared.worker(tid, barrier, scratch));
+        }
+        shared.finish()
+    }
+
+    /// Exact Euclidean 1-NN on the pool; answer-identical to
+    /// [`super::exact::exact_search`] with the same thread count.
+    pub fn exact(&self, query: &[f32], params: &SearchParams) -> SearchOutcome {
+        let (kernel, bsf, initial) = seed_ed(&self.index, query);
+        let view = StealView::new();
+        let mut stats =
+            self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+        stats.initial_bsf = initial;
+        SearchOutcome {
+            answer: bsf.answer(),
+            stats,
+        }
+    }
+
+    /// ε-approximate 1-NN on the pool (see
+    /// [`super::epsilon::epsilon_search`]).
+    pub fn epsilon(
+        &self,
+        query: &[f32],
+        epsilon: f64,
+        params: &SearchParams,
+    ) -> (Answer, SearchStats) {
+        let (kernel, bsf, initial) = seed_ed(&self.index, query);
+        let relaxed = EpsilonRelaxed::new(&bsf, epsilon);
+        let view = StealView::new();
+        let mut stats =
+            self.run_query(&kernel, params, &relaxed, None, &view, &|_, _| {}, &|| {});
+        stats.initial_bsf = initial;
+        (bsf.answer(), stats)
+    }
+
+    /// Exact Euclidean k-NN on the pool; answer-identical to
+    /// [`super::knn::knn_search`] with the same thread count.
+    pub fn knn(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (KnnAnswer, SearchStats) {
+        let (kernel, knn) = seed_knn(&self.index, query, k);
+        let view = StealView::new();
+        let stats = self.run_query(&kernel, params, &knn, None, &view, &|_, _| {}, &|| {});
+        (knn.snapshot(), stats)
+    }
+
+    /// Exact DTW 1-NN on the pool; answer-identical to
+    /// [`super::dtw_search::dtw_search`] with the same thread count.
+    pub fn dtw(
+        &self,
+        query: &[f32],
+        window: usize,
+        params: &SearchParams,
+    ) -> (Answer, SearchStats) {
+        let (kernel, bsf, initial) = seed_dtw(&self.index, query, window);
+        let view = StealView::new();
+        let mut stats =
+            self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+        stats.initial_bsf = initial;
+        (bsf.answer(), stats)
+    }
+
+    /// Executes a whole batch in the given dispatch `order` (a
+    /// permutation of `0..queries.len()`, e.g. from an `odyssey-sched`
+    /// policy). Queries run one at a time across all pool threads;
+    /// results are returned in input order.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of the query indices.
+    pub fn run_batch(
+        &self,
+        queries: &[BatchQuery],
+        order: &[usize],
+        params: &SearchParams,
+    ) -> BatchOutcome {
+        assert_eq!(
+            order.len(),
+            queries.len(),
+            "dispatch order must cover every query exactly once"
+        );
+        let t0 = std::time::Instant::now();
+        let mut items: Vec<Option<BatchItem>> = (0..queries.len()).map(|_| None).collect();
+        for &qi in order {
+            let slot = items
+                .get_mut(qi)
+                .unwrap_or_else(|| panic!("dispatch order names query {qi} out of range"));
+            assert!(slot.is_none(), "dispatch order repeats query {qi}");
+            let q = &queries[qi];
+            let item = match q.kind {
+                QueryKind::Exact => {
+                    let out = self.exact(q.data, params);
+                    BatchItem {
+                        answer: BatchAnswer::Nn(out.answer),
+                        stats: out.stats,
+                    }
+                }
+                QueryKind::Knn(k) => {
+                    let (ans, stats) = self.knn(q.data, k, params);
+                    BatchItem {
+                        answer: BatchAnswer::Knn(ans),
+                        stats,
+                    }
+                }
+                QueryKind::Dtw(window) => {
+                    let (ans, stats) = self.dtw(q.data, window, params);
+                    BatchItem {
+                        answer: BatchAnswer::Nn(ans),
+                        stats,
+                    }
+                }
+            };
+            items[qi] = Some(item);
+        }
+        BatchOutcome {
+            items: items.into_iter().map(|i| i.expect("order is total")).collect(),
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------
+
+/// A borrowed job: the per-thread engine body of one query.
+type JobRef<'f> = &'f (dyn Fn(usize, &mut WorkerScratch) + Sync + 'f);
+
+/// The lifetime-erased job handle published to resident workers. The
+/// `'static` is a lie told by [`erase_job`]; see its safety note.
+#[derive(Clone, Copy)]
+struct Job(&'static (dyn Fn(usize, &mut WorkerScratch) + Sync + 'static));
+
+/// Erases the borrow lifetime of a job closure.
+///
+/// SAFETY contract (upheld by [`WorkerPool::run`]): the returned `Job`
+/// must not be invoked after `run` returns — `run` blocks until every
+/// worker has finished the job and clears the slot, so the erased
+/// borrow never outlives the real one.
+fn erase_job(f: JobRef<'_>) -> Job {
+    Job(unsafe {
+        std::mem::transmute::<JobRef<'_>, &'static (dyn Fn(usize, &mut WorkerScratch) + Sync)>(f)
+    })
+}
+
+/// Recovers a usable guard from a (practically unreachable) poisoned
+/// pool lock: workers run jobs outside the lock, so a panic can only
+/// poison it between trivial state updates.
+fn lock_state(m: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct PoolState {
+    /// Bumped per job; workers detect new work by epoch change.
+    epoch: u64,
+    job: Option<Job>,
+    /// Resident workers still executing the current job.
+    remaining: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Workers wait here for the next job.
+    work_cv: Condvar,
+    /// The submitter waits here for job completion.
+    done_cv: Condvar,
+    /// Phase barrier shared by all jobs (`n_threads` parties: the
+    /// resident workers plus the submitting thread).
+    barrier: Barrier,
+}
+
+/// A fixed-size persistent thread pool executing one type-erased job at
+/// a time on **all** threads (the submitter participates as tid 0).
+struct WorkerPool {
+    inner: Arc<PoolInner>,
+    /// Scratch of the submitting thread (tid 0). Locking it first also
+    /// serializes concurrent `run` calls.
+    caller_scratch: Mutex<WorkerScratch>,
+    handles: Vec<JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl WorkerPool {
+    fn new(n_threads: usize) -> Self {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            barrier: Barrier::new(n_threads),
+        });
+        let handles = (1..n_threads)
+            .map(|tid| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("odyssey-engine-{tid}"))
+                    .spawn(move || worker_main(&inner, tid))
+                    .expect("spawn batch-engine worker")
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            caller_scratch: Mutex::new(WorkerScratch::default()),
+            handles,
+            n_threads,
+        }
+    }
+
+    /// Runs `f(tid, scratch)` once on every pool thread (the caller
+    /// executes tid 0 inline) and returns when all are done.
+    fn run(&self, f: JobRef<'_>) {
+        // Taking the caller scratch first serializes submissions.
+        let mut scratch = self
+            .caller_scratch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let resident = self.handles.len();
+        if resident > 0 {
+            let mut st = lock_state(&self.inner.state);
+            debug_assert!(st.job.is_none(), "one job at a time");
+            st.epoch += 1;
+            st.job = Some(erase_job(f));
+            st.remaining = resident;
+            drop(st);
+            self.inner.work_cv.notify_all();
+        }
+        // The caller's unwind must NOT escape before every worker has
+        // finished the job: the erased `Job` borrows `f`'s closure (and
+        // everything it captures) from frames above this one, so an
+        // early unwind would leave workers dereferencing a dead stack.
+        // Catch, wait, then resume.
+        let caller_outcome = catch_unwind(AssertUnwindSafe(|| f(0, &mut scratch)));
+        let mut worker_panicked = false;
+        if resident > 0 {
+            let mut st = lock_state(&self.inner.state);
+            while st.remaining > 0 {
+                st = self
+                    .inner
+                    .done_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            st.job = None;
+            worker_panicked = std::mem::take(&mut st.panicked);
+        }
+        drop(scratch);
+        if let Err(payload) = caller_outcome {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a batch-engine worker panicked while executing a query");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock_state(&self.inner.state);
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Resident-worker main loop: pin, then run jobs until shutdown.
+fn worker_main(inner: &PoolInner, tid: usize) {
+    pin_to_core(next_core());
+    let mut scratch = WorkerScratch::default();
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = lock_state(&inner.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("job published with its epoch");
+                }
+                st = inner
+                    .work_cv
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| (job.0)(tid, &mut scratch)));
+        let mut st = lock_state(&inner.state);
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            inner.done_cv.notify_one();
+        }
+    }
+}
+
+/// Hands out target cores round-robin **process-wide**, so the many
+/// engines a cluster simulation creates (one per node) spread their
+/// workers across all cores instead of stacking every engine's worker
+/// `i` onto the same core.
+fn next_core() -> usize {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    NEXT.fetch_add(1, Ordering::Relaxed) % ncpu
+}
+
+/// Best-effort thread pinning (Linux only; a failed or unsupported call
+/// is silently ignored — pinning is an optimization, not a contract).
+#[cfg(target_os = "linux")]
+fn pin_to_core(core: usize) {
+    // Mirrors glibc's `cpu_set_t` (1024 bits).
+    #[repr(C)]
+    struct CpuSet {
+        bits: [u64; 16],
+    }
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const CpuSet) -> i32;
+    }
+    let core = core % 1024;
+    let mut set = CpuSet { bits: [0; 16] };
+    set.bits[core / 64] |= 1u64 << (core % 64);
+    // SAFETY: passes a properly sized, initialized mask for the calling
+    // thread (pid 0); the kernel copies it and keeps no reference.
+    let _ = unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) };
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_core: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexConfig;
+    use crate::series::DatasetBuffer;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+        let mut x = seed | 1;
+        let mut data = Vec::with_capacity(n * len);
+        for _ in 0..n {
+            let mut acc = 0.0f32;
+            let mut s = Vec::with_capacity(len);
+            for _ in 0..len {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+                s.push(acc);
+            }
+            crate::series::znormalize(&mut s);
+            data.extend_from_slice(&s);
+        }
+        DatasetBuffer::from_vec(data, len)
+    }
+
+    fn build(n: usize) -> Arc<Index> {
+        Arc::new(Index::build(
+            walk_dataset(n, 64, 33),
+            IndexConfig::new(64).with_segments(8).with_leaf_capacity(24),
+            2,
+        ))
+    }
+
+    #[test]
+    fn pool_runs_job_on_every_thread() {
+        for n in [1usize, 2, 4] {
+            let pool = WorkerPool::new(n);
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            for _ in 0..3 {
+                pool.run(&|tid, _scratch| {
+                    hits[tid].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            for (tid, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 3, "n={n} tid={tid}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_exact_matches_per_query_path_and_brute_force() {
+        let idx = build(1200);
+        let engine = BatchEngine::new(Arc::clone(&idx), 2);
+        let params = SearchParams::new(2);
+        for qseed in [7u64, 77, 777] {
+            let q = walk_dataset(1, 64, qseed).series(0).to_vec();
+            let want = idx.brute_force(&q);
+            let scope = super::super::exact::exact_search(&idx, &q, &params);
+            let pooled = engine.exact(&q, &params);
+            // Brute force sums in a different lane order than the
+            // early-abandoning kernel: compare with tolerance there,
+            // but bit-exact against the per-query engine path.
+            assert!(
+                (pooled.answer.distance - want.distance).abs() < 1e-9,
+                "qseed={qseed}: engine vs brute force"
+            );
+            assert_eq!(
+                pooled.answer.distance.to_bits(),
+                scope.answer.distance.to_bits(),
+                "qseed={qseed}: engine vs per-query scope"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_reuse_across_many_queries_stays_exact() {
+        // Scratch arenas must not leak state between queries.
+        let idx = build(900);
+        let engine = BatchEngine::new(Arc::clone(&idx), 3);
+        let params = SearchParams::new(3).with_th(16);
+        for qseed in 0..12u64 {
+            let q = walk_dataset(1, 64, 1000 + qseed).series(0).to_vec();
+            let want = idx.brute_force(&q);
+            let got = engine.exact(&q, &params);
+            assert!(
+                (got.answer.distance - want.distance).abs() < 1e-9,
+                "qseed={qseed}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_batch_respects_order_and_returns_input_positions() {
+        let idx = build(800);
+        let engine = BatchEngine::new(Arc::clone(&idx), 2);
+        let qdata: Vec<Vec<f32>> = (0..4)
+            .map(|s| walk_dataset(1, 64, 500 + s).series(0).to_vec())
+            .collect();
+        let queries: Vec<BatchQuery> = qdata
+            .iter()
+            .map(|q| BatchQuery {
+                data: q,
+                kind: QueryKind::Exact,
+            })
+            .collect();
+        let out = engine.run_batch(&queries, &[3, 1, 0, 2], &SearchParams::new(2));
+        assert_eq!(out.items.len(), 4);
+        for (qi, item) in out.items.iter().enumerate() {
+            let want = idx.brute_force(&qdata[qi]);
+            assert!((item.answer.nn().distance - want.distance).abs() < 1e-9, "qi={qi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats query")]
+    fn run_batch_rejects_duplicate_order() {
+        let idx = build(200);
+        let engine = BatchEngine::new(idx, 1);
+        let q = walk_dataset(1, 64, 9).series(0).to_vec();
+        let queries = [
+            BatchQuery {
+                data: &q,
+                kind: QueryKind::Exact,
+            },
+            BatchQuery {
+                data: &q,
+                kind: QueryKind::Exact,
+            },
+        ];
+        let _ = engine.run_batch(&queries, &[0, 0], &SearchParams::new(1));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let idx = build(200);
+        let engine = BatchEngine::new(idx, 2);
+        let out = engine.run_batch(&[], &[], &SearchParams::new(2));
+        assert!(out.items.is_empty());
+    }
+}

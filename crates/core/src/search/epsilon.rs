@@ -15,9 +15,8 @@
 //! and BSF-sharing machinery all work unchanged.
 
 use super::answer::Answer;
-use super::bsf::{ResultSet, SharedBsf};
-use super::exact::{run_search, SearchParams, SearchStats, StealView};
-use super::kernel::EdKernel;
+use super::bsf::ResultSet;
+use super::exact::{run_search, seed_ed, SearchParams, SearchStats, StealView};
 use crate::index::Index;
 
 /// A pruning-relaxed view of a result set: reports `threshold / (1+ε)²`,
@@ -62,9 +61,7 @@ pub fn epsilon_search(
     epsilon: f64,
     params: &SearchParams,
 ) -> (Answer, SearchStats) {
-    let kernel = EdKernel::new(query, index.config().segments);
-    let approx = index.approx_search_paa(query, kernel.qpaa());
-    let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
+    let (kernel, bsf, initial) = seed_ed(index, query);
     let relaxed = EpsilonRelaxed::new(&bsf, epsilon);
     let mut stats = run_search(
         index,
@@ -75,7 +72,7 @@ pub fn epsilon_search(
         &StealView::new(),
         &|_, _| {},
     );
-    stats.initial_bsf = approx.distance;
+    stats.initial_bsf = initial;
     (bsf.answer(), stats)
 }
 
@@ -83,6 +80,7 @@ pub fn epsilon_search(
 mod tests {
     use super::*;
     use crate::index::IndexConfig;
+    use crate::search::bsf::SharedBsf;
     use crate::series::DatasetBuffer;
 
     fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {

@@ -20,8 +20,10 @@ use super::batches::RsBatches;
 use super::bsf::{ResultSet, SharedBsf};
 use super::kernel::{EdKernel, QueryKernel};
 use super::pqueue::{BoundedPqSet, LeafPq};
+use super::scratch::{WorkerScratch, MAX_SPARE_HEAPS, MAX_SPARE_HEAP_CAP};
 use crate::index::Index;
-use crate::tree::Node;
+use crate::layout::LeafLayout;
+use crate::tree::{Node, RootSubtree};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Barrier, OnceLock};
@@ -236,16 +238,25 @@ struct BatchState<'a> {
     pqs: Mutex<BoundedPqSet<'a>>,
 }
 
+/// Builds the Euclidean kernel for `query` and seeds a [`SharedBsf`]
+/// from the approximate search (Algorithm 1, line 5). Shared by
+/// [`exact_search`], ε-approximate search, and the batch engine so the
+/// per-query setup lives in exactly one place.
+pub(crate) fn seed_ed<'q>(index: &Index, query: &'q [f32]) -> (EdKernel<'q>, SharedBsf, f64) {
+    let kernel = EdKernel::new(query, index.config().segments);
+    let approx = index.approx_search_paa(query, kernel.qpaa());
+    let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
+    (kernel, bsf, approx.distance)
+}
+
 /// Convenience 1-NN Euclidean exact search: seeds the BSF with the
 /// approximate search (Algorithm 1, line 5) and runs the engine on all
 /// RS-batches.
 pub fn exact_search(index: &Index, query: &[f32], params: &SearchParams) -> SearchOutcome {
-    let kernel = EdKernel::new(query, index.config().segments);
-    let approx = index.approx_search_paa(query, kernel.qpaa());
-    let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
+    let (kernel, bsf, initial) = seed_ed(index, query);
     let view = StealView::new();
     let mut stats = run_search(index, &kernel, params, &bsf, None, &view, &|_, _| {});
-    stats.initial_bsf = approx.distance;
+    stats.initial_bsf = initial;
     SearchOutcome {
         answer: bsf.answer(),
         stats,
@@ -302,233 +313,332 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
     on_improve: &(dyn Fn(f64, u32) + Sync),
     service: &(dyn Fn() + Sync),
 ) -> SearchStats {
-    let start = std::time::Instant::now();
-    let forest = index.forest();
-    let sizes: Vec<usize> = forest.iter().map(|t| t.size).collect();
-    let nsb = params.nsb.unwrap_or(params.n_threads).max(1);
-    let batches = RsBatches::build(&sizes, nsb);
-    view.init(batches.len());
-
-    let active: Vec<usize> = match batch_subset {
-        Some(ids) => ids.iter().copied().filter(|&b| b < batches.len()).collect(),
-        None => (0..batches.len()).collect(),
-    };
-    let mut stats = SearchStats::default();
-    if active.is_empty() {
-        view.finish();
-        stats.elapsed = start.elapsed();
-        return stats;
+    let shared = ExecShared::new(
+        index,
+        kernel,
+        params,
+        results,
+        batch_subset,
+        view,
+        on_improve,
+        service,
+    );
+    if shared.has_work() {
+        let n_threads = shared.n_threads;
+        let barrier = Barrier::new(n_threads);
+        std::thread::scope(|scope| {
+            for tid in 0..n_threads {
+                let shared = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    shared.worker(tid, barrier, &mut WorkerScratch::default())
+                });
+            }
+        });
     }
+    shared.finish()
+}
 
-    let bstates: Vec<BatchState> = active
-        .iter()
-        .map(|_| BatchState {
-            next_subtree: AtomicUsize::new(0),
-            complete: AtomicBool::new(false),
-            helped: AtomicUsize::new(0),
-            pqs: Mutex::new(BoundedPqSet::new(params.th)),
-        })
-        .collect();
-    let bcnt = AtomicUsize::new(0);
-    // (global batch id, queue) pairs in ascending-min order, filled by
-    // thread 0 between the barriers.
-    let sorted: RwLock<Vec<(usize, Mutex<LeafPq>)>> = RwLock::new(Vec::new());
-    let n_threads = params.n_threads.max(1);
-    let barrier = Barrier::new(n_threads);
-
+/// The shared state of one query execution: everything the per-thread
+/// engine body needs. Generic over the kernel and result set so the hot
+/// loops stay monomorphized (and inlinable) under both drivers — the
+/// per-query [`std::thread::scope`] path ([`run_search_with_service`])
+/// and the persistent [`BatchEngine`](super::engine::BatchEngine)
+/// worker pool, which type-erases only at its job-closure boundary.
+pub(crate) struct ExecShared<'e, K: ?Sized, R: ?Sized> {
+    kernel: &'e K,
+    results: &'e R,
+    view: &'e StealView,
+    on_improve: &'e (dyn Fn(f64, u32) + Sync),
+    service: &'e (dyn Fn() + Sync),
+    forest: &'e [RootSubtree],
+    layout: &'e LeafLayout,
+    segments: usize,
+    pub(crate) n_threads: usize,
+    help_th: usize,
+    /// Active (to-process) global batch ids.
+    active: Vec<usize>,
+    batches: RsBatches,
+    bstates: Vec<BatchState<'e>>,
+    /// Traversal-phase batch-claiming cursor (`Fetch&Add`).
+    bcnt: AtomicUsize,
+    /// (global batch id, queue) pairs in ascending-min order, filled by
+    /// tid 0 between the barriers.
+    sorted: RwLock<Vec<(usize, Mutex<LeafPq<'e>>)>>,
     // Work counters: workers accumulate in per-thread locals and flush
     // once, so the hot loops never touch shared cache lines.
-    let lb_node = AtomicU64::new(0);
-    let lb_series = AtomicU64::new(0);
-    let real_dist = AtomicU64::new(0);
-    let leaves = AtomicU64::new(0);
-    let pq_count = AtomicUsize::new(0);
-    let pq_median = AtomicUsize::new(0);
-    // Phase boundaries in nanoseconds since `start` (written by tid 0).
-    let traversal_ns = AtomicU64::new(0);
+    lb_node: AtomicU64,
+    lb_series: AtomicU64,
+    real_dist: AtomicU64,
+    leaves: AtomicU64,
+    pq_count: AtomicUsize,
+    pq_median: AtomicUsize,
+    /// Traversal-phase end in nanoseconds since `start` (written by tid 0).
+    traversal_ns: AtomicU64,
+    start: std::time::Instant,
+}
 
-    let layout = index.layout();
-    let segments = index.config().segments;
-
-    std::thread::scope(|scope| {
-        for tid in 0..n_threads {
-            let active = &active;
-            let bstates = &bstates;
-            let bcnt = &bcnt;
-            let sorted = &sorted;
-            let barrier = &barrier;
-            let batches = &batches;
-            let lb_node = &lb_node;
-            let lb_series = &lb_series;
-            let real_dist = &real_dist;
-            let leaves = &leaves;
-            let pq_count = &pq_count;
-            let pq_median = &pq_median;
-            let traversal_ns = &traversal_ns;
-            scope.spawn(move || {
-                // --- Phase 1: tree traversal over RS-batches -------------
-                let mut lb_node_local = 0u64;
-                let mut leaves_local = 0u64;
-                let traverse_batch = |bi: usize, lb_node_local: &mut u64, leaves_local: &mut u64| {
-                    let range = batches.range(active[bi]);
-                    loop {
-                        let off = bstates[bi].next_subtree.fetch_add(1, Ordering::Relaxed);
-                        if off >= range.len() {
-                            break;
-                        }
-                        let subtree = &forest[range.start + off];
-                        // Iterative traversal with an explicit stack.
-                        let mut stack: Vec<&Node> = vec![&subtree.node];
-                        while let Some(node) = stack.pop() {
-                            let lb = kernel.node_lb_sq(node.word());
-                            *lb_node_local += 1;
-                            if lb >= results.threshold_sq() {
-                                continue; // prune the whole subtree
-                            }
-                            match node {
-                                Node::Inner { children, .. } => {
-                                    stack.push(&children[0]);
-                                    stack.push(&children[1]);
-                                }
-                                Node::Leaf(leaf) => {
-                                    bstates[bi].pqs.lock().push(lb, leaf);
-                                    *leaves_local += 1;
-                                }
-                            }
-                        }
-                    }
-                };
-                loop {
-                    let bi = bcnt.fetch_add(1, Ordering::Relaxed);
-                    if bi >= active.len() {
-                        break;
-                    }
-                    traverse_batch(bi, &mut lb_node_local, &mut leaves_local);
-                    bstates[bi].complete.store(true, Ordering::Release);
-                }
-                // Helping pass (Algorithm 2, lines 11–14): join batches
-                // that are still incomplete, bounded by HelpTH helpers.
-                for (bi, bstate) in bstates.iter().enumerate() {
-                    if !bstate.complete.load(Ordering::Acquire)
-                        && bstate.helped.fetch_add(1, Ordering::Relaxed) < params.help_th
-                    {
-                        traverse_batch(bi, &mut lb_node_local, &mut leaves_local);
-                        bstate.complete.store(true, Ordering::Release);
-                    }
-                }
-                lb_node.fetch_add(lb_node_local, Ordering::Relaxed);
-                leaves.fetch_add(leaves_local, Ordering::Relaxed);
-                barrier.wait();
-
-                // --- Phase 2: queue preprocessing (thread 0 only) --------
-                if tid == 0 {
-                    traversal_ns.store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    let mut all: Vec<(usize, LeafPq)> = Vec::new();
-                    for (bi, st) in bstates.iter().enumerate() {
-                        let set = std::mem::replace(
-                            &mut *st.pqs.lock(),
-                            BoundedPqSet::new(usize::MAX),
-                        );
-                        for q in set.into_queues() {
-                            all.push((active[bi], q));
-                        }
-                    }
-                    all.sort_by(|a, b| {
-                        a.1.min_lb_sq()
-                            .unwrap_or(f64::INFINITY)
-                            .total_cmp(&b.1.min_lb_sq().unwrap_or(f64::INFINITY))
-                    });
-                    pq_count.store(all.len(), Ordering::Relaxed);
-                    let mut lens: Vec<usize> = all.iter().map(|(_, q)| q.len()).collect();
-                    lens.sort_unstable();
-                    pq_median.store(
-                        lens.get(lens.len() / 2).copied().unwrap_or(0),
-                        Ordering::Relaxed,
-                    );
-                    let ids: Vec<usize> = all.iter().map(|&(b, _)| b).collect();
-                    *sorted.write() = all
-                        .into_iter()
-                        .map(|(b, q)| (b, Mutex::new(q)))
-                        .collect();
-                    view.publish_queues(ids);
-                }
-                barrier.wait();
-
-                // --- Phase 3: queue processing ---------------------------
-                // Each popped leaf is drained in two passes over its
-                // contiguous scan slots: a tight lower-bound sweep over
-                // the dense SAX block into a reusable scratch buffer,
-                // then real distances for the survivors only. The shared
-                // threshold is loaded once per leaf (a stale — i.e.
-                // larger — value only prunes less, never wrongly), and
-                // work counters stay in per-thread locals.
-                let mut lb_series_local = 0u64;
-                let mut real_dist_local = 0u64;
-                let mut lb_scratch: Vec<f64> = Vec::new();
-                let sorted_guard = sorted.read();
-                loop {
-                    service();
-                    let i = view.pq_cnt.fetch_add(1, Ordering::AcqRel);
-                    if i >= sorted_guard.len() {
-                        break;
-                    }
-                    let (bid, q) = &sorted_guard[i];
-                    if view.is_stolen(*bid) {
-                        continue; // a helper node took this batch
-                    }
-                    let mut q = q.lock();
-                    while let Some(cand) = q.pop() {
-                        let thr = results.threshold_sq();
-                        if cand.lb_sq >= thr {
-                            break; // min-heap: the rest is prunable too
-                        }
-                        let range = cand.leaf.slice.range();
-                        let n_cand = range.len();
-                        if n_cand == 0 {
-                            continue;
-                        }
-                        // Pass 1: batched lower bounds over the leaf's
-                        // contiguous SAX block.
-                        lb_scratch.resize(n_cand, 0.0);
-                        kernel.lb_block_sq(
-                            layout.sax_block(range.clone()),
-                            segments,
-                            &mut lb_scratch,
-                        );
-                        lb_series_local += n_cand as u64;
-                        // Pass 2: real distances for survivors, reading
-                        // sequentially from the leaf's raw-series run.
-                        for (lb, p) in lb_scratch.iter().zip(range) {
-                            if *lb >= thr {
-                                continue;
-                            }
-                            real_dist_local += 1;
-                            if let Some(d) = kernel.distance_sq(layout.series(p), thr) {
-                                let id = layout.original_id(p);
-                                if results.offer(d, id) {
-                                    on_improve(d, id);
-                                }
-                            }
-                        }
-                    }
-                }
-                lb_series.fetch_add(lb_series_local, Ordering::Relaxed);
-                real_dist.fetch_add(real_dist_local, Ordering::Relaxed);
-            });
+impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
+    /// Builds the per-query shared state (RS-batches, per-batch queue
+    /// sets, counters) and initializes the steal view.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        index: &'e Index,
+        kernel: &'e K,
+        params: &SearchParams,
+        results: &'e R,
+        batch_subset: Option<&[usize]>,
+        view: &'e StealView,
+        on_improve: &'e (dyn Fn(f64, u32) + Sync),
+        service: &'e (dyn Fn() + Sync),
+    ) -> Self {
+        let start = std::time::Instant::now();
+        let forest = index.forest();
+        let sizes: Vec<usize> = forest.iter().map(|t| t.size).collect();
+        let n_threads = params.n_threads.max(1);
+        let nsb = params.nsb.unwrap_or(n_threads).max(1);
+        let batches = RsBatches::build(&sizes, nsb);
+        view.init(batches.len());
+        let active: Vec<usize> = match batch_subset {
+            Some(ids) => ids.iter().copied().filter(|&b| b < batches.len()).collect(),
+            None => (0..batches.len()).collect(),
+        };
+        let bstates: Vec<BatchState> = active
+            .iter()
+            .map(|_| BatchState {
+                next_subtree: AtomicUsize::new(0),
+                complete: AtomicBool::new(false),
+                helped: AtomicUsize::new(0),
+                pqs: Mutex::new(BoundedPqSet::deferred(params.th)),
+            })
+            .collect();
+        ExecShared {
+            kernel,
+            results,
+            view,
+            on_improve,
+            service,
+            forest,
+            layout: index.layout(),
+            segments: index.config().segments,
+            n_threads,
+            help_th: params.help_th,
+            active,
+            batches,
+            bstates,
+            bcnt: AtomicUsize::new(0),
+            sorted: RwLock::new(Vec::new()),
+            lb_node: AtomicU64::new(0),
+            lb_series: AtomicU64::new(0),
+            real_dist: AtomicU64::new(0),
+            leaves: AtomicU64::new(0),
+            pq_count: AtomicUsize::new(0),
+            pq_median: AtomicUsize::new(0),
+            traversal_ns: AtomicU64::new(0),
+            start,
         }
-    });
-    view.finish();
+    }
 
-    stats.lb_node_computations = lb_node.into_inner();
-    stats.lb_series_computations = lb_series.into_inner();
-    stats.real_distance_computations = real_dist.into_inner();
-    stats.leaves_collected = leaves.into_inner();
-    stats.pq_count = pq_count.into_inner();
-    stats.pq_size_median = pq_median.into_inner();
-    stats.elapsed = start.elapsed();
-    stats.traversal_time = std::time::Duration::from_nanos(traversal_ns.into_inner());
-    stats.processing_time = stats.elapsed.saturating_sub(stats.traversal_time);
-    stats
+    /// Whether there is anything to execute (false for an empty forest
+    /// or an empty/out-of-range batch subset).
+    pub(crate) fn has_work(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Traverses one RS-batch: claims subtrees with `Fetch&Add`, prunes
+    /// against the shared threshold, pushes surviving leaves into the
+    /// batch's bounded queues (provisioned from `heaps` scratch).
+    fn traverse_batch(
+        &self,
+        bi: usize,
+        stack: &mut Vec<&'e Node>,
+        heaps: &mut Vec<super::pqueue::SpareHeap>,
+        lb_node_local: &mut u64,
+        leaves_local: &mut u64,
+    ) {
+        let range = self.batches.range(self.active[bi]);
+        loop {
+            let off = self.bstates[bi].next_subtree.fetch_add(1, Ordering::Relaxed);
+            if off >= range.len() {
+                break;
+            }
+            let subtree = &self.forest[range.start + off];
+            // Iterative traversal with an explicit (reused) stack.
+            stack.clear();
+            stack.push(&subtree.node);
+            while let Some(node) = stack.pop() {
+                let lb = self.kernel.node_lb_sq(node.word());
+                *lb_node_local += 1;
+                if lb >= self.results.threshold_sq() {
+                    continue; // prune the whole subtree
+                }
+                match node {
+                    Node::Inner { children, .. } => {
+                        stack.push(&children[0]);
+                        stack.push(&children[1]);
+                    }
+                    Node::Leaf(leaf) => {
+                        self.bstates[bi].pqs.lock().push_with(lb, leaf, heaps);
+                        *leaves_local += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The three-phase per-thread engine body. All `n_threads`
+    /// participants must call this exactly once per query with distinct
+    /// `tid`s and a `barrier` of exactly `n_threads` parties.
+    pub(crate) fn worker(&self, tid: usize, barrier: &Barrier, scratch: &mut WorkerScratch) {
+        let WorkerScratch {
+            lb_block,
+            stack: spare_stack,
+            heaps,
+        } = scratch;
+        // --- Phase 1: tree traversal over RS-batches -------------------
+        let mut lb_node_local = 0u64;
+        let mut leaves_local = 0u64;
+        let mut stack: Vec<&Node> = spare_stack.take();
+        loop {
+            let bi = self.bcnt.fetch_add(1, Ordering::Relaxed);
+            if bi >= self.active.len() {
+                break;
+            }
+            self.traverse_batch(bi, &mut stack, heaps, &mut lb_node_local, &mut leaves_local);
+            self.bstates[bi].complete.store(true, Ordering::Release);
+        }
+        // Helping pass (Algorithm 2, lines 11–14): join batches that are
+        // still incomplete, bounded by HelpTH helpers.
+        for (bi, bstate) in self.bstates.iter().enumerate() {
+            if !bstate.complete.load(Ordering::Acquire)
+                && bstate.helped.fetch_add(1, Ordering::Relaxed) < self.help_th
+            {
+                self.traverse_batch(
+                    bi,
+                    &mut stack,
+                    heaps,
+                    &mut lb_node_local,
+                    &mut leaves_local,
+                );
+                bstate.complete.store(true, Ordering::Release);
+            }
+        }
+        spare_stack.put(stack);
+        self.lb_node.fetch_add(lb_node_local, Ordering::Relaxed);
+        self.leaves.fetch_add(leaves_local, Ordering::Relaxed);
+        barrier.wait();
+
+        // --- Phase 2: queue preprocessing (tid 0 only) -----------------
+        if tid == 0 {
+            self.traversal_ns
+                .store(self.start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let mut all: Vec<(usize, LeafPq)> = Vec::new();
+            for (bi, st) in self.bstates.iter().enumerate() {
+                let set =
+                    std::mem::replace(&mut *st.pqs.lock(), BoundedPqSet::deferred(usize::MAX));
+                for q in set.into_queues() {
+                    all.push((self.active[bi], q));
+                }
+            }
+            all.sort_by(|a, b| {
+                a.1.min_lb_sq()
+                    .unwrap_or(f64::INFINITY)
+                    .total_cmp(&b.1.min_lb_sq().unwrap_or(f64::INFINITY))
+            });
+            self.pq_count.store(all.len(), Ordering::Relaxed);
+            let mut lens: Vec<usize> = all.iter().map(|(_, q)| q.len()).collect();
+            lens.sort_unstable();
+            self.pq_median.store(
+                lens.get(lens.len() / 2).copied().unwrap_or(0),
+                Ordering::Relaxed,
+            );
+            let ids: Vec<usize> = all.iter().map(|&(b, _)| b).collect();
+            *self.sorted.write() = all.into_iter().map(|(b, q)| (b, Mutex::new(q))).collect();
+            self.view.publish_queues(ids);
+        }
+        barrier.wait();
+
+        // --- Phase 3: queue processing ---------------------------------
+        // Each popped leaf is drained in two passes over its contiguous
+        // scan slots: a tight lower-bound sweep over the dense SAX block
+        // into a reusable scratch buffer, then real distances for the
+        // survivors only. The shared threshold is loaded once per leaf
+        // (a stale — i.e. larger — value only prunes less, never
+        // wrongly), and work counters stay in per-thread locals.
+        let mut lb_series_local = 0u64;
+        let mut real_dist_local = 0u64;
+        let sorted_guard = self.sorted.read();
+        loop {
+            (self.service)();
+            let i = self.view.pq_cnt.fetch_add(1, Ordering::AcqRel);
+            if i >= sorted_guard.len() {
+                break;
+            }
+            let (bid, q) = &sorted_guard[i];
+            if self.view.is_stolen(*bid) {
+                continue; // a helper node took this batch
+            }
+            let mut q = q.lock();
+            while let Some(cand) = q.pop() {
+                let thr = self.results.threshold_sq();
+                if cand.lb_sq >= thr {
+                    break; // min-heap: the rest is prunable too
+                }
+                let range = cand.leaf.slice.range();
+                let n_cand = range.len();
+                if n_cand == 0 {
+                    continue;
+                }
+                // Pass 1: batched lower bounds over the leaf's
+                // contiguous SAX block.
+                lb_block.resize(n_cand, 0.0);
+                self.kernel
+                    .lb_block_sq(self.layout.sax_block(range.clone()), self.segments, lb_block);
+                lb_series_local += n_cand as u64;
+                // Pass 2: real distances for survivors, reading
+                // sequentially from the leaf's raw-series run.
+                for (lb, p) in lb_block.iter().zip(range) {
+                    if *lb >= thr {
+                        continue;
+                    }
+                    real_dist_local += 1;
+                    if let Some(d) = self.kernel.distance_sq(self.layout.series(p), thr) {
+                        let id = self.layout.original_id(p);
+                        if self.results.offer(d, id) {
+                            (self.on_improve)(d, id);
+                        }
+                    }
+                }
+            }
+            // This queue is spent (drained, or its minimum can no longer
+            // win): recycle its heap allocation into the worker scratch.
+            if heaps.len() < MAX_SPARE_HEAPS && q.capacity() <= MAX_SPARE_HEAP_CAP {
+                heaps.push(std::mem::take(&mut *q).into_spare());
+            }
+        }
+        self.lb_series.fetch_add(lb_series_local, Ordering::Relaxed);
+        self.real_dist.fetch_add(real_dist_local, Ordering::Relaxed);
+    }
+
+    /// Marks the search finished on the steal view and converts the
+    /// accumulated counters into a [`SearchStats`].
+    pub(crate) fn finish(self) -> SearchStats {
+        self.view.finish();
+        let elapsed = self.start.elapsed();
+        let traversal_time = std::time::Duration::from_nanos(self.traversal_ns.into_inner());
+        SearchStats {
+            initial_bsf: 0.0,
+            lb_node_computations: self.lb_node.into_inner(),
+            lb_series_computations: self.lb_series.into_inner(),
+            real_distance_computations: self.real_dist.into_inner(),
+            leaves_collected: self.leaves.into_inner(),
+            pq_count: self.pq_count.into_inner(),
+            pq_size_median: self.pq_median.into_inner(),
+            elapsed,
+            traversal_time,
+            processing_time: elapsed.saturating_sub(traversal_time),
+        }
+    }
 }
 
 #[cfg(test)]

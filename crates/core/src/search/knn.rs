@@ -57,6 +57,21 @@ pub fn seed_from_approx_leaf(index: &Index, query: &[f32], knn: &SharedKnn) {
     }
 }
 
+/// Builds the Euclidean kernel and a [`SharedKnn`] seeded from the
+/// approximate-search leaf — the k-NN analogue of
+/// [`super::exact::seed_ed`], shared by [`knn_search`] and the batch
+/// engine.
+pub(crate) fn seed_knn<'q>(
+    index: &Index,
+    query: &'q [f32],
+    k: usize,
+) -> (EdKernel<'q>, SharedKnn) {
+    let knn = SharedKnn::new(k);
+    seed_from_approx_leaf(index, query, &knn);
+    let kernel = EdKernel::new(query, index.config().segments);
+    (kernel, knn)
+}
+
 /// Exact k-NN search under Euclidean distance.
 pub fn knn_search(
     index: &Index,
@@ -64,9 +79,7 @@ pub fn knn_search(
     k: usize,
     params: &SearchParams,
 ) -> (KnnAnswer, SearchStats) {
-    let knn = SharedKnn::new(k);
-    seed_from_approx_leaf(index, query, &knn);
-    let kernel = EdKernel::new(query, index.config().segments);
+    let (kernel, knn) = seed_knn(index, query, k);
     let stats = run_search(
         index,
         &kernel,

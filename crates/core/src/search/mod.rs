@@ -20,13 +20,21 @@
 //! reuse the same code path. It also publishes a [`exact::StealView`] that
 //! the distributed layer's work-stealing manager uses to give away
 //! RS-batches without moving any data.
+//!
+//! Two drivers execute that per-query body: the per-query
+//! [`std::thread::scope`] path ([`exact::run_search`]) and the
+//! persistent worker-pool [`engine::BatchEngine`], which amortizes
+//! thread and scratch setup across whole query batches (the private
+//! `scratch` module holds the per-worker reusable arenas).
 
 pub mod answer;
 pub mod batches;
 pub mod bsf;
 pub mod dtw_search;
+pub mod engine;
 pub mod epsilon;
 pub mod exact;
 pub mod kernel;
 pub mod knn;
 pub mod pqueue;
+pub(crate) mod scratch;

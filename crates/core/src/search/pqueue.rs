@@ -97,6 +97,41 @@ impl<'a> LeafPq<'a> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Ensures capacity for at least `cap` total candidates.
+    #[inline]
+    pub fn reserve(&mut self, cap: usize) {
+        let len = self.heap.len();
+        if cap > len {
+            self.heap.reserve(cap - len);
+        }
+    }
+
+    /// Clears the queue and surrenders its allocation for reuse by a
+    /// later query (the batch engine's scratch arenas).
+    pub fn into_spare(self) -> SpareHeap {
+        let mut v = self.heap.into_vec();
+        v.clear();
+        SpareHeap(super::scratch::recycle_empty(v))
+    }
+}
+
+/// An **empty**, lifetime-erased [`LeafPq`] allocation. The batch
+/// engine's per-worker scratch holds these between queries so bounded
+/// queues are provisioned from recycled heaps instead of fresh
+/// allocations.
+#[derive(Default)]
+pub struct SpareHeap(Vec<LeafCandidate<'static>>);
+
+impl SpareHeap {
+    /// Rebinds the allocation to the current query's lifetime (safe:
+    /// the vector is empty and `'static` outlives `'a`).
+    pub fn into_pq<'a>(self) -> LeafPq<'a> {
+        let v: Vec<LeafCandidate<'a>> = self.0;
+        LeafPq {
+            heap: BinaryHeap::from(v),
+        }
+    }
 }
 
 /// The per-RS-batch set of bounded queues: one active queue, sealed when
@@ -104,6 +139,10 @@ impl<'a> LeafPq<'a> {
 #[derive(Debug)]
 pub struct BoundedPqSet<'a> {
     th: usize,
+    /// Whether `active` has been provisioned (preallocated or drawn from
+    /// a spare). [`BoundedPqSet::deferred`] sets this false so the first
+    /// push can provision from the pushing worker's scratch.
+    provisioned: bool,
     active: LeafPq<'a>,
     sealed: Vec<LeafPq<'a>>,
 }
@@ -126,8 +165,35 @@ impl<'a> BoundedPqSet<'a> {
         assert!(th > 0, "threshold must be positive");
         BoundedPqSet {
             th,
+            provisioned: true,
             active: LeafPq::with_capacity(Self::prealloc(th)),
             sealed: Vec::new(),
+        }
+    }
+
+    /// Like [`BoundedPqSet::new`], but defers provisioning the first
+    /// queue until the first [`BoundedPqSet::push_with`], which draws it
+    /// from the pushing worker's spare-heap scratch.
+    pub fn deferred(th: usize) -> Self {
+        assert!(th > 0, "threshold must be positive");
+        BoundedPqSet {
+            th,
+            provisioned: false,
+            active: LeafPq::new(),
+            sealed: Vec::new(),
+        }
+    }
+
+    /// Provisions a threshold-sized queue, recycling a spare allocation
+    /// when one is available.
+    fn provision(th: usize, spares: &mut Vec<SpareHeap>) -> LeafPq<'a> {
+        match spares.pop() {
+            Some(s) => {
+                let mut q = s.into_pq();
+                q.reserve(Self::prealloc(th));
+                q
+            }
+            None => LeafPq::with_capacity(Self::prealloc(th)),
         }
     }
 
@@ -136,12 +202,20 @@ impl<'a> BoundedPqSet<'a> {
     /// a new one"). The replacement queue is preallocated at the
     /// threshold size, so rollover never grows heaps incrementally.
     pub fn push(&mut self, lb_sq: f64, leaf: &'a Leaf) {
+        self.push_with(lb_sq, leaf, &mut Vec::new());
+    }
+
+    /// [`BoundedPqSet::push`] drawing provisioned/rollover queues from
+    /// `spares` (a worker's scratch arena) before allocating fresh ones.
+    pub fn push_with(&mut self, lb_sq: f64, leaf: &'a Leaf, spares: &mut Vec<SpareHeap>) {
+        if !self.provisioned {
+            self.active = Self::provision(self.th, spares);
+            self.provisioned = true;
+        }
         self.active.push(lb_sq, leaf);
         if self.active.len() >= self.th {
-            let full = std::mem::replace(
-                &mut self.active,
-                LeafPq::with_capacity(Self::prealloc(self.th)),
-            );
+            let full =
+                std::mem::replace(&mut self.active, Self::provision(self.th, spares));
             self.sealed.push(full);
         }
     }
@@ -247,5 +321,34 @@ mod tests {
     fn empty_set_yields_no_queues() {
         let set = BoundedPqSet::new(4);
         assert!(set.into_queues().is_empty());
+    }
+
+    #[test]
+    fn spare_heap_roundtrip_recycles_allocation() {
+        let l = leaf();
+        let mut pq = LeafPq::with_capacity(128);
+        for i in 0..100 {
+            pq.push(i as f64, &l);
+        }
+        let spare = pq.into_spare();
+        let pq2: LeafPq = spare.into_pq();
+        assert!(pq2.is_empty(), "spares are always empty");
+        assert!(pq2.capacity() >= 128, "allocation survives the roundtrip");
+    }
+
+    #[test]
+    fn deferred_set_provisions_from_spares() {
+        let l = leaf();
+        let mut spares = vec![LeafPq::with_capacity(512).into_spare()];
+        let mut set = BoundedPqSet::deferred(4);
+        assert_eq!(set.active.capacity(), 0, "deferred: nothing provisioned");
+        set.push_with(1.0, &l, &mut spares);
+        assert!(spares.is_empty(), "first push consumed the spare");
+        assert!(set.active.capacity() >= 4);
+        for i in 0..7 {
+            set.push_with(i as f64, &l, &mut spares);
+        }
+        assert_eq!(set.total_len(), 8);
+        assert_eq!(set.into_queues().len(), 2);
     }
 }

@@ -1,0 +1,103 @@
+//! Per-worker reusable scratch arenas for the search engine.
+//!
+//! The paper's workloads are *batches* of queries; re-provisioning
+//! execution state per query (thread stacks, priority-queue heaps,
+//! lower-bound buffers) is pure overhead once a
+//! [`BatchEngine`](super::engine::BatchEngine) keeps worker threads
+//! resident. A [`WorkerScratch`] lives as long as its worker thread and
+//! is *cleared, not reallocated* between queries.
+//!
+//! The only subtlety is lifetimes: traversal stacks hold `&Node` and
+//! priority-queue heaps hold `&Leaf`, both borrowed from the index of
+//! the *current* query, while the scratch outlives any single query. The
+//! arenas therefore store **empty** collections with their lifetime
+//! parameter erased to `'static`: taking an allocation out re-binds it
+//! to the current query's lifetime (a safe covariant coercion), and
+//! returning one erases the lifetime again via [`recycle_empty`] — sound
+//! because an empty collection contains no borrows at all, only a raw
+//! allocation.
+
+use crate::tree::Node;
+
+/// Converts an empty `Vec<T>` into an empty `Vec<U>` of a
+/// layout-identical element type (in practice: the same type up to
+/// lifetime parameters), keeping the allocation.
+pub(crate) fn recycle_empty<T, U>(mut v: Vec<T>) -> Vec<U> {
+    assert!(
+        std::mem::size_of::<T>() == std::mem::size_of::<U>()
+            && std::mem::align_of::<T>() == std::mem::align_of::<U>(),
+        "recycle_empty requires layout-identical element types"
+    );
+    v.clear();
+    let cap = v.capacity();
+    let ptr = v.as_mut_ptr();
+    std::mem::forget(v);
+    // SAFETY: the vector is empty, so no `T` value is ever reinterpreted
+    // as a `U`; length 0 is trivially valid; the allocation was made by
+    // `Vec<T>` and the size/align assertion above guarantees `Vec<U>`
+    // frees it under the same layout.
+    unsafe { Vec::from_raw_parts(ptr.cast::<U>(), 0, cap) }
+}
+
+/// A spare traversal-stack allocation (`Vec<&Node>`), empty between
+/// queries.
+#[derive(Default)]
+pub(crate) struct SpareStack(Vec<&'static Node>);
+
+impl SpareStack {
+    /// Takes the allocation out as an empty stack borrowing at `'a`
+    /// (covariant: `'static` outlives `'a`).
+    pub(crate) fn take<'a>(&mut self) -> Vec<&'a Node> {
+        std::mem::take(&mut self.0)
+    }
+
+    /// Returns a stack's allocation for the next query.
+    pub(crate) fn put(&mut self, stack: Vec<&Node>) {
+        self.0 = recycle_empty(stack);
+    }
+}
+
+/// Per-worker scratch: every field keeps its allocation across queries.
+#[derive(Default)]
+pub(crate) struct WorkerScratch {
+    /// Lower-bound block buffer for the two-pass leaf drain (phase 3).
+    pub(crate) lb_block: Vec<f64>,
+    /// Spare iterative-traversal stack (phase 1).
+    pub(crate) stack: SpareStack,
+    /// Spare priority-queue heap allocations, drawn on queue rollover
+    /// (phase 1) and refilled from drained queues (phase 3).
+    pub(crate) heaps: Vec<super::pqueue::SpareHeap>,
+}
+
+/// Cap on hoarded spare heaps per worker, and on the capacity of a heap
+/// worth keeping (matches the `BoundedPqSet` preallocation cap, so an
+/// unbounded-`TH` run never parks a giant allocation in the scratch).
+pub(crate) const MAX_SPARE_HEAPS: usize = 64;
+pub(crate) const MAX_SPARE_HEAP_CAP: usize = 1 << 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycle_empty_keeps_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(123);
+        v.extend_from_slice(&[1, 2, 3]);
+        let r: Vec<u64> = recycle_empty(v);
+        assert!(r.is_empty());
+        assert!(r.capacity() >= 123);
+    }
+
+    #[test]
+    fn spare_stack_roundtrip_keeps_capacity() {
+        let mut spare = SpareStack::default();
+        {
+            let mut s: Vec<&Node> = spare.take();
+            assert_eq!(s.capacity(), 0);
+            s.reserve(64);
+            spare.put(s);
+        }
+        let s: Vec<&Node> = spare.take();
+        assert!(s.capacity() >= 64);
+    }
+}

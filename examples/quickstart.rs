@@ -1,5 +1,6 @@
 //! Quickstart: build an index over a data-series collection and answer
-//! exact 1-NN, k-NN, and DTW queries on a single node.
+//! exact 1-NN, k-NN, and DTW queries on a single node — then run the
+//! same workload as one batch on a persistent `BatchEngine`.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,10 +8,12 @@
 
 use odyssey::core::index::{Index, IndexConfig};
 use odyssey::core::search::dtw_search::dtw_search;
+use odyssey::core::search::engine::{BatchEngine, BatchQuery, QueryKind};
 use odyssey::core::search::exact::{exact_search, SearchParams};
 use odyssey::core::search::knn::knn_search;
 use odyssey::workloads::generator::random_walk;
 use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
+use std::sync::Arc;
 
 fn main() {
     // 10k random-walk series of length 128 (like the paper's Random).
@@ -73,5 +76,23 @@ fn main() {
         dtw.series_id,
         dtw.distance,
         exact_search(&index, workload.query(0), &params).answer.distance
+    );
+
+    // The same workload as one batch on a persistent engine: the worker
+    // pool and scratch arenas are provisioned once, not per query.
+    let engine = BatchEngine::new(Arc::new(index), 2);
+    let batch: Vec<BatchQuery> = (0..workload.len())
+        .map(|qi| BatchQuery {
+            data: workload.query(qi),
+            kind: QueryKind::Exact,
+        })
+        .collect();
+    let order: Vec<usize> = (0..batch.len()).collect();
+    let outcome = engine.run_batch(&batch, &order, &params);
+    println!(
+        "batch engine: {} queries in {:?} on {} threads",
+        outcome.items.len(),
+        outcome.wall,
+        engine.n_threads()
     );
 }

@@ -1,0 +1,134 @@
+//! Batch-engine equivalence: a mixed batch of easy/hard/k-NN/DTW
+//! queries executed through **one** persistent [`BatchEngine`] must
+//! return answers bit-identical to the per-query entry points
+//! (`exact_search` / `knn_search` / `dtw_search`), across thread
+//! counts — the engine changes *how* execution resources are
+//! provisioned, never *what* is computed.
+
+use odyssey::core::index::{Index, IndexConfig};
+use odyssey::core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
+use odyssey::core::search::exact::{exact_search, SearchParams};
+use odyssey::core::search::knn::knn_search;
+use odyssey::core::search::dtw_search::dtw_search;
+use odyssey::workloads::generator::random_walk;
+use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
+use std::sync::Arc;
+
+fn setup() -> (Arc<Index>, QueryWorkload, QueryWorkload) {
+    let data = random_walk(1500, 64, 0xBEEF);
+    let index = Arc::new(Index::build(
+        data.clone(),
+        IndexConfig::new(64).with_segments(8).with_leaf_capacity(24),
+        2,
+    ));
+    let easy = QueryWorkload::generate(&data, 3, WorkloadKind::Easy { noise: 0.02 }, 11);
+    let hard = QueryWorkload::generate(&data, 3, WorkloadKind::Hard, 12);
+    (index, easy, hard)
+}
+
+#[test]
+fn mixed_batch_is_bit_identical_to_per_query_paths() {
+    let (index, easy, hard) = setup();
+    let window = 3usize;
+    let k = 5usize;
+
+    // Interleave easy/hard exact queries with k-NN and DTW items.
+    let mut batch: Vec<BatchQuery> = Vec::new();
+    for qi in 0..easy.len() {
+        batch.push(BatchQuery {
+            data: easy.query(qi),
+            kind: QueryKind::Exact,
+        });
+        batch.push(BatchQuery {
+            data: hard.query(qi),
+            kind: QueryKind::Exact,
+        });
+    }
+    batch.push(BatchQuery {
+        data: hard.query(0),
+        kind: QueryKind::Knn(k),
+    });
+    batch.push(BatchQuery {
+        data: easy.query(0),
+        kind: QueryKind::Dtw(window),
+    });
+    // A deliberately scrambled (reverse) dispatch order: results must
+    // still come back in input positions.
+    let order: Vec<usize> = (0..batch.len()).rev().collect();
+
+    for threads in [1usize, 2, 4] {
+        let params = SearchParams::new(threads).with_th(32);
+        let engine = BatchEngine::new(Arc::clone(&index), threads);
+        let out = engine.run_batch(&batch, &order, &params);
+        assert_eq!(out.items.len(), batch.len());
+        for (qi, item) in out.items.iter().enumerate() {
+            let q = batch[qi].data;
+            match (batch[qi].kind, &item.answer) {
+                (QueryKind::Exact, BatchAnswer::Nn(got)) => {
+                    let want = exact_search(&index, q, &params).answer;
+                    assert_eq!(
+                        got.distance.to_bits(),
+                        want.distance.to_bits(),
+                        "threads={threads} item={qi}: exact"
+                    );
+                }
+                (QueryKind::Knn(kk), BatchAnswer::Knn(got)) => {
+                    let (want, _) = knn_search(&index, q, kk, &params);
+                    assert_eq!(got.neighbors.len(), want.neighbors.len());
+                    for (g, w) in got.neighbors.iter().zip(&want.neighbors) {
+                        assert_eq!(
+                            g.0.to_bits(),
+                            w.0.to_bits(),
+                            "threads={threads} item={qi}: knn distance"
+                        );
+                    }
+                }
+                (QueryKind::Dtw(ww), BatchAnswer::Nn(got)) => {
+                    let (want, _) = dtw_search(&index, q, ww, &params);
+                    assert_eq!(
+                        got.distance.to_bits(),
+                        want.distance.to_bits(),
+                        "threads={threads} item={qi}: dtw"
+                    );
+                }
+                (kind, ans) => panic!("item {qi}: kind {kind:?} produced {ans:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_reuse_across_consecutive_batches_is_stable() {
+    // Scratch arenas (heaps, stacks, lower-bound buffers) persist across
+    // batches; two identical runs through the same engine must agree
+    // bit-for-bit with each other and with a fresh engine.
+    let (index, easy, hard) = setup();
+    let batch: Vec<BatchQuery> = (0..easy.len())
+        .flat_map(|qi| {
+            [
+                BatchQuery {
+                    data: easy.query(qi),
+                    kind: QueryKind::Exact,
+                },
+                BatchQuery {
+                    data: hard.query(qi),
+                    kind: QueryKind::Exact,
+                },
+            ]
+        })
+        .collect();
+    let order: Vec<usize> = (0..batch.len()).collect();
+    let params = SearchParams::new(2).with_th(16);
+
+    let engine = BatchEngine::new(Arc::clone(&index), 2);
+    let first = engine.run_batch(&batch, &order, &params);
+    let second = engine.run_batch(&batch, &order, &params);
+    let fresh = BatchEngine::new(Arc::clone(&index), 2).run_batch(&batch, &order, &params);
+    for qi in 0..batch.len() {
+        let a = first.items[qi].answer.nn().distance.to_bits();
+        let b = second.items[qi].answer.nn().distance.to_bits();
+        let c = fresh.items[qi].answer.nn().distance.to_bits();
+        assert_eq!(a, b, "item {qi}: reused engine diverged");
+        assert_eq!(a, c, "item {qi}: fresh engine diverged");
+    }
+}

@@ -8,9 +8,14 @@
 //!   arbitrary engine parameters;
 //! * partitioning schemes produce true partitions;
 //! * Gray-code bijectivity and the one-bit-step law;
-//! * scheduler assignments are complete and the greedy bound holds.
+//! * scheduler assignments are complete and the greedy bound holds;
+//! * the blocked 4-accumulator early-abandon kernels agree with their
+//!   scalar references.
+#![recursion_limit = "512"]
 
-use odyssey::core::distance::{dtw_banded, euclidean_sq, keogh_envelope, lb_keogh_sq};
+use odyssey::core::distance::{
+    dtw_banded, euclidean_sq, euclidean_sq_early_abandon, keogh_envelope, lb_keogh_sq,
+};
 use odyssey::core::index::{Index, IndexConfig};
 use odyssey::core::paa::paa;
 use odyssey::core::sax::{mindist_paa_isax_sq, mindist_paa_sax_sq, sax_word_into, IsaxWord};
@@ -119,6 +124,112 @@ proptest! {
         let data = DatasetBuffer::from_vec(vec![0.5f32; n * 8], 8);
         prop_assert!(validate_partition(&es.apply(&data, k), n).is_ok());
         prop_assert!(validate_partition(&rs.apply(&data, k), n).is_ok());
+    }
+}
+
+/// Scalar per-element early-abandoning Euclidean reference.
+fn scalar_ed_abandon(a: &[f32], b: &[f32], thr: f64) -> Option<f64> {
+    let mut sum = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (x - y) as f64;
+        sum += d * d;
+        if sum > thr {
+            return None;
+        }
+    }
+    Some(sum)
+}
+
+/// Scalar per-element early-abandoning LB_Keogh reference.
+fn scalar_lb_keogh(
+    env: &odyssey::core::distance::LbKeoghEnvelope,
+    c: &[f32],
+    thr: f64,
+) -> Option<f64> {
+    let mut sum = 0.0f64;
+    for (i, &v) in c.iter().enumerate() {
+        let d = if v > env.upper[i] {
+            (v - env.upper[i]) as f64
+        } else if v < env.lower[i] {
+            (env.lower[i] - v) as f64
+        } else {
+            0.0
+        };
+        sum += d * d;
+        if sum > thr {
+            return None;
+        }
+    }
+    Some(sum)
+}
+
+/// Max generated length of the kernel-property series; each case draws
+/// full-length vectors plus a cut point, exercising every tail length
+/// around the 32-element abandon blocks.
+const KERNEL_PROP_LEN: usize = 200;
+
+/// A max-length series for the kernel properties; tests slice it to the
+/// drawn length.
+fn kernel_series() -> proptest::collection::VecStrategy<std::ops::Range<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, KERNEL_PROP_LEN)
+}
+
+proptest! {
+    // Blocked-kernel equivalence properties (the 4-accumulator
+    // early-abandoning kernels vs their scalar references).
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_ed_early_abandon_matches_scalar(
+        raw_a in kernel_series(),
+        raw_b in kernel_series(),
+        len in 1usize..=KERNEL_PROP_LEN,
+        factor in 0.05f64..3.0,
+    ) {
+        let (a, b) = (&raw_a[..len], &raw_b[..len]);
+        let full = euclidean_sq(a, b);
+        let thr = full * factor;
+        // Skip the exact boundary, where summation order alone decides
+        // the Some/None outcome.
+        if (full - thr).abs() <= 1e-6 * (1.0 + full) {
+            return Ok(());
+        }
+        match (euclidean_sq_early_abandon(a, b, thr), scalar_ed_abandon(a, b, thr)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + y),
+                "blocked {} vs scalar {}", x, y
+            ),
+            (got, want) => prop_assert!(false, "blocked {:?} vs scalar {:?}", got, want),
+        }
+        // Unbounded: the blocked kernel equals the plain kernel.
+        let unbounded = euclidean_sq_early_abandon(a, b, f64::INFINITY).unwrap();
+        prop_assert!((unbounded - full).abs() <= 1e-9 * (1.0 + full));
+    }
+
+    #[test]
+    fn blocked_lb_keogh_matches_scalar(
+        raw_q in kernel_series(),
+        raw_c in kernel_series(),
+        len in 1usize..=KERNEL_PROP_LEN,
+        window in 0usize..12,
+        factor in 0.05f64..3.0,
+    ) {
+        let (q, c) = (&raw_q[..len], &raw_c[..len]);
+        let env = keogh_envelope(q, window);
+        let full = scalar_lb_keogh(&env, c, f64::INFINITY).unwrap();
+        let thr = full * factor;
+        if (full - thr).abs() <= 1e-6 * (1.0 + full) {
+            return Ok(());
+        }
+        match (lb_keogh_sq(&env, c, thr), scalar_lb_keogh(&env, c, thr)) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!(
+                (x - y).abs() <= 1e-9 * (1.0 + y),
+                "blocked {} vs scalar {}", x, y
+            ),
+            (got, want) => prop_assert!(false, "blocked {:?} vs scalar {:?}", got, want),
+        }
     }
 }
 
