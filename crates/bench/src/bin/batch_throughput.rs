@@ -102,10 +102,7 @@ fn main() {
 
     // --- Whole-batch entry point (what schedulers feed) -----------------
     let batch: Vec<BatchQuery> = (0..n_queries)
-        .map(|qi| BatchQuery {
-            data: workload.query(qi),
-            kind: QueryKind::Exact,
-        })
+        .map(|qi| BatchQuery::new(workload.query(qi), QueryKind::Exact))
         .collect();
     let order: Vec<usize> = (0..n_queries).collect();
     let batch_out = engine.run_batch(&batch, &order, &params);

@@ -1,0 +1,122 @@
+//! Inter-query concurrency smoke benchmark: emits `BENCH_multiq.json`
+//! comparing [`BatchEngine::run_batch_concurrent`] (admission-planned
+//! worker-group lanes) against the sequential [`BatchEngine::run_batch`]
+//! pool on the same easy-heavy workload — the regime where one query
+//! across all workers wastes the pool (intra-query speedup is
+//! saturated) and disjoint lanes lift throughput.
+//!
+//! Runs as a CI smoke step next to `batch_throughput`: whole-batch
+//! queries/sec for both execution modes plus a brute-force exactness
+//! check (zero mismatches is part of the contract, and the concurrent
+//! answers must be bit-identical to the sequential ones).
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin multiq_throughput [out.json]
+//! ```
+//!
+//! `ODYSSEY_BENCH_SCALE` multiplies the dataset and query counts as in
+//! every other harness.
+
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::engine::{BatchEngine, BatchQuery, QueryKind};
+use odyssey_core::search::exact::SearchParams;
+use odyssey_sched::admission::{plan_lanes, AdmissionConfig};
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+use std::sync::Arc;
+
+/// Pool threads. Easy queries cannot use eight workers each — which is
+/// exactly what lets eight single-worker lanes answer eight of them at
+/// once.
+const THREADS: usize = 8;
+
+/// Best-of-N batch timings (the batch is the unit of interest here, and
+/// CI hosts are noisy).
+const REPS: usize = 5;
+
+fn time_batches(mut run: impl FnMut() -> std::time::Duration) -> f64 {
+    (0..REPS).map(|_| run().as_secs_f64()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_multiq.json".to_string());
+    let scale = odyssey_bench::scale();
+    let n_series = 4_000 * scale;
+    let series_len = 64;
+    let n_queries = 64 * scale;
+    let data = random_walk(n_series, series_len, 0x601);
+    let index = Arc::new(Index::build(
+        data.clone(),
+        IndexConfig::new(series_len)
+            .with_segments(16)
+            .with_leaf_capacity(64),
+        2,
+    ));
+    // Easy-heavy workload: near-duplicates whose searches saturate at
+    // one or two workers (tighter noise than `batch_throughput`, the
+    // regime inter-query lanes exist for).
+    let workload =
+        QueryWorkload::generate(&data, n_queries, WorkloadKind::Easy { noise: 0.001 }, 0x602);
+    let params = SearchParams::new(THREADS);
+    let engine = BatchEngine::new(Arc::clone(&index), THREADS);
+
+    let batch: Vec<BatchQuery> = (0..n_queries)
+        .map(|qi| BatchQuery::new(workload.query(qi), QueryKind::Exact))
+        .collect();
+    let order: Vec<usize> = (0..n_queries).collect();
+    // Admission-planned lanes from the same estimates the schedulers
+    // use (the approximate-search distance).
+    let estimates: Vec<f64> = (0..n_queries)
+        .map(|qi| index.approx_search(workload.query(qi)).distance)
+        .collect();
+    // Easy queries saturate at a single worker, so the bench admits
+    // them at width 1: eight queries in flight, zero intra-query
+    // synchronization per lane.
+    let admission = AdmissionConfig::default().with_easy_width(1);
+    let plan = plan_lanes(&estimates, THREADS, &admission);
+    let n_lanes: usize = plan.rounds.iter().map(|r| r.lanes.len()).max().unwrap_or(0);
+
+    // Warm up both paths (page in the layout, spin up the pool).
+    let _ = engine.run_batch(&batch, &order, &params);
+    let _ = engine.run_batch_concurrent(&batch, &plan, &params);
+
+    let sequential_s = time_batches(|| engine.run_batch(&batch, &order, &params).wall);
+    let concurrent_s =
+        time_batches(|| engine.run_batch_concurrent(&batch, &plan, &params).wall);
+    let sequential_qps = n_queries as f64 / sequential_s;
+    let concurrent_qps = n_queries as f64 / concurrent_s;
+
+    // Exactness: the concurrent outcome against brute force AND
+    // bit-identical to the sequential pool.
+    let seq_out = engine.run_batch(&batch, &order, &params);
+    let conc_out = engine.run_batch_concurrent(&batch, &plan, &params);
+    let mut mismatches = 0usize;
+    for qi in 0..n_queries {
+        let want = index.brute_force(workload.query(qi));
+        let seq = seq_out.items[qi].answer.nn();
+        let conc = conc_out.items[qi].answer.nn();
+        if (conc.distance - want.distance).abs() > 1e-9 {
+            mismatches += 1;
+        }
+        if conc.distance.to_bits() != seq.distance.to_bits() {
+            mismatches += 1;
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"multiq_throughput\",\n  \"n_series\": {n_series},\n  \
+         \"series_len\": {series_len},\n  \"n_queries\": {n_queries},\n  \
+         \"threads\": {THREADS},\n  \"easy_width\": {},\n  \"lanes\": {n_lanes},\n  \
+         \"rounds\": {},\n  \
+         \"sequential_qps\": {sequential_qps:.1},\n  \"concurrent_qps\": {concurrent_qps:.1},\n  \
+         \"speedup_throughput\": {:.3},\n  \"mismatches\": {mismatches}\n}}\n",
+        admission.easy_width,
+        plan.rounds.len(),
+        concurrent_qps / sequential_qps,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_multiq.json");
+    print!("{json}");
+    assert_eq!(mismatches, 0, "concurrent engine diverged");
+}

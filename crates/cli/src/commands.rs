@@ -6,7 +6,7 @@ use odyssey_core::index::{Index, IndexConfig};
 use odyssey_core::persist;
 use odyssey_core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
 use odyssey_core::search::exact::SearchParams;
-use odyssey_sched::scheduler::dynamic_order;
+use odyssey_sched::{AdmissionController, ThresholdModel};
 use odyssey_workloads::generator;
 use odyssey_workloads::io as wio;
 use std::path::Path;
@@ -110,11 +110,19 @@ fn cmd_index_info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Answers the whole query file as **one batch** on a persistent
-/// [`BatchEngine`]: the worker pool and scratch arenas are set up once,
-/// and the dispatch order comes from the PREDICT-DN policy (descending
-/// approximate-search cost estimate), exactly how the cluster runtime's
-/// schedulers feed node engines.
+/// How many exact pilot queries the `query` command spends training the
+/// sigmoid `TH` model (Figure 6) before answering the batch. The
+/// sigmoid fit needs at least four points; smaller files skip training.
+const TH_PILOT: usize = 8;
+
+/// Answers the whole query file as **one concurrent batch** on a
+/// persistent [`BatchEngine`]: the worker pool and scratch arenas are
+/// set up once, per-query cost estimates (the PREDICT-* feature) drive
+/// the admission plan — predicted-hard queries take the full pool in
+/// descending-estimate order (PREDICT-DN), predicted-easy queries run
+/// simultaneously on narrow worker groups — and, when the file is large
+/// enough, a pilot run trains the sigmoid threshold model so every
+/// query gets its own predicted `TH`.
 fn cmd_query(args: &Args) -> Result<(), String> {
     let index = persist::load_index_file(Path::new(args.require("index")?))
         .map_err(|e| e.to_string())?;
@@ -132,19 +140,56 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     } else {
         QueryKind::Exact
     };
-    // PREDICT-DN dispatch order: hardest (highest initial-BSF) first.
+    // Per-query cost estimates: the initial BSF of the approximate
+    // search (monotone in execution time, Figure 4).
     let estimates: Vec<f64> = (0..queries.num_series())
         .map(|qi| index.approx_search(queries.series(qi)).distance)
         .collect();
-    let order = dynamic_order(&estimates, true);
-    let batch: Vec<BatchQuery> = (0..queries.num_series())
-        .map(|qi| BatchQuery {
-            data: queries.series(qi),
-            kind,
+    let nq = queries.num_series();
+    let engine = BatchEngine::new(Arc::new(index), threads);
+
+    // Pilot phase: run a few exact searches spread across the estimate
+    // range and fit BSF -> median queue size, the paper's TH predictor.
+    let controller = if nq >= 4 && kind == QueryKind::Exact {
+        let mut by_est: Vec<usize> = (0..nq).collect();
+        by_est.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]).then(a.cmp(&b)));
+        let n_pilot = TH_PILOT.min(nq);
+        let mut bsfs = Vec::with_capacity(n_pilot);
+        let mut medians = Vec::with_capacity(n_pilot);
+        for i in 0..n_pilot {
+            let qi = by_est[i * (nq - 1) / (n_pilot - 1).max(1)];
+            let out = engine.exact(queries.series(qi), &params);
+            bsfs.push(out.stats.initial_bsf);
+            medians.push(out.stats.pq_size_median as f64);
+        }
+        let model = ThresholdModel::train(&bsfs, &medians, 16.0);
+        println!("trained per-query TH model on {n_pilot} pilot queries");
+        AdmissionController::default().with_threshold_model(model)
+    } else {
+        AdmissionController::default()
+    };
+
+    let ths = controller.predict_ths(&estimates);
+    let batch: Vec<BatchQuery> = (0..nq)
+        .map(|qi| {
+            let q = BatchQuery::new(queries.series(qi), kind);
+            match &ths {
+                Some(ths) => q.with_params(params.with_th(ths[qi])),
+                None => q,
+            }
         })
         .collect();
-    let engine = BatchEngine::new(Arc::new(index), threads);
-    let outcome = engine.run_batch(&batch, &order, &params);
+    let plan = controller.plan(&estimates, threads);
+    let lanes: Vec<String> = plan
+        .rounds
+        .iter()
+        .map(|r| {
+            let widths: Vec<String> =
+                r.lanes.iter().map(|l| format!("{}w", l.width)).collect();
+            widths.join("+")
+        })
+        .collect();
+    let outcome = engine.run_batch_concurrent(&batch, &plan, &params);
     for (qi, item) in outcome.items.iter().enumerate() {
         match &item.answer {
             BatchAnswer::Nn(ans) if dtw_window > 0 => println!(
@@ -169,10 +214,16 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
     }
     println!(
-        "batch: {} queries in {:?} on a {}-thread engine",
+        "batch: {} queries in {:?} on a {}-thread engine ({} round(s): {})",
         outcome.items.len(),
         outcome.wall,
-        engine.n_threads()
+        engine.n_threads(),
+        plan.rounds.len(),
+        if lanes.is_empty() {
+            "empty".to_string()
+        } else {
+            lanes.join(" then ")
+        }
     );
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Cluster configuration.
 
 use odyssey_partition::PartitioningScheme;
-use odyssey_sched::{CostModel, SchedulerKind};
+use odyssey_sched::{AdmissionConfig, CostModel, SchedulerKind, ThresholdModel};
 use std::sync::Arc;
 
 /// The replication strategies of Section 3.3.
@@ -87,6 +87,25 @@ pub struct ClusterConfig {
     /// have few threads, so the default keeps 16 batches to preserve a
     /// meaningful stealing granularity.
     pub rs_batches: usize,
+    /// Enable inter-query concurrency inside each node: a node with
+    /// per-query cost predictions (a PREDICT-* scheduler) and no active
+    /// work-stealing admits windows of queries onto disjoint worker
+    /// groups (narrow lanes for predicted-easy queries, the full pool
+    /// for predicted-hard ones) instead of running every query across
+    /// all of its threads. Stealing batches keep the per-query path —
+    /// the steal protocol hands out RS-batches of *one* active query.
+    pub inter_query_lanes: bool,
+    /// Lane-admission knobs (easy width, hardness cutoff).
+    pub lane_admission: AdmissionConfig,
+    /// How many queries a node admits from its dispatch queue per
+    /// concurrent planning window. Small windows stay close to the
+    /// coordinator-served dynamic dispatch; large windows give the
+    /// packer more balancing freedom.
+    pub lane_window: usize,
+    /// Optional trained sigmoid threshold model (Figure 6): when set,
+    /// every query runs with its own predicted priority-queue
+    /// threshold `TH` instead of the batch-wide [`Self::pq_threshold`].
+    pub threshold_model: Option<ThresholdModel>,
     /// RNG seed for victim selection and the random-shuffle partitioner.
     pub seed: u64,
     /// Relative node speeds (empty = all `1.0`). A speed of `0.25` makes
@@ -116,6 +135,10 @@ impl ClusterConfig {
             cost_model: None,
             pq_threshold: 8,
             rs_batches: 32,
+            inter_query_lanes: true,
+            lane_admission: AdmissionConfig::default(),
+            lane_window: 8,
+            threshold_model: None,
             seed: 0xD15EA5E,
             node_speeds: Vec::new(),
         }
@@ -194,6 +217,31 @@ impl ClusterConfig {
     pub fn with_rs_batches(mut self, nsb: usize) -> Self {
         assert!(nsb >= 1);
         self.rs_batches = nsb;
+        self
+    }
+
+    /// Toggles per-node inter-query lanes.
+    pub fn with_inter_query_lanes(mut self, on: bool) -> Self {
+        self.inter_query_lanes = on;
+        self
+    }
+
+    /// Sets the lane-admission knobs.
+    pub fn with_lane_admission(mut self, a: AdmissionConfig) -> Self {
+        self.lane_admission = a;
+        self
+    }
+
+    /// Sets the per-node admission window.
+    pub fn with_lane_window(mut self, w: usize) -> Self {
+        assert!(w >= 1);
+        self.lane_window = w;
+        self
+    }
+
+    /// Installs a trained per-query `TH` model.
+    pub fn with_threshold_model(mut self, m: ThresholdModel) -> Self {
+        self.threshold_model = Some(m);
         self
     }
 

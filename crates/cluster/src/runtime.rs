@@ -20,12 +20,15 @@ use crossbeam::channel::{bounded, unbounded, Sender};
 use odyssey_core::index::{BuildTimes, Index, IndexConfig};
 use odyssey_core::search::answer::{Answer, KnnAnswer};
 use odyssey_core::search::dtw_search::{approx_dtw, DtwKernel};
+use odyssey_core::search::bsf::ResultSet;
 use odyssey_core::search::engine::BatchEngine;
 use odyssey_core::search::exact::{SearchParams, SearchStats, StealView};
 use odyssey_core::search::kernel::{EdKernel, QueryKernel};
 use odyssey_core::search::knn::seed_from_approx_leaf;
+use odyssey_core::search::multiq::LaneCtx;
 use odyssey_core::series::DatasetBuffer;
 use odyssey_partition::Partition;
+use odyssey_sched::admission::plan_lanes;
 use odyssey_sched::scheduler::{dynamic_order, greedy_by_estimate, static_split};
 use odyssey_sched::SchedulerKind;
 use parking_lot::Mutex;
@@ -402,6 +405,9 @@ impl OdysseyCluster {
 
         // --- Stage 3: per-group estimation + scheduling -----------------
         let mut dispatch: Vec<GroupDispatch> = Vec::with_capacity(n_groups);
+        // Per-group cost estimates, kept for lane admission (empty for
+        // the non-predictive policies, which also get no lanes).
+        let mut group_costs: Vec<Vec<f64>> = Vec::with_capacity(n_groups);
         let initial_bsf_board: Vec<AtomicU64> = (0..nq)
             .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
             .collect();
@@ -438,6 +444,11 @@ impl OdysseyCluster {
                 group_size,
                 wave_size,
             ));
+            group_costs.push(if self.config.scheduler.needs_predictions() {
+                estimates
+            } else {
+                Vec::new()
+            });
         }
 
         // --- Stage 4: node execution ------------------------------------
@@ -466,6 +477,13 @@ impl OdysseyCluster {
         let steals_served = AtomicU64::new(0);
 
         let stealing_enabled = self.config.work_stealing && group_size > 1;
+        // Inter-query lanes need per-query predictions, and the steal
+        // protocol hands out RS-batches of one active full-pool query —
+        // stealing batches therefore keep the per-query path.
+        let use_lanes = self.config.inter_query_lanes
+            && !stealing_enabled
+            && self.config.scheduler.needs_predictions();
+        let group_costs = &group_costs;
         std::thread::scope(|scope| {
             for node in 0..n_nodes {
                 let g = topo.group_of(node);
@@ -500,30 +518,9 @@ impl OdysseyCluster {
                         Arc::clone(&index),
                         self.config.threads_per_node,
                     );
-                    while let Some(qid) = dispatch[g].next(member_idx) {
-                        let stats = self.execute_query(
-                            &engine,
-                            queries.series(qid),
-                            qid,
-                            mode,
-                            g,
-                            bsf_board,
-                            answer_board,
-                            if stealing_enabled {
-                                Some(&active[node])
-                            } else {
-                                None
-                            },
-                            if stealing_enabled {
-                                Some((&steal_rx_workers[node], steals_served))
-                            } else {
-                                None
-                            },
-                            None,
-                            speed,
-                        );
+                    let account = |qid: usize, stats: &SearchStats| {
                         let u = (units::search_units(
-                            &stats,
+                            stats,
                             queries.series_len(),
                             index.config().segments,
                         ) as f64
@@ -531,6 +528,57 @@ impl OdysseyCluster {
                         per_node_units[node].fetch_add(u, Ordering::Relaxed);
                         per_query_units[qid].fetch_add(u, Ordering::Relaxed);
                         per_node_queries[node].fetch_add(1, Ordering::Relaxed);
+                    };
+                    if use_lanes {
+                        // Admission windows: pull a window of queries,
+                        // plan widths from their cost estimates, run the
+                        // window's rounds on partitioned worker groups.
+                        self.run_lane_windows(
+                            &dispatch[g],
+                            member_idx,
+                            &group_costs[g],
+                            &engine,
+                            &|ctx, qid| {
+                                let stats = self.execute_query(
+                                    &mut NnRunner::Lane(ctx),
+                                    queries.series(qid),
+                                    qid,
+                                    mode,
+                                    g,
+                                    bsf_board,
+                                    answer_board,
+                                    speed,
+                                );
+                                account(qid, &stats);
+                            },
+                        );
+                    } else {
+                        while let Some(qid) = dispatch[g].next(member_idx) {
+                            let stats = self.execute_query(
+                                &mut NnRunner::Pool {
+                                    engine: &engine,
+                                    active: if stealing_enabled {
+                                        Some(&active[node])
+                                    } else {
+                                        None
+                                    },
+                                    service_rx: if stealing_enabled {
+                                        Some((&steal_rx_workers[node], steals_served))
+                                    } else {
+                                        None
+                                    },
+                                    stolen: None,
+                                },
+                                queries.series(qid),
+                                qid,
+                                mode,
+                                g,
+                                bsf_board,
+                                answer_board,
+                                speed,
+                            );
+                            account(qid, &stats);
+                        }
                     }
                     done[node].store(true, Ordering::Release);
                     group_done[g].fetch_add(1, Ordering::AcqRel);
@@ -551,16 +599,18 @@ impl OdysseyCluster {
                             steals_successful.fetch_add(1, Ordering::Relaxed);
                             let qid = resp.query_id.expect("non-empty steal has query");
                             let stats = self.execute_query(
-                                &engine,
+                                &mut NnRunner::Pool {
+                                    engine: &engine,
+                                    active: None,
+                                    service_rx: None,
+                                    stolen: Some((&resp.batch_ids, resp.bsf_sq)),
+                                },
                                 queries.series(qid),
                                 qid,
                                 mode,
                                 g,
                                 bsf_board,
                                 answer_board,
-                                None,
-                                None,
-                                Some((&resp.batch_ids, resp.bsf_sq)),
                                 speed,
                             );
                             let u = (units::search_units(
@@ -669,86 +719,117 @@ impl OdysseyCluster {
         }
     }
 
-    /// Executes one query (or one stolen batch subset of it) on a node's
-    /// resident [`BatchEngine`], merging the local answer into the
-    /// boards.
+    /// Executes one 1-NN query (or one stolen batch subset of it) on
+    /// either execution surface — a node's resident pool or one of its
+    /// lanes — merging the local answer into the boards. The steal
+    /// surface (active slot, cooperative service, stolen subsets) only
+    /// exists on the pool: lanes run exactly when stealing is off.
     #[allow(clippy::too_many_arguments)]
     fn execute_query(
         &self,
-        engine: &BatchEngine,
+        runner: &mut NnRunner<'_, '_, '_>,
         query: &[f32],
         qid: usize,
         mode: BatchMode,
         group: usize,
         bsf_board: &BsfBoard,
         answer_board: &AnswerBoard,
-        active: Option<&ActiveSlot>,
-        service_rx: Option<(&crossbeam::channel::Receiver<StealRequest>, &AtomicU64)>,
-        stolen: Option<(&[usize], f64)>,
         speed: f64,
     ) -> SearchStats {
-        let index = engine.index();
+        let index = match runner {
+            NnRunner::Pool { engine, .. } => Arc::clone(engine.index()),
+            NnRunner::Lane(ctx) => Arc::clone(ctx.index()),
+        };
+        let stolen_bsf = match runner {
+            NnRunner::Pool { stolen, .. } => stolen.map(|(_, bsf_sq)| bsf_sq),
+            NnRunner::Lane(_) => None,
+        };
         let params = SearchParams::new(self.config.threads_per_node)
             .with_th(self.config.pq_threshold)
             .with_nsb(self.config.rs_batches);
         let board_opt = self.config.bsf_sharing.then_some((bsf_board, qid));
-        let run = |kernel: &dyn QueryKernel, init_sq: f64, init_id: Option<u32>| {
-            let bsf = BoardBsf::new(init_sq, init_id, board_opt);
-            let view = Arc::new(StealView::new());
-            if let Some(slot) = active {
-                *slot.lock() = Some(ActiveQuery {
-                    query_id: qid,
-                    view: Arc::clone(&view),
-                    bsf: Arc::clone(&bsf.local),
-                });
+        // Straggler pacing: stretch the processing phase so the
+        // protocol (and thieves) see the slow node.
+        let pace = move || {
+            if speed < 1.0 {
+                let extra = (1.0 / speed - 1.0) * 20.0;
+                std::thread::sleep(Duration::from_micros(extra as u64));
             }
-            // Cooperative steal-request service: workers drain pending
-            // requests between queue claims (see the
-            // `run_search_with_service` docs for why the manager thread
-            // alone is not enough on an oversubscribed host).
-            let view_for_service = Arc::clone(&view);
-            let bsf_for_service = Arc::clone(&bsf.local);
-            let nsend = self.config.steal_nsend;
-            let service = move || {
-                if speed < 1.0 {
-                    // Straggler pacing: stretch the processing phase so
-                    // the protocol (and thieves) see the slow node.
-                    let extra = (1.0 / speed - 1.0) * 20.0;
-                    std::thread::sleep(Duration::from_micros(extra as u64));
-                }
-                if let Some((rx, served)) = service_rx {
-                    while let Ok(req) = rx.try_recv() {
-                        crate::stealing::serve_request(
-                            req,
-                            qid,
-                            &view_for_service,
-                            &bsf_for_service,
-                            nsend,
-                            served,
-                        );
+        };
+        let mut run = |kernel: &dyn QueryKernel, init_sq: f64, init_id: Option<u32>| {
+            // Per-query TH (Figure 6): the sigmoid model predicts the
+            // queue threshold from this query's initial BSF.
+            let mut params = params;
+            if let Some(model) = &self.config.threshold_model {
+                params.th = model.predict_th(init_sq.sqrt());
+            }
+            let bsf = BoardBsf::new(init_sq, init_id, board_opt);
+            let stats = match &mut *runner {
+                NnRunner::Pool {
+                    engine,
+                    active,
+                    service_rx,
+                    stolen,
+                } => {
+                    let view = Arc::new(StealView::new());
+                    if let Some(slot) = active {
+                        *slot.lock() = Some(ActiveQuery {
+                            query_id: qid,
+                            view: Arc::clone(&view),
+                            bsf: Arc::clone(&bsf.local),
+                        });
                     }
+                    // Cooperative steal-request service: workers drain
+                    // pending requests between queue claims (see the
+                    // `run_search_with_service` docs for why the manager
+                    // thread alone is not enough on an oversubscribed
+                    // host).
+                    let view_for_service = Arc::clone(&view);
+                    let bsf_for_service = Arc::clone(&bsf.local);
+                    let nsend = self.config.steal_nsend;
+                    let service_rx = *service_rx;
+                    let service = move || {
+                        pace();
+                        if let Some((rx, served)) = service_rx {
+                            while let Ok(req) = rx.try_recv() {
+                                crate::stealing::serve_request(
+                                    req,
+                                    qid,
+                                    &view_for_service,
+                                    &bsf_for_service,
+                                    nsend,
+                                    served,
+                                );
+                            }
+                        }
+                    };
+                    let stats = engine.run_query(
+                        kernel,
+                        &params,
+                        &bsf,
+                        stolen.map(|(ids, _)| ids),
+                        &view,
+                        &|_, _| {},
+                        &service,
+                    );
+                    if let Some(slot) = active {
+                        *slot.lock() = None;
+                    }
+                    stats
+                }
+                NnRunner::Lane(ctx) => {
+                    let view = StealView::new();
+                    ctx.run_query(kernel, &params, &bsf, None, &view, &|_, _| {}, &pace)
                 }
             };
-            let stats = engine.run_query(
-                kernel,
-                &params,
-                &bsf,
-                stolen.map(|(ids, _)| ids),
-                &view,
-                &|_, _| {},
-                &service,
-            );
-            if let Some(slot) = active {
-                *slot.lock() = None;
-            }
             answer_board.merge(qid, self.globalize(group, bsf.local_answer()));
             stats
         };
         match mode {
             BatchMode::Euclidean => {
                 let kernel = EdKernel::new(query, index.config().segments);
-                let (init_sq, init_id) = match stolen {
-                    Some((_, bsf_sq)) => (bsf_sq, None),
+                let (init_sq, init_id) = match stolen_bsf {
+                    Some(bsf_sq) => (bsf_sq, None),
                     None => {
                         let a = index.approx_search_paa(query, kernel.qpaa());
                         (a.distance_sq, a.series_id)
@@ -758,13 +839,45 @@ impl OdysseyCluster {
             }
             BatchMode::Dtw { window } => {
                 let kernel = DtwKernel::new(query, window, index.config().segments);
-                let (init_sq, init_id) = match stolen {
-                    Some((_, bsf_sq)) => (bsf_sq, None),
-                    None => approx_dtw(index, &kernel),
+                let (init_sq, init_id) = match stolen_bsf {
+                    Some(bsf_sq) => (bsf_sq, None),
+                    None => approx_dtw(&index, &kernel),
                 };
                 run(&kernel, init_sq, init_id)
             }
             BatchMode::Knn { .. } => unreachable!("guarded by answer_batch_mode"),
+        }
+    }
+
+    /// Drains one group member's dispatch queue in admission windows:
+    /// pull up to `lane_window` queries, plan lane widths from their
+    /// cost estimates, run each round on the engine's partitioned
+    /// worker groups, repeat until the queue is empty. Shared by the
+    /// 1-NN and k-NN batch paths.
+    fn run_lane_windows(
+        &self,
+        dispatch: &GroupDispatch,
+        member_idx: usize,
+        costs: &[f64],
+        engine: &BatchEngine,
+        per_query: &(dyn Fn(&mut LaneCtx, usize) + Sync),
+    ) {
+        loop {
+            let mut window = Vec::with_capacity(self.config.lane_window);
+            while window.len() < self.config.lane_window {
+                match dispatch.next(member_idx) {
+                    Some(qid) => window.push(qid),
+                    None => break,
+                }
+            }
+            if window.is_empty() {
+                break;
+            }
+            let wcosts: Vec<f64> = window.iter().map(|&qid| costs[qid]).collect();
+            let plan = plan_lanes(&wcosts, engine.n_threads(), &self.config.lane_admission);
+            for round in &plan.rounds {
+                engine.run_concurrent(round, &|ctx, wi| per_query(ctx, window[wi]));
+            }
         }
     }
 
@@ -781,6 +894,7 @@ impl OdysseyCluster {
         let group_size = topo.replication_degree();
 
         let mut dispatch: Vec<GroupDispatch> = Vec::with_capacity(n_groups);
+        let mut group_costs: Vec<Vec<f64>> = Vec::with_capacity(n_groups);
         for g in 0..n_groups {
             let estimates = if self.config.scheduler.needs_predictions() {
                 let index = &self.chunk_index[g];
@@ -795,8 +909,18 @@ impl OdysseyCluster {
                 &estimates,
                 group_size,
             ));
+            group_costs.push(if self.config.scheduler.needs_predictions() {
+                estimates
+            } else {
+                Vec::new()
+            });
         }
 
+        // The k-NN path has no inter-node stealing, so lanes only need
+        // predictions to engage.
+        let use_lanes =
+            self.config.inter_query_lanes && self.config.scheduler.needs_predictions();
+        let group_costs = &group_costs;
         let knn_board = KnnBoard::new(nq, k);
         let per_node_units: Vec<AtomicU64> = (0..n_nodes).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|scope| {
@@ -819,35 +943,50 @@ impl OdysseyCluster {
                     let params = SearchParams::new(self.config.threads_per_node)
                         .with_th(self.config.pq_threshold)
                         .with_nsb(self.config.rs_batches);
-                    while let Some(qid) = dispatch[g].next(member_idx) {
-                        let q = queries.series(qid);
-                        let board_opt = self.config.bsf_sharing.then_some((knn_board, qid));
-                        let set = BoardKnn::new(k, board_opt);
-                        seed_from_approx_leaf(&index, q, &set.local);
-                        let kernel = EdKernel::new(q, index.config().segments);
-                        let stats = engine.run_query(
-                            &kernel,
-                            &params,
-                            &set,
-                            None,
-                            &StealView::new(),
-                            &|_, _| {},
-                            &|| {},
-                        );
-                        let mut local = set.local.snapshot();
-                        // Translate chunk-local ids to global ids.
-                        for n in local.neighbors.iter_mut() {
-                            n.1 = self.id_maps[g][n.1 as usize];
-                        }
-                        knn_board.merge(qid, local);
+                    let account = |stats: &SearchStats| {
                         per_node_units[node].fetch_add(
                             units::search_units(
-                                &stats,
+                                stats,
                                 queries.series_len(),
                                 index.config().segments,
                             ),
                             Ordering::Relaxed,
                         );
+                    };
+                    if use_lanes {
+                        self.run_lane_windows(
+                            &dispatch[g],
+                            member_idx,
+                            &group_costs[g],
+                            &engine,
+                            &|ctx, qid| {
+                                let stats = self.execute_knn_query(
+                                    &mut KnnRunner::Lane(ctx),
+                                    &index,
+                                    queries.series(qid),
+                                    qid,
+                                    k,
+                                    g,
+                                    params,
+                                    knn_board,
+                                );
+                                account(&stats);
+                            },
+                        );
+                    } else {
+                        while let Some(qid) = dispatch[g].next(member_idx) {
+                            let stats = self.execute_knn_query(
+                                &mut KnnRunner::Pool(&engine),
+                                &index,
+                                queries.series(qid),
+                                qid,
+                                k,
+                                g,
+                                params,
+                                knn_board,
+                            );
+                            account(&stats);
+                        }
                     }
                 });
             }
@@ -861,6 +1000,75 @@ impl OdysseyCluster {
                 .collect(),
         }
     }
+}
+
+impl OdysseyCluster {
+    /// One k-NN query on either execution surface (the node's full pool
+    /// or one of its lanes): seed from the approximate leaf, run the
+    /// engine with the k-th-bound board, translate ids, merge.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_knn_query(
+        &self,
+        runner: &mut KnnRunner<'_, '_, '_>,
+        index: &Index,
+        q: &[f32],
+        qid: usize,
+        k: usize,
+        group: usize,
+        params: SearchParams,
+        knn_board: &KnnBoard,
+    ) -> SearchStats {
+        let board_opt = self.config.bsf_sharing.then_some((knn_board, qid));
+        let set = BoardKnn::new(k, board_opt);
+        seed_from_approx_leaf(index, q, &set.local);
+        let kernel = EdKernel::new(q, index.config().segments);
+        let mut params = params;
+        if let Some(model) = &self.config.threshold_model {
+            // The k-NN analogue of the initial BSF: the k-th distance
+            // after seeding (infinite when the seed leaf held < k).
+            let t = set.local.threshold_sq();
+            if t.is_finite() {
+                params.th = model.predict_th(t.sqrt());
+            }
+        }
+        let view = StealView::new();
+        let stats = match runner {
+            KnnRunner::Pool(engine) => {
+                engine.run_query(&kernel, &params, &set, None, &view, &|_, _| {}, &|| {})
+            }
+            KnnRunner::Lane(ctx) => {
+                ctx.run_query(&kernel, &params, &set, None, &view, &|_, _| {}, &|| {})
+            }
+        };
+        let mut local = set.local.snapshot();
+        // Translate chunk-local ids to global ids.
+        for n in local.neighbors.iter_mut() {
+            n.1 = self.id_maps[group][n.1 as usize];
+        }
+        knn_board.merge(qid, local);
+        stats
+    }
+}
+
+/// Where a k-NN query executes: a node's resident pool, or one lane of
+/// it during a concurrent window.
+enum KnnRunner<'a, 'e, 's> {
+    Pool(&'a BatchEngine),
+    Lane(&'a mut LaneCtx<'e, 's>),
+}
+
+/// Where a 1-NN query executes. The pool surface carries the steal
+/// machinery (active-query slot, cooperative request service, stolen
+/// batch subsets); lanes have none — they only run when stealing is
+/// off.
+enum NnRunner<'a, 'e, 's> {
+    Pool {
+        engine: &'a BatchEngine,
+        active: Option<&'a ActiveSlot>,
+        service_rx: Option<(&'a crossbeam::channel::Receiver<StealRequest>, &'a AtomicU64)>,
+        stolen: Option<(&'a [usize], f64)>,
+    },
+    Lane(&'a mut LaneCtx<'e, 's>),
 }
 
 /// The per-group dispatch structure (stage 3's output).
@@ -1215,6 +1423,103 @@ mod tests {
         }
         // Approximate search is much cheaper than exact.
         assert!(approx.makespan_units() < exact.makespan_units());
+    }
+
+    #[test]
+    fn inter_query_lanes_stay_exact_and_match_sequential_nodes() {
+        // Stealing off + a PREDICT policy engages the per-node lanes;
+        // answers must equal brute force and the lanes-off run.
+        let data = random_walk(1200, 64, 61);
+        let w = QueryWorkload::generate(
+            &data,
+            14,
+            WorkloadKind::Mixed {
+                hard_fraction: 0.3,
+                noise: 0.03,
+            },
+            5,
+        );
+        let base = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(4)
+                .with_replication(Replication::Partial(2))
+                .with_scheduler(SchedulerKind::PredictDn)
+                .with_work_stealing(false)
+                .with_threads_per_node(4)
+                .with_lane_window(5),
+        );
+        let laned = base.answer_batch(&w.queries);
+        let sequential = base
+            .reconfigured(|c| c.with_inter_query_lanes(false))
+            .answer_batch(&w.queries);
+        for qi in 0..w.len() {
+            let want = brute_force(&data, w.query(qi));
+            assert!(
+                (laned.answers[qi].distance - want.distance).abs() < 1e-9,
+                "query {qi}: lanes vs brute force"
+            );
+            assert_eq!(
+                laned.answers[qi].distance.to_bits(),
+                sequential.answers[qi].distance.to_bits(),
+                "query {qi}: lanes vs sequential nodes"
+            );
+        }
+        assert_eq!(
+            laned.per_node_queries.iter().sum::<usize>(),
+            w.len() * base.topology().n_groups(),
+            "every group answers every query exactly once"
+        );
+    }
+
+    #[test]
+    fn threshold_model_per_query_th_stays_exact() {
+        use odyssey_sched::{SigmoidFit, ThresholdModel};
+        let data = random_walk(900, 64, 77);
+        let w = QueryWorkload::generate(
+            &data,
+            8,
+            WorkloadKind::Mixed {
+                hard_fraction: 0.5,
+                noise: 0.05,
+            },
+            13,
+        );
+        // A crude hand-rolled sigmoid: easy queries get tiny thresholds,
+        // hard ones large — exactness must not depend on it.
+        let model = ThresholdModel::new(
+            SigmoidFit {
+                m: 16.0,
+                big_m: 4096.0,
+                b: 1.0,
+                c: 1.0,
+                d: 4.0,
+                sse: 0.0,
+            },
+            16.0,
+        );
+        for lanes in [false, true] {
+            let cluster = OdysseyCluster::build(
+                &data,
+                ClusterConfig::new(2)
+                    .with_replication(Replication::Full)
+                    .with_work_stealing(false)
+                    .with_inter_query_lanes(lanes)
+                    .with_threshold_model(model),
+            );
+            let report = cluster.answer_batch(&w.queries);
+            let knn = cluster.answer_batch_knn(&w.queries, 3);
+            for qi in 0..w.len() {
+                let want = brute_force(&data, w.query(qi));
+                assert!(
+                    (report.answers[qi].distance - want.distance).abs() < 1e-9,
+                    "lanes={lanes} query {qi}"
+                );
+                assert!(
+                    (knn.answers[qi].neighbors[0].0 - want.distance_sq).abs() < 1e-9,
+                    "lanes={lanes} query {qi}: knn rank 0"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,11 +24,25 @@ pub struct LbKeoghEnvelope {
 ///
 /// Uses the monotonic-deque (Lemire) algorithm, O(n).
 pub fn keogh_envelope(query: &[f32], window: usize) -> LbKeoghEnvelope {
+    keogh_envelope_reusing(query, window, Vec::new(), Vec::new())
+}
+
+/// [`keogh_envelope`] reusing caller-provided buffer allocations for the
+/// upper/lower envelopes (their contents are discarded; every slot is
+/// rewritten). Callers that construct envelopes back to back — kernel
+/// construction in a batch — hand the previous envelope's vectors back
+/// in so the allocations are *cleared, not reallocated*.
+pub fn keogh_envelope_reusing(
+    query: &[f32],
+    window: usize,
+    upper: Vec<f32>,
+    lower: Vec<f32>,
+) -> LbKeoghEnvelope {
     ENVELOPE_DEQUES.with(|cell| {
         let (max_dq, min_dq) = &mut *cell.borrow_mut();
         max_dq.clear();
         min_dq.clear();
-        keogh_envelope_with(query, window, max_dq, min_dq)
+        keogh_envelope_with(query, window, max_dq, min_dq, upper, lower)
     })
 }
 
@@ -49,11 +63,17 @@ fn keogh_envelope_with(
     window: usize,
     max_dq: &mut std::collections::VecDeque<usize>,
     min_dq: &mut std::collections::VecDeque<usize>,
+    mut upper: Vec<f32>,
+    mut lower: Vec<f32>,
 ) -> LbKeoghEnvelope {
     let n = query.len();
     let w = window.min(n.saturating_sub(1));
-    let mut upper = vec![0.0f32; n];
-    let mut lower = vec![0.0f32; n];
+    // The loop below writes every slot of both envelopes, so resizing
+    // (not zeroing) recycled buffers is enough.
+    upper.clear();
+    upper.resize(n, 0.0);
+    lower.clear();
+    lower.resize(n, 0.0);
     // Deques of indices; front is the extremum of the current window.
     for i in 0..n + w {
         if i < n {

@@ -12,5 +12,5 @@
 pub mod dtw;
 pub mod ed;
 
-pub use dtw::{dtw_banded, keogh_envelope, lb_keogh_sq, LbKeoghEnvelope};
+pub use dtw::{dtw_banded, keogh_envelope, keogh_envelope_reusing, lb_keogh_sq, LbKeoghEnvelope};
 pub use ed::{euclidean, euclidean_sq, euclidean_sq_early_abandon};

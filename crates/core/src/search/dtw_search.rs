@@ -18,7 +18,7 @@ use super::answer::Answer;
 use super::bsf::SharedBsf;
 use super::exact::{run_search, SearchParams, SearchStats, StealView};
 use super::kernel::QueryKernel;
-use crate::distance::{dtw_banded, keogh_envelope, lb_keogh_sq, LbKeoghEnvelope};
+use crate::distance::{dtw_banded, keogh_envelope_reusing, lb_keogh_sq, LbKeoghEnvelope};
 use crate::index::Index;
 use crate::paa::segment_bounds;
 use crate::sax::{IsaxWord, MindistTable};
@@ -38,11 +38,32 @@ pub struct DtwKernel<'q> {
     window: usize,
 }
 
+thread_local! {
+    /// Recycled envelope buffers for [`DtwKernel`] construction: a
+    /// thread seeding DTW queries back to back (the batch engine's
+    /// submitter, a lane's rank-0 worker, a cluster node's estimator)
+    /// reuses one pair of allocations instead of allocating two vectors
+    /// per query — the last piece of the "cleared, not reallocated"
+    /// story (the Lemire deques and DTW band rows are already
+    /// thread-local). Refilled by `DtwKernel`'s `Drop`.
+    static ENVELOPE_BUFS: std::cell::Cell<Option<(Vec<f32>, Vec<f32>)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl Drop for DtwKernel<'_> {
+    fn drop(&mut self) {
+        let upper = std::mem::take(&mut self.env.upper);
+        let lower = std::mem::take(&mut self.env.lower);
+        ENVELOPE_BUFS.set(Some((upper, lower)));
+    }
+}
+
 impl<'q> DtwKernel<'q> {
     /// Builds the kernel for `query` with a Sakoe-Chiba band of
     /// half-width `window` points, under `segments` iSAX segments.
     pub fn new(query: &'q [f32], window: usize, segments: usize) -> Self {
-        let env = keogh_envelope(query, window);
+        let (upper, lower) = ENVELOPE_BUFS.take().unwrap_or_default();
+        let env = keogh_envelope_reusing(query, window, upper, lower);
         let n = query.len();
         let mut seg_upper = vec![0.0f64; segments];
         let mut seg_lower = vec![0.0f64; segments];
@@ -323,6 +344,24 @@ mod tests {
                 got.neighbors[j].0,
                 want
             );
+        }
+    }
+
+    #[test]
+    fn kernel_envelope_reuse_is_bit_identical_to_fresh() {
+        // Constructing kernels back to back recycles envelope buffers
+        // through the thread-local slot (including across different
+        // lengths and windows); the envelopes must equal a fresh
+        // computation bit for bit.
+        for (len, window) in [(64usize, 3usize), (96, 9), (32, 1), (64, 0)] {
+            let q = walk_dataset(1, len, 9000 + (len + window) as u64)
+                .series(0)
+                .to_vec();
+            let want = crate::distance::keogh_envelope(&q, window);
+            let kernel = DtwKernel::new(&q, window, 8);
+            assert_eq!(kernel.env.upper, want.upper, "len={len} window={window}");
+            assert_eq!(kernel.env.lower, want.lower, "len={len} window={window}");
+            drop(kernel); // parks the buffers for the next iteration
         }
     }
 

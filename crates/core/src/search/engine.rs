@@ -37,10 +37,11 @@ use super::exact::{
 };
 use super::kernel::QueryKernel;
 use super::knn::seed_knn;
+use super::multiq::{ConcurrentPlan, LaneCtx, LaneRuntime, RoundSpec};
 use super::scratch::WorkerScratch;
 use crate::index::Index;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -51,6 +52,27 @@ pub struct BatchQuery<'a> {
     pub data: &'a [f32],
     /// Which search to run.
     pub kind: QueryKind,
+    /// Per-query tuning override (e.g. the sigmoid model's predicted
+    /// `TH` for this query); `None` falls back to the batch-wide params.
+    /// `n_threads` is always overridden by the executing pool or lane.
+    pub params: Option<SearchParams>,
+}
+
+impl<'a> BatchQuery<'a> {
+    /// A batch item using the batch-wide parameters.
+    pub fn new(data: &'a [f32], kind: QueryKind) -> Self {
+        BatchQuery {
+            data,
+            kind,
+            params: None,
+        }
+    }
+
+    /// Attaches per-query parameters (typically a predicted `TH`).
+    pub fn with_params(mut self, params: SearchParams) -> Self {
+        self.params = Some(params);
+        self
+    }
 }
 
 /// The search mode of a [`BatchQuery`].
@@ -256,23 +278,24 @@ impl BatchEngine {
                 .unwrap_or_else(|| panic!("dispatch order names query {qi} out of range"));
             assert!(slot.is_none(), "dispatch order repeats query {qi}");
             let q = &queries[qi];
+            let p = q.params.unwrap_or(*params);
             let item = match q.kind {
                 QueryKind::Exact => {
-                    let out = self.exact(q.data, params);
+                    let out = self.exact(q.data, &p);
                     BatchItem {
                         answer: BatchAnswer::Nn(out.answer),
                         stats: out.stats,
                     }
                 }
                 QueryKind::Knn(k) => {
-                    let (ans, stats) = self.knn(q.data, k, params);
+                    let (ans, stats) = self.knn(q.data, k, &p);
                     BatchItem {
                         answer: BatchAnswer::Knn(ans),
                         stats,
                     }
                 }
                 QueryKind::Dtw(window) => {
-                    let (ans, stats) = self.dtw(q.data, window, params);
+                    let (ans, stats) = self.dtw(q.data, window, &p);
                     BatchItem {
                         answer: BatchAnswer::Nn(ans),
                         stats,
@@ -286,6 +309,68 @@ impl BatchEngine {
             wall: t0.elapsed(),
         }
     }
+
+    /// Executes one [`RoundSpec`]: its lanes run **simultaneously** on
+    /// disjoint worker groups, and `driver(ctx, qi)` is invoked on each
+    /// lane's rank-0 worker for that lane's queries, in order. The
+    /// driver runs queries through [`LaneCtx::run_query`] (or the
+    /// [`LaneCtx::execute`] convenience), which scopes execution to the
+    /// lane's group.
+    ///
+    /// This is the building block the cluster runtime drives directly
+    /// (it needs custom result sets and id translation per query);
+    /// [`BatchEngine::run_batch_concurrent`] is the plain-batch wrapper.
+    ///
+    /// # Panics
+    /// Panics if the round's lane widths do not exactly partition the
+    /// pool. A panic inside `driver` or a hook deadlocks the panicking
+    /// lane (the group-barrier contract of [`BatchEngine::run_query`]).
+    pub fn run_concurrent<F>(&self, round: &RoundSpec, driver: &F)
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        round.validate_pool(self.pool.n_threads);
+        let rt = LaneRuntime::new(round);
+        self.pool
+            .run(&|tid, scratch| rt.participate(tid, scratch, &self.index, round, driver));
+    }
+
+    /// Executes a batch under a [`ConcurrentPlan`]: several queries run
+    /// at once on disjoint worker groups (inter-query parallelism), each
+    /// on the same three-phase engine body as [`BatchEngine::run_batch`]
+    /// — answers are bit-identical to the sequential path. Results come
+    /// back in input order.
+    ///
+    /// # Panics
+    /// Panics unless the plan's rounds partition the pool and name every
+    /// query exactly once.
+    pub fn run_batch_concurrent(
+        &self,
+        queries: &[BatchQuery],
+        plan: &ConcurrentPlan,
+        params: &SearchParams,
+    ) -> BatchOutcome {
+        plan.validate(self.pool.n_threads, queries.len());
+        let t0 = std::time::Instant::now();
+        let items: Vec<OnceLock<BatchItem>> = (0..queries.len()).map(|_| OnceLock::new()).collect();
+        for round in &plan.rounds {
+            self.run_concurrent(round, &|ctx, qi| {
+                let q = &queries[qi];
+                let p = q.params.unwrap_or(*params);
+                let item = ctx.execute(q, &p);
+                items[qi]
+                    .set(item)
+                    .unwrap_or_else(|_| unreachable!("validated plan names each query once"));
+            });
+        }
+        BatchOutcome {
+            items: items
+                .into_iter()
+                .map(|s| s.into_inner().expect("validated plan is total"))
+                .collect(),
+            wall: t0.elapsed(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -293,20 +378,22 @@ impl BatchEngine {
 // ---------------------------------------------------------------------
 
 /// A borrowed job: the per-thread engine body of one query.
-type JobRef<'f> = &'f (dyn Fn(usize, &mut WorkerScratch) + Sync + 'f);
+pub(crate) type JobRef<'f> = &'f (dyn Fn(usize, &mut WorkerScratch) + Sync + 'f);
 
-/// The lifetime-erased job handle published to resident workers. The
-/// `'static` is a lie told by [`erase_job`]; see its safety note.
+/// The lifetime-erased job handle published to resident workers (and to
+/// lane followers in the `multiq` runtime). The `'static` is a lie told
+/// by [`erase_job`]; see its safety note.
 #[derive(Clone, Copy)]
-struct Job(&'static (dyn Fn(usize, &mut WorkerScratch) + Sync + 'static));
+pub(crate) struct Job(pub(crate) &'static (dyn Fn(usize, &mut WorkerScratch) + Sync + 'static));
 
 /// Erases the borrow lifetime of a job closure.
 ///
-/// SAFETY contract (upheld by [`WorkerPool::run`]): the returned `Job`
-/// must not be invoked after `run` returns — `run` blocks until every
-/// worker has finished the job and clears the slot, so the erased
+/// SAFETY contract (upheld by [`WorkerPool::run`] and the lane runtime
+/// in `multiq`): the returned `Job` must not be invoked after the
+/// publishing call returns — both drivers block until every
+/// participant has finished the job and clear the slot, so the erased
 /// borrow never outlives the real one.
-fn erase_job(f: JobRef<'_>) -> Job {
+pub(crate) fn erase_job(f: JobRef<'_>) -> Job {
     Job(unsafe {
         std::mem::transmute::<JobRef<'_>, &'static (dyn Fn(usize, &mut WorkerScratch) + Sync)>(f)
     })
@@ -613,10 +700,7 @@ mod tests {
             .collect();
         let queries: Vec<BatchQuery> = qdata
             .iter()
-            .map(|q| BatchQuery {
-                data: q,
-                kind: QueryKind::Exact,
-            })
+            .map(|q| BatchQuery::new(q, QueryKind::Exact))
             .collect();
         let out = engine.run_batch(&queries, &[3, 1, 0, 2], &SearchParams::new(2));
         assert_eq!(out.items.len(), 4);
@@ -633,14 +717,8 @@ mod tests {
         let engine = BatchEngine::new(idx, 1);
         let q = walk_dataset(1, 64, 9).series(0).to_vec();
         let queries = [
-            BatchQuery {
-                data: &q,
-                kind: QueryKind::Exact,
-            },
-            BatchQuery {
-                data: &q,
-                kind: QueryKind::Exact,
-            },
+            BatchQuery::new(&q, QueryKind::Exact),
+            BatchQuery::new(&q, QueryKind::Exact),
         ];
         let _ = engine.run_batch(&queries, &[0, 0], &SearchParams::new(1));
     }
@@ -651,5 +729,61 @@ mod tests {
         let engine = BatchEngine::new(idx, 2);
         let out = engine.run_batch(&[], &[], &SearchParams::new(2));
         assert!(out.items.is_empty());
+        let out = engine.run_batch_concurrent(&[], &ConcurrentPlan::default(), &SearchParams::new(2));
+        assert!(out.items.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lanes_match_sequential_batch() {
+        let idx = build(1000);
+        let qdata: Vec<Vec<f32>> = (0..6)
+            .map(|s| walk_dataset(1, 64, 700 + s).series(0).to_vec())
+            .collect();
+        let queries: Vec<BatchQuery> = qdata
+            .iter()
+            .map(|q| BatchQuery::new(q, QueryKind::Exact))
+            .collect();
+        let order: Vec<usize> = (0..queries.len()).collect();
+        for threads in [1usize, 3, 4] {
+            let engine = BatchEngine::new(Arc::clone(&idx), threads);
+            let params = SearchParams::new(threads).with_th(16);
+            let seq = engine.run_batch(&queries, &order, &params);
+            for width in 1..=threads {
+                let plan = ConcurrentPlan::uniform(queries.len(), threads, width);
+                let conc = engine.run_batch_concurrent(&queries, &plan, &params);
+                for qi in 0..queries.len() {
+                    assert_eq!(
+                        conc.items[qi].answer.nn().distance.to_bits(),
+                        seq.items[qi].answer.nn().distance.to_bits(),
+                        "threads={threads} width={width} qi={qi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_params_override_batch_params() {
+        // A tiny per-query TH must not change the (exact) answer, and
+        // the override must actually be applied: with th=1 the engine
+        // produces more, smaller queues than the batch-wide th.
+        let idx = build(900);
+        let engine = BatchEngine::new(Arc::clone(&idx), 2);
+        let q = walk_dataset(1, 64, 4242).series(0).to_vec();
+        let batch = [
+            BatchQuery::new(&q, QueryKind::Exact),
+            BatchQuery::new(&q, QueryKind::Exact).with_params(SearchParams::new(2).with_th(1)),
+        ];
+        let out = engine.run_batch(&batch, &[0, 1], &SearchParams::new(2).with_th(usize::MAX));
+        assert_eq!(
+            out.items[0].answer.nn().distance.to_bits(),
+            out.items[1].answer.nn().distance.to_bits()
+        );
+        assert!(
+            out.items[1].stats.pq_count > out.items[0].stats.pq_count,
+            "th=1 must split queues: {} vs {}",
+            out.items[1].stats.pq_count,
+            out.items[0].stats.pq_count
+        );
     }
 }

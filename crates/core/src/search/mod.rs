@@ -21,11 +21,14 @@
 //! the distributed layer's work-stealing manager uses to give away
 //! RS-batches without moving any data.
 //!
-//! Two drivers execute that per-query body: the per-query
-//! [`std::thread::scope`] path ([`exact::run_search`]) and the
-//! persistent worker-pool [`engine::BatchEngine`], which amortizes
-//! thread and scratch setup across whole query batches (the private
-//! `scratch` module holds the per-worker reusable arenas).
+//! Three drivers execute that per-query body: the per-query
+//! [`std::thread::scope`] path ([`exact::run_search`]), the persistent
+//! worker-pool [`engine::BatchEngine`], which amortizes thread and
+//! scratch setup across whole query batches (the private `scratch`
+//! module holds the per-worker reusable arenas), and the inter-query
+//! concurrency layer in [`multiq`], which partitions the pool into
+//! disjoint worker groups ("lanes") so several queries of a batch run
+//! simultaneously.
 
 pub mod answer;
 pub mod batches;
@@ -36,5 +39,6 @@ pub mod epsilon;
 pub mod exact;
 pub mod kernel;
 pub mod knn;
+pub mod multiq;
 pub mod pqueue;
 pub(crate) mod scratch;

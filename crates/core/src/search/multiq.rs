@@ -1,0 +1,462 @@
+//! Inter-query concurrency: partitioned worker groups ("lanes").
+//!
+//! The [`BatchEngine`](super::engine::BatchEngine) pool of PR 3 exploits
+//! only *intra*-query parallelism: every query runs across all pool
+//! threads, one query at a time. Odyssey's second axis is *inter*-query
+//! parallelism — the cluster answers many queries at once across nodes,
+//! and a node whose per-query speedup has saturated (easy queries, where
+//! setup and synchronization dominate) should do the same across worker
+//! subsets.
+//!
+//! This module supplies the execution mechanism:
+//!
+//! * a [`ConcurrentPlan`] — *rounds* of *lanes*, where each lane is a
+//!   disjoint worker group (its widths exactly partition the pool) that
+//!   answers its assigned queries one at a time;
+//! * a lane runtime giving every group its own phase [`Barrier`], its
+//!   own job slot, and group-scoped ranks, so each in-flight query sees
+//!   only its group's workers (and their [`WorkerScratch`] arenas);
+//! * a [`LaneCtx`] handed to the per-lane driver on the group's rank-0
+//!   worker, exposing [`LaneCtx::run_query`] — the exact same
+//!   three-phase [`ExecShared`] body as the sequential paths, run at the
+//!   lane's width. Answers are therefore bit-identical to
+//!   `run_batch`: exactness never depended on the thread count.
+//!
+//! *Which* queries deserve which width is a policy question; the
+//! `odyssey-sched` admission module builds plans from per-query cost
+//! predictions (easy → narrow lane, hard → the full pool).
+
+use super::bsf::ResultSet;
+use super::engine::{erase_job, BatchAnswer, BatchItem, BatchQuery, Job, JobRef, QueryKind};
+use super::exact::{seed_ed, ExecShared, SearchParams, SearchStats, StealView};
+use super::kernel::QueryKernel;
+use super::knn::seed_knn;
+use super::scratch::WorkerScratch;
+use crate::index::Index;
+use crate::search::dtw_search::seed_dtw;
+use parking_lot::Mutex;
+use std::sync::{Arc, Barrier};
+
+/// One worker group of a [`RoundSpec`]: `width` pool threads answering
+/// `queries` (engine-batch indices) one at a time, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpec {
+    /// Number of pool threads in this group (≥ 1).
+    pub width: usize,
+    /// Query indices this lane answers, in dispatch order.
+    pub queries: Vec<usize>,
+}
+
+/// One execution round: lanes that run **concurrently** on disjoint
+/// worker groups. Lane widths must exactly partition the engine pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSpec {
+    /// The round's lanes, assigned to pool threads in order: lane 0
+    /// gets tids `0..w0`, lane 1 gets `w0..w0+w1`, and so on.
+    pub lanes: Vec<LaneSpec>,
+}
+
+impl RoundSpec {
+    /// Panics unless the lane widths exactly partition a `pool`-thread
+    /// engine.
+    pub fn validate_pool(&self, pool: usize) {
+        let mut total = 0usize;
+        for lane in &self.lanes {
+            assert!(lane.width >= 1, "lane width must be at least 1");
+            total += lane.width;
+        }
+        assert_eq!(
+            total, pool,
+            "lane widths must exactly partition the {pool}-thread pool"
+        );
+    }
+}
+
+/// A full concurrent-execution plan: rounds run one after another, the
+/// lanes inside each round run simultaneously.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConcurrentPlan {
+    /// The rounds, executed in order.
+    pub rounds: Vec<RoundSpec>,
+}
+
+impl ConcurrentPlan {
+    /// The degenerate plan semantically equal to
+    /// [`run_batch`](super::engine::BatchEngine::run_batch): one round,
+    /// one full-pool lane executing `order`.
+    pub fn sequential(order: &[usize], pool: usize) -> Self {
+        if order.is_empty() {
+            return ConcurrentPlan::default();
+        }
+        ConcurrentPlan {
+            rounds: vec![RoundSpec {
+                lanes: vec![LaneSpec {
+                    width: pool.max(1),
+                    queries: order.to_vec(),
+                }],
+            }],
+        }
+    }
+
+    /// A single round of uniform lanes of the given `width` (the last
+    /// lane absorbs the `pool % width` remainder), with queries
+    /// `0..n_queries` dealt round-robin across lanes.
+    pub fn uniform(n_queries: usize, pool: usize, width: usize) -> Self {
+        if n_queries == 0 {
+            return ConcurrentPlan::default();
+        }
+        let pool = pool.max(1);
+        let width = width.clamp(1, pool);
+        let n_lanes = pool / width;
+        let mut lanes: Vec<LaneSpec> = (0..n_lanes)
+            .map(|l| LaneSpec {
+                width: if l == n_lanes - 1 {
+                    width + pool % width
+                } else {
+                    width
+                },
+                queries: Vec::new(),
+            })
+            .collect();
+        for qi in 0..n_queries {
+            lanes[qi % n_lanes].queries.push(qi);
+        }
+        lanes.retain(|l| !l.queries.is_empty());
+        // Dropping empty lanes must not break the pool partition: fold
+        // their workers into the last surviving lane.
+        let assigned: usize = lanes.iter().map(|l| l.width).sum();
+        if let Some(last) = lanes.last_mut() {
+            last.width += pool - assigned;
+        }
+        ConcurrentPlan {
+            rounds: vec![RoundSpec { lanes }],
+        }
+    }
+
+    /// Total queries named by the plan.
+    pub fn n_queries(&self) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.lanes)
+            .map(|l| l.queries.len())
+            .sum()
+    }
+
+    /// Panics unless every round's lane widths partition a `pool`-thread
+    /// engine and the lanes together name every query in
+    /// `0..n_queries` **exactly once**.
+    pub fn validate(&self, pool: usize, n_queries: usize) {
+        let mut seen = vec![false; n_queries];
+        for round in &self.rounds {
+            round.validate_pool(pool);
+            for lane in &round.lanes {
+                for &qi in &lane.queries {
+                    assert!(
+                        qi < n_queries,
+                        "plan names query {qi} out of range ({n_queries} queries)"
+                    );
+                    assert!(!seen[qi], "plan names query {qi} twice");
+                    seen[qi] = true;
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            panic!("plan never names query {missing}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lane runtime
+// ---------------------------------------------------------------------
+
+/// Runtime state of one worker group while a round executes.
+pub(crate) struct LaneState {
+    width: usize,
+    /// The group's phase barrier (`width` parties) — serves both the
+    /// lane job hand-off and the [`ExecShared`] phase barriers.
+    barrier: Barrier,
+    /// The published per-query job (lifetime-erased; see
+    /// [`erase_job`]'s safety contract, upheld by [`LaneState::run`]).
+    slot: Mutex<Option<Job>>,
+}
+
+impl LaneState {
+    /// Runs `body(rank, scratch)` once on every member of the group
+    /// (the caller executes rank 0 inline) and returns when all are
+    /// done. Followers must be parked in [`LaneState::follow`].
+    fn run(&self, body: JobRef<'_>, scratch: &mut WorkerScratch) {
+        if self.width == 1 {
+            body(0, scratch);
+            return;
+        }
+        *self.slot.lock() = Some(erase_job(body));
+        self.barrier.wait(); // publish: followers pick the job up
+        body(0, scratch);
+        self.barrier.wait(); // completion: no follower still runs it
+        *self.slot.lock() = None;
+    }
+
+    /// Releases the group's followers after the lane's last query.
+    fn finish(&self) {
+        if self.width == 1 {
+            return;
+        }
+        *self.slot.lock() = None;
+        self.barrier.wait(); // publish the "done" sentinel
+    }
+
+    /// Follower loop for ranks `1..width`: execute published jobs until
+    /// the sentinel arrives.
+    fn follow(&self, rank: usize, scratch: &mut WorkerScratch) {
+        loop {
+            self.barrier.wait();
+            let job = *self.slot.lock();
+            let Some(job) = job else { return };
+            (job.0)(rank, scratch);
+            self.barrier.wait();
+        }
+    }
+}
+
+/// Maps pool tids onto lanes and drives one round.
+pub(crate) struct LaneRuntime {
+    lanes: Vec<LaneState>,
+    /// `tid -> (lane, rank within lane)`.
+    membership: Vec<(usize, usize)>,
+}
+
+impl LaneRuntime {
+    pub(crate) fn new(round: &RoundSpec) -> Self {
+        let mut membership = Vec::new();
+        let lanes = round
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(l, spec)| {
+                for rank in 0..spec.width {
+                    membership.push((l, rank));
+                }
+                LaneState {
+                    width: spec.width,
+                    barrier: Barrier::new(spec.width),
+                    slot: Mutex::new(None),
+                }
+            })
+            .collect();
+        LaneRuntime { lanes, membership }
+    }
+
+    /// The per-pool-thread body of one round: rank-0 members drive their
+    /// lane's queries through `driver`, other ranks follow.
+    ///
+    /// # Panics
+    /// A panic raised inside `driver` (or the engine body) on one lane
+    /// member deadlocks the other members of that lane on the group
+    /// barrier — the same contract as the engine's phase barriers.
+    pub(crate) fn participate<F>(
+        &self,
+        tid: usize,
+        scratch: &mut WorkerScratch,
+        index: &Arc<Index>,
+        round: &RoundSpec,
+        driver: &F,
+    ) where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        let (l, rank) = self.membership[tid];
+        let lane = &self.lanes[l];
+        if rank == 0 {
+            {
+                let mut ctx = LaneCtx {
+                    lane,
+                    index,
+                    scratch,
+                };
+                for &qi in &round.lanes[l].queries {
+                    driver(&mut ctx, qi);
+                }
+            }
+            lane.finish();
+        } else {
+            lane.follow(rank, scratch);
+        }
+    }
+}
+
+/// The execution context a round driver receives on a lane's rank-0
+/// worker: a group-scoped view of the engine, one query at a time.
+pub struct LaneCtx<'e, 's> {
+    lane: &'e LaneState,
+    index: &'e Arc<Index>,
+    scratch: &'s mut WorkerScratch,
+}
+
+impl LaneCtx<'_, '_> {
+    /// The lane's worker-group width.
+    pub fn width(&self) -> usize {
+        self.lane.width
+    }
+
+    /// The engine's index.
+    pub fn index(&self) -> &Arc<Index> {
+        self.index
+    }
+
+    /// Runs one query on this lane's worker group. Mirrors
+    /// [`BatchEngine::run_query`](super::engine::BatchEngine::run_query)
+    /// — same three-phase engine, same hook surface — except
+    /// `params.n_threads` is overridden by the **lane width**, so the
+    /// query only ever touches this group's workers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_query<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
+        &mut self,
+        kernel: &K,
+        params: &SearchParams,
+        results: &R,
+        batch_subset: Option<&[usize]>,
+        view: &StealView,
+        on_improve: &(dyn Fn(f64, u32) + Sync),
+        service: &(dyn Fn() + Sync),
+    ) -> SearchStats {
+        let lane = self.lane;
+        let mut eff = *params;
+        eff.n_threads = lane.width;
+        let shared = ExecShared::new(
+            self.index,
+            kernel,
+            &eff,
+            results,
+            batch_subset,
+            view,
+            on_improve,
+            service,
+        );
+        if shared.has_work() {
+            lane.run(
+                &|rank, scratch| shared.worker(rank, &lane.barrier, scratch),
+                self.scratch,
+            );
+        }
+        shared.finish()
+    }
+
+    /// Answers one [`BatchQuery`] on the lane — the concurrent analogue
+    /// of the per-kind arms in
+    /// [`run_batch`](super::engine::BatchEngine::run_batch).
+    pub fn execute(&mut self, query: &BatchQuery, params: &SearchParams) -> BatchItem {
+        let index = self.index;
+        match query.kind {
+            QueryKind::Exact => {
+                let (kernel, bsf, initial) = seed_ed(index, query.data);
+                let view = StealView::new();
+                let mut stats =
+                    self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+                stats.initial_bsf = initial;
+                BatchItem {
+                    answer: BatchAnswer::Nn(bsf.answer()),
+                    stats,
+                }
+            }
+            QueryKind::Knn(k) => {
+                let (kernel, knn) = seed_knn(index, query.data, k);
+                let view = StealView::new();
+                let stats =
+                    self.run_query(&kernel, params, &knn, None, &view, &|_, _| {}, &|| {});
+                BatchItem {
+                    answer: BatchAnswer::Knn(knn.snapshot()),
+                    stats,
+                }
+            }
+            QueryKind::Dtw(window) => {
+                let (kernel, bsf, initial) = seed_dtw(index, query.data, window);
+                let view = StealView::new();
+                let mut stats =
+                    self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+                stats.initial_bsf = initial;
+                BatchItem {
+                    answer: BatchAnswer::Nn(bsf.answer()),
+                    stats,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_plan_is_one_full_pool_lane() {
+        let p = ConcurrentPlan::sequential(&[2, 0, 1], 4);
+        p.validate(4, 3);
+        assert_eq!(p.rounds.len(), 1);
+        assert_eq!(p.rounds[0].lanes.len(), 1);
+        assert_eq!(p.rounds[0].lanes[0].width, 4);
+        assert_eq!(p.rounds[0].lanes[0].queries, vec![2, 0, 1]);
+        assert!(ConcurrentPlan::sequential(&[], 4).rounds.is_empty());
+    }
+
+    #[test]
+    fn uniform_plans_partition_for_all_widths() {
+        for pool in 1..=8usize {
+            for width in 1..=pool {
+                for nq in [0usize, 1, 2, 7, 16] {
+                    let p = ConcurrentPlan::uniform(nq, pool, width);
+                    p.validate(pool, nq);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_with_few_queries_keeps_pool_covered() {
+        // 1 query on an 8-thread pool at width 2: one lane, all 8 workers.
+        let p = ConcurrentPlan::uniform(1, 8, 2);
+        p.validate(8, 1);
+        assert_eq!(p.rounds[0].lanes.len(), 1);
+        assert_eq!(p.rounds[0].lanes[0].width, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the 4-thread pool")]
+    fn validate_rejects_underfull_round() {
+        let p = ConcurrentPlan {
+            rounds: vec![RoundSpec {
+                lanes: vec![LaneSpec {
+                    width: 3,
+                    queries: vec![0],
+                }],
+            }],
+        };
+        p.validate(4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "names query 0 twice")]
+    fn validate_rejects_duplicate_query() {
+        let p = ConcurrentPlan {
+            rounds: vec![RoundSpec {
+                lanes: vec![
+                    LaneSpec {
+                        width: 1,
+                        queries: vec![0],
+                    },
+                    LaneSpec {
+                        width: 1,
+                        queries: vec![0],
+                    },
+                ],
+            }],
+        };
+        p.validate(2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "never names query 1")]
+    fn validate_rejects_missing_query() {
+        let p = ConcurrentPlan::sequential(&[0], 2);
+        p.validate(2, 2);
+    }
+}

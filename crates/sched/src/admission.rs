@@ -1,0 +1,347 @@
+//! Prediction-driven admission: deciding each query's worker-group
+//! width and packing a batch into concurrent lanes.
+//!
+//! Odyssey exploits two axes of parallelism: *intra*-query (all of a
+//! node's workers on one query) and *inter*-query (the cluster answers
+//! many queries at once across nodes). The same trade-off exists inside
+//! one node: an easy query's speedup saturates at one or two workers —
+//! per-query setup and barrier synchronization dominate — while a hard
+//! query profits from the whole pool. The admission controller uses the
+//! existing cost predictors (the initial-BSF regression of Figure 4, or
+//! the raw initial BSF itself, which is monotone in cost) to classify
+//! each query and emit a
+//! [`ConcurrentPlan`](odyssey_core::search::multiq::ConcurrentPlan):
+//!
+//! * **hard** queries (estimate above the admission cutoff) form one
+//!   full-pool round in descending-estimate order — exactly PREDICT-DN
+//!   restricted to the hard tier, preserving the paper's
+//!   hardest-first dispatch where intra-query parallelism matters;
+//! * **easy** queries form a second round of narrow lanes
+//!   ([`AdmissionConfig::easy_width`] workers each) and are packed onto
+//!   lanes greedily by descending estimate onto the least-loaded lane
+//!   (LPT — the same greedy the PREDICT-ST scheduler uses across
+//!   nodes), so lane makespans balance.
+//!
+//! The controller also carries the sigmoid threshold model of Figure 6
+//! ([`ThresholdModel`]) and predicts a per-query priority-queue
+//! threshold `TH` alongside the width — the per-query tuning the batch
+//! engine threads through [`BatchQuery::params`].
+//!
+//! [`BatchQuery::params`]: odyssey_core::search::engine::BatchQuery
+
+use crate::sigmoid::ThresholdModel;
+use odyssey_core::search::multiq::{ConcurrentPlan, LaneSpec, RoundSpec};
+
+/// Tuning knobs of the admission controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Worker-group width for predicted-easy queries (the paper-ish
+    /// sweet spot is 1–2: easy queries are setup-dominated).
+    pub easy_width: usize,
+    /// A query is **hard** when its estimate exceeds
+    /// `hard_ratio × median(estimates)`. With every estimate equal
+    /// (e.g. the unit estimates of non-predictive policies) nothing
+    /// clears the ratio and the whole batch is admitted concurrently.
+    pub hard_ratio: f64,
+    /// Absolute estimate cutoff overriding the ratio rule when set.
+    pub hard_cutoff: Option<f64>,
+    /// Upper bound on concurrent lanes (`usize::MAX` = only limited by
+    /// the pool).
+    pub max_lanes: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            easy_width: 2,
+            hard_ratio: 2.0,
+            hard_cutoff: None,
+            max_lanes: usize::MAX,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Sets the easy-query group width.
+    pub fn with_easy_width(mut self, w: usize) -> Self {
+        assert!(w >= 1);
+        self.easy_width = w;
+        self
+    }
+
+    /// Sets the hard/easy median ratio.
+    pub fn with_hard_ratio(mut self, r: f64) -> Self {
+        assert!(r > 0.0);
+        self.hard_ratio = r;
+        self
+    }
+
+    /// Sets an absolute hardness cutoff.
+    pub fn with_hard_cutoff(mut self, c: f64) -> Self {
+        self.hard_cutoff = Some(c);
+        self
+    }
+
+    /// Caps the number of concurrent lanes.
+    pub fn with_max_lanes(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.max_lanes = n;
+        self
+    }
+
+    /// The estimate value above which a query is considered hard.
+    fn cutoff(&self, estimates: &[f64]) -> f64 {
+        if let Some(c) = self.hard_cutoff {
+            return c;
+        }
+        let mut sorted: Vec<f64> = estimates.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+        self.hard_ratio * median
+    }
+}
+
+/// Builds a [`ConcurrentPlan`] for a `pool`-thread engine from
+/// per-query cost `estimates` (any monotone proxy: predicted seconds or
+/// the raw initial BSF).
+///
+/// The returned plan partitions the pool in every round and names each
+/// query exactly once (validated by the engine before execution; the
+/// property is also covered by this workspace's proptest suite).
+pub fn plan_lanes(estimates: &[f64], pool: usize, config: &AdmissionConfig) -> ConcurrentPlan {
+    let pool = pool.max(1);
+    if estimates.is_empty() {
+        return ConcurrentPlan::default();
+    }
+    let cutoff = config.cutoff(estimates);
+    let mut hard: Vec<usize> = (0..estimates.len())
+        .filter(|&q| estimates[q] > cutoff)
+        .collect();
+    let mut easy: Vec<usize> = (0..estimates.len())
+        .filter(|&q| estimates[q] <= cutoff)
+        .collect();
+    // Descending estimate, stable on ties — the PREDICT-DN order.
+    let desc = |order: &mut Vec<usize>| {
+        order.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]).then(a.cmp(&b)));
+    };
+    desc(&mut hard);
+    desc(&mut easy);
+
+    let mut rounds = Vec::new();
+    if !hard.is_empty() {
+        rounds.push(RoundSpec {
+            lanes: vec![LaneSpec {
+                width: pool,
+                queries: hard,
+            }],
+        });
+    }
+    if !easy.is_empty() {
+        rounds.push(easy_round(&easy, estimates, pool, config));
+    }
+    ConcurrentPlan { rounds }
+}
+
+/// Packs the easy tier into narrow lanes: as many `easy_width` groups
+/// as the pool affords (capped by the query count and `max_lanes`;
+/// remainder workers go to the first lanes), queries LPT-assigned to
+/// the least-loaded lane by estimate.
+fn easy_round(
+    easy_desc: &[usize],
+    estimates: &[f64],
+    pool: usize,
+    config: &AdmissionConfig,
+) -> RoundSpec {
+    let n_lanes = (pool / config.easy_width.clamp(1, pool))
+        .min(easy_desc.len())
+        .min(config.max_lanes)
+        .max(1);
+    let base = pool / n_lanes;
+    let extra = pool % n_lanes;
+    let mut lanes: Vec<LaneSpec> = (0..n_lanes)
+        .map(|l| LaneSpec {
+            width: base + usize::from(l < extra),
+            queries: Vec::new(),
+        })
+        .collect();
+    let mut load = vec![0.0f64; n_lanes];
+    for &q in easy_desc {
+        // Least-loaded lane; ties (e.g. all-zero estimates) break by
+        // queue length so queries round-robin instead of piling onto
+        // lane 0 — with `n_lanes <= |easy|` no lane stays empty.
+        let lane = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                a.1.total_cmp(b.1)
+                    .then(lanes[a.0].queries.len().cmp(&lanes[b.0].queries.len()))
+                    .then(a.0.cmp(&b.0))
+            })
+            .map(|(i, _)| i)
+            .expect("n_lanes >= 1");
+        lanes[lane].queries.push(q);
+        load[lane] += estimates[q];
+    }
+    RoundSpec { lanes }
+}
+
+/// The admission controller: lane planning plus the per-query `TH`
+/// prediction of the sigmoid model, bundled for the engine's callers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionController {
+    /// Lane-planning knobs.
+    pub config: AdmissionConfig,
+    /// Optional trained threshold model (Figure 6).
+    pub threshold_model: Option<ThresholdModel>,
+}
+
+impl AdmissionController {
+    /// A controller with the given knobs and no threshold model.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionController {
+            config,
+            threshold_model: None,
+        }
+    }
+
+    /// Installs a trained sigmoid threshold model.
+    pub fn with_threshold_model(mut self, model: ThresholdModel) -> Self {
+        self.threshold_model = Some(model);
+        self
+    }
+
+    /// Plans lanes for a batch (see [`plan_lanes`]).
+    pub fn plan(&self, estimates: &[f64], pool: usize) -> ConcurrentPlan {
+        plan_lanes(estimates, pool, &self.config)
+    }
+
+    /// Per-query `TH` predictions from the initial BSFs, when a
+    /// threshold model is installed.
+    pub fn predict_ths(&self, initial_bsfs: &[f64]) -> Option<Vec<usize>> {
+        let model = self.threshold_model.as_ref()?;
+        Some(initial_bsfs.iter().map(|&b| model.predict_th(b)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_queries(plan: &ConcurrentPlan) -> Vec<usize> {
+        let mut qs: Vec<usize> = plan
+            .rounds
+            .iter()
+            .flat_map(|r| &r.lanes)
+            .flat_map(|l| l.queries.iter().copied())
+            .collect();
+        qs.sort_unstable();
+        qs
+    }
+
+    #[test]
+    fn uniform_estimates_admit_everything_concurrently() {
+        let est = vec![1.0; 12];
+        let plan = plan_lanes(&est, 8, &AdmissionConfig::default());
+        plan.validate(8, 12);
+        assert_eq!(plan.rounds.len(), 1, "no hard tier");
+        assert_eq!(plan.rounds[0].lanes.len(), 4, "8 threads / width 2");
+        for lane in &plan.rounds[0].lanes {
+            assert_eq!(lane.width, 2);
+        }
+    }
+
+    #[test]
+    fn hard_tail_gets_the_full_pool_first() {
+        // Ten easy queries and two 100x outliers.
+        let mut est = vec![1.0; 10];
+        est.push(100.0);
+        est.push(120.0);
+        let plan = plan_lanes(&est, 4, &AdmissionConfig::default());
+        plan.validate(4, 12);
+        assert_eq!(plan.rounds.len(), 2);
+        let hard = &plan.rounds[0].lanes;
+        assert_eq!(hard.len(), 1);
+        assert_eq!(hard[0].width, 4);
+        assert_eq!(hard[0].queries, vec![11, 10], "descending estimate");
+    }
+
+    #[test]
+    fn absolute_cutoff_overrides_ratio() {
+        let est = vec![1.0, 2.0, 3.0, 4.0];
+        let cfg = AdmissionConfig::default().with_hard_cutoff(2.5);
+        let plan = plan_lanes(&est, 2, &cfg);
+        plan.validate(2, 4);
+        assert_eq!(plan.rounds[0].lanes[0].queries, vec![3, 2]);
+    }
+
+    #[test]
+    fn lanes_never_outnumber_queries_or_cap() {
+        let est = vec![1.0, 1.0];
+        let plan = plan_lanes(&est, 8, &AdmissionConfig::default().with_easy_width(1));
+        plan.validate(8, 2);
+        assert_eq!(plan.rounds[0].lanes.len(), 2, "2 queries -> 2 lanes");
+        let capped = plan_lanes(
+            &[1.0; 16],
+            8,
+            &AdmissionConfig::default().with_easy_width(1).with_max_lanes(3),
+        );
+        capped.validate(8, 16);
+        assert_eq!(capped.rounds[0].lanes.len(), 3);
+    }
+
+    #[test]
+    fn every_query_is_planned_exactly_once() {
+        let est: Vec<f64> = (0..37).map(|i| ((i * 13) % 11) as f64 + 1.0).collect();
+        for pool in [1usize, 2, 5, 8] {
+            for w in [1usize, 2, 3] {
+                let plan = plan_lanes(&est, pool, &AdmissionConfig::default().with_easy_width(w));
+                plan.validate(pool, est.len());
+                assert_eq!(flat_queries(&plan), (0..est.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_balances_easy_lanes() {
+        // Eight easy queries with skewed costs on 4 single-width lanes:
+        // greedy assignment keeps the max lane load below a naive
+        // round-robin's.
+        let est = vec![8.0, 1.0, 1.0, 1.0, 7.0, 1.0, 1.0, 6.0];
+        let cfg = AdmissionConfig::default()
+            .with_easy_width(1)
+            .with_hard_ratio(100.0);
+        let plan = plan_lanes(&est, 4, &cfg);
+        plan.validate(4, 8);
+        let loads: Vec<f64> = plan.rounds[0]
+            .lanes
+            .iter()
+            .map(|l| l.queries.iter().map(|&q| est[q]).sum())
+            .collect();
+        let max_load = loads.iter().cloned().fold(0.0, f64::max);
+        assert!(max_load <= 9.0, "LPT keeps lanes balanced: {loads:?}");
+    }
+
+    #[test]
+    fn controller_predicts_per_query_ths() {
+        use crate::sigmoid::SigmoidFit;
+        let s = SigmoidFit {
+            m: 160.0,
+            big_m: 160.0,
+            b: 1.0,
+            c: 1.0,
+            d: 0.0,
+            sse: 0.0,
+        };
+        let ctl = AdmissionController::default()
+            .with_threshold_model(ThresholdModel::new(s, 16.0));
+        assert_eq!(ctl.predict_ths(&[1.0, 2.0]), Some(vec![10, 10]));
+        assert_eq!(AdmissionController::default().predict_ths(&[1.0]), None);
+    }
+
+    #[test]
+    fn empty_batch_plans_empty() {
+        let plan = plan_lanes(&[], 4, &AdmissionConfig::default());
+        assert!(plan.rounds.is_empty());
+        plan.validate(4, 0);
+    }
+}

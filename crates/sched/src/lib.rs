@@ -12,12 +12,18 @@
 //!
 //! [`sigmoid`] fits the 4-parameter sigmoid of Figure 6a that predicts a
 //! good priority-queue size threshold `TH` from the initial BSF.
+//!
+//! [`admission`] turns the same predictions into *inter-query*
+//! concurrency decisions: each query's worker-group width and the
+//! packing of a batch into the batch engine's concurrent lanes.
 
+pub mod admission;
 pub mod linreg;
 pub mod predictor;
 pub mod scheduler;
 pub mod sigmoid;
 
+pub use admission::{plan_lanes, AdmissionConfig, AdmissionController};
 pub use linreg::LinearRegression;
 pub use predictor::{CostModel, QueryCostPredictor};
 pub use scheduler::{SchedulerKind, StaticSchedule};

@@ -82,10 +82,7 @@ fn main() {
     // pool and scratch arenas are provisioned once, not per query.
     let engine = BatchEngine::new(Arc::new(index), 2);
     let batch: Vec<BatchQuery> = (0..workload.len())
-        .map(|qi| BatchQuery {
-            data: workload.query(qi),
-            kind: QueryKind::Exact,
-        })
+        .map(|qi| BatchQuery::new(workload.query(qi), QueryKind::Exact))
         .collect();
     let order: Vec<usize> = (0..batch.len()).collect();
     let outcome = engine.run_batch(&batch, &order, &params);

@@ -35,23 +35,11 @@ fn mixed_batch_is_bit_identical_to_per_query_paths() {
     // Interleave easy/hard exact queries with k-NN and DTW items.
     let mut batch: Vec<BatchQuery> = Vec::new();
     for qi in 0..easy.len() {
-        batch.push(BatchQuery {
-            data: easy.query(qi),
-            kind: QueryKind::Exact,
-        });
-        batch.push(BatchQuery {
-            data: hard.query(qi),
-            kind: QueryKind::Exact,
-        });
+        batch.push(BatchQuery::new(easy.query(qi), QueryKind::Exact));
+        batch.push(BatchQuery::new(hard.query(qi), QueryKind::Exact));
     }
-    batch.push(BatchQuery {
-        data: hard.query(0),
-        kind: QueryKind::Knn(k),
-    });
-    batch.push(BatchQuery {
-        data: easy.query(0),
-        kind: QueryKind::Dtw(window),
-    });
+    batch.push(BatchQuery::new(hard.query(0), QueryKind::Knn(k)));
+    batch.push(BatchQuery::new(easy.query(0), QueryKind::Dtw(window)));
     // A deliberately scrambled (reverse) dispatch order: results must
     // still come back in input positions.
     let order: Vec<usize> = (0..batch.len()).rev().collect();
@@ -106,14 +94,8 @@ fn engine_reuse_across_consecutive_batches_is_stable() {
     let batch: Vec<BatchQuery> = (0..easy.len())
         .flat_map(|qi| {
             [
-                BatchQuery {
-                    data: easy.query(qi),
-                    kind: QueryKind::Exact,
-                },
-                BatchQuery {
-                    data: hard.query(qi),
-                    kind: QueryKind::Exact,
-                },
+                BatchQuery::new(easy.query(qi), QueryKind::Exact),
+                BatchQuery::new(hard.query(qi), QueryKind::Exact),
             ]
         })
         .collect();

@@ -1,0 +1,234 @@
+//! Inter-query concurrency equivalence and lane-packing invariants.
+//!
+//! A batch executed by [`BatchEngine::run_batch_concurrent`] — several
+//! queries at once on disjoint worker groups — must return answers
+//! bit-identical to the sequential [`BatchEngine::run_batch`] pool, for
+//! every pool size and every group width: the lanes change *where* a
+//! query runs, never *what* is computed. The admission planner's output
+//! must always be a true double partition (of the pool's workers within
+//! each round, and of the batch's queries across the plan) — checked
+//! here property-style over arbitrary estimate vectors.
+
+#![recursion_limit = "1024"]
+
+use odyssey::core::index::{Index, IndexConfig};
+use odyssey::core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
+use odyssey::core::search::exact::SearchParams;
+use odyssey::core::search::multiq::ConcurrentPlan;
+use odyssey::sched::admission::{plan_lanes, AdmissionConfig};
+use odyssey::workloads::generator::random_walk;
+use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn setup() -> (Arc<Index>, QueryWorkload, QueryWorkload) {
+    let data = random_walk(1500, 64, 0xC0FFEE);
+    let index = Arc::new(Index::build(
+        data.clone(),
+        IndexConfig::new(64).with_segments(8).with_leaf_capacity(24),
+        2,
+    ));
+    let easy = QueryWorkload::generate(&data, 4, WorkloadKind::Easy { noise: 0.02 }, 21);
+    let hard = QueryWorkload::generate(&data, 4, WorkloadKind::Hard, 22);
+    (index, easy, hard)
+}
+
+/// A mixed easy/hard/k-NN/DTW batch, the same shape `run_batch` is
+/// tested with.
+fn mixed_batch<'a>(easy: &'a QueryWorkload, hard: &'a QueryWorkload) -> Vec<BatchQuery<'a>> {
+    let mut batch = Vec::new();
+    for qi in 0..easy.len() {
+        batch.push(BatchQuery::new(easy.query(qi), QueryKind::Exact));
+        batch.push(BatchQuery::new(hard.query(qi), QueryKind::Exact));
+    }
+    batch.push(BatchQuery::new(hard.query(0), QueryKind::Knn(5)));
+    batch.push(BatchQuery::new(easy.query(1), QueryKind::Knn(3)));
+    batch.push(BatchQuery::new(easy.query(0), QueryKind::Dtw(3)));
+    batch.push(BatchQuery::new(hard.query(1), QueryKind::Dtw(5)));
+    batch
+}
+
+fn assert_bit_identical(
+    seq: &odyssey::core::search::engine::BatchOutcome,
+    conc: &odyssey::core::search::engine::BatchOutcome,
+    context: &str,
+) {
+    assert_eq!(seq.items.len(), conc.items.len());
+    for (qi, (s, c)) in seq.items.iter().zip(&conc.items).enumerate() {
+        match (&s.answer, &c.answer) {
+            (BatchAnswer::Nn(want), BatchAnswer::Nn(got)) => {
+                assert_eq!(
+                    got.distance.to_bits(),
+                    want.distance.to_bits(),
+                    "{context} item {qi}: 1-NN distance"
+                );
+            }
+            (BatchAnswer::Knn(want), BatchAnswer::Knn(got)) => {
+                assert_eq!(got.neighbors.len(), want.neighbors.len());
+                for (rank, (g, w)) in got.neighbors.iter().zip(&want.neighbors).enumerate() {
+                    assert_eq!(
+                        g.0.to_bits(),
+                        w.0.to_bits(),
+                        "{context} item {qi}: k-NN rank {rank}"
+                    );
+                }
+            }
+            (want, got) => panic!("{context} item {qi}: kind mismatch {want:?} vs {got:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_mixed_batches_are_bit_identical_across_widths() {
+    let (index, easy, hard) = setup();
+    let batch = mixed_batch(&easy, &hard);
+    let order: Vec<usize> = (0..batch.len()).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), threads);
+        let params = SearchParams::new(threads).with_th(32);
+        let seq = engine.run_batch(&batch, &order, &params);
+        for width in 1..=threads {
+            let plan = ConcurrentPlan::uniform(batch.len(), threads, width);
+            let conc = engine.run_batch_concurrent(&batch, &plan, &params);
+            assert_bit_identical(&seq, &conc, &format!("threads={threads} width={width}"));
+        }
+    }
+}
+
+#[test]
+fn admission_planned_batches_are_bit_identical() {
+    // The prediction-driven plan (hard tier on the full pool, easy tier
+    // on narrow lanes) must agree with the sequential pool too.
+    let (index, easy, hard) = setup();
+    let batch = mixed_batch(&easy, &hard);
+    let order: Vec<usize> = (0..batch.len()).collect();
+    // Use each query's approximate-search distance as its estimate,
+    // like the CLI and cluster runtime do.
+    let estimates: Vec<f64> = batch
+        .iter()
+        .map(|q| index.approx_search(q.data).distance)
+        .collect();
+    for threads in [2usize, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), threads);
+        let params = SearchParams::new(threads).with_th(32);
+        let seq = engine.run_batch(&batch, &order, &params);
+        for easy_width in [1usize, 2, 3] {
+            let cfg = AdmissionConfig::default().with_easy_width(easy_width);
+            let plan = plan_lanes(&estimates, threads, &cfg);
+            plan.validate(threads, batch.len());
+            let conc = engine.run_batch_concurrent(&batch, &plan, &params);
+            assert_bit_identical(
+                &seq,
+                &conc,
+                &format!("threads={threads} easy_width={easy_width}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn per_query_params_ride_through_concurrent_lanes() {
+    let (index, easy, hard) = setup();
+    let params = SearchParams::new(4);
+    // Give every query its own TH, as the sigmoid model would.
+    let batch: Vec<BatchQuery> = mixed_batch(&easy, &hard)
+        .into_iter()
+        .enumerate()
+        .map(|(qi, q)| q.with_params(params.with_th(1 + qi * 7)))
+        .collect();
+    let order: Vec<usize> = (0..batch.len()).collect();
+    let engine = BatchEngine::new(Arc::clone(&index), 4);
+    let seq = engine.run_batch(&batch, &order, &params);
+    let conc = engine.run_batch_concurrent(
+        &batch,
+        &ConcurrentPlan::uniform(batch.len(), 4, 2),
+        &params,
+    );
+    assert_bit_identical(&seq, &conc, "per-query params");
+}
+
+#[test]
+fn concurrent_engine_reuse_is_stable_across_batches() {
+    // Lane scratch must not leak state between rounds or batches:
+    // running the same concurrent batch twice on one engine, and
+    // interleaving with a sequential run, stays bit-identical.
+    let (index, easy, hard) = setup();
+    let batch = mixed_batch(&easy, &hard);
+    let order: Vec<usize> = (0..batch.len()).collect();
+    let engine = BatchEngine::new(Arc::clone(&index), 4);
+    let params = SearchParams::new(4).with_th(16);
+    let plan = ConcurrentPlan::uniform(batch.len(), 4, 1);
+    let first = engine.run_batch_concurrent(&batch, &plan, &params);
+    let seq = engine.run_batch(&batch, &order, &params);
+    let second = engine.run_batch_concurrent(&batch, &plan, &params);
+    assert_bit_identical(&first, &second, "concurrent reuse");
+    assert_bit_identical(&seq, &second, "sequential interleave");
+}
+
+fn flat_sorted_queries(plan: &ConcurrentPlan) -> Vec<usize> {
+    let mut qs: Vec<usize> = plan
+        .rounds
+        .iter()
+        .flat_map(|r| &r.lanes)
+        .flat_map(|l| l.queries.iter().copied())
+        .collect();
+    qs.sort_unstable();
+    qs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Lane packing is a double partition: in every round the lane
+    // widths sum to the pool exactly, and across the plan every query
+    // appears exactly once — for arbitrary estimates and knobs.
+    #[test]
+    fn admission_plans_partition_workers_and_queries(
+        estimates in proptest::collection::vec(0.0f64..1000.0, 0..40),
+        pool in 1usize..12,
+        easy_width in 1usize..5,
+        hard_ratio in 0.5f64..8.0,
+        max_lanes in 1usize..6,
+    ) {
+        let cfg = AdmissionConfig::default()
+            .with_easy_width(easy_width)
+            .with_hard_ratio(hard_ratio)
+            .with_max_lanes(max_lanes);
+        let plan = plan_lanes(&estimates, pool, &cfg);
+        // Workers: each round's widths partition the pool.
+        for round in &plan.rounds {
+            let total: usize = round.lanes.iter().map(|l| l.width).sum();
+            prop_assert_eq!(total, pool);
+            for lane in &round.lanes {
+                prop_assert!(lane.width >= 1);
+                prop_assert!(!lane.queries.is_empty(), "no empty lanes");
+            }
+        }
+        // Queries: exact partition of the batch.
+        prop_assert_eq!(
+            flat_sorted_queries(&plan),
+            (0..estimates.len()).collect::<Vec<_>>()
+        );
+        // And the engine-side validator agrees.
+        plan.validate(pool, estimates.len());
+    }
+
+    // The uniform helper obeys the same double-partition contract.
+    #[test]
+    fn uniform_plans_partition_workers_and_queries(
+        n_queries in 0usize..40,
+        pool in 1usize..12,
+        width in 1usize..12,
+    ) {
+        let plan = ConcurrentPlan::uniform(n_queries, pool, width);
+        plan.validate(pool, n_queries);
+        for round in &plan.rounds {
+            let total: usize = round.lanes.iter().map(|l| l.width).sum();
+            prop_assert_eq!(total, pool);
+        }
+        prop_assert_eq!(
+            flat_sorted_queries(&plan),
+            (0..n_queries).collect::<Vec<_>>()
+        );
+    }
+}
