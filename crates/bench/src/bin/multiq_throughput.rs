@@ -10,6 +10,14 @@
 //! check (zero mismatches is part of the contract, and the concurrent
 //! answers must be bit-identical to the sequential ones).
 //!
+//! A second, **cluster** scenario exercises the engine-resident steal
+//! service: a skewed two-node replication group (one node at half
+//! speed) with inter-node work-stealing on, comparing stealing-only
+//! against stealing **plus** inter-query lanes — the composition the
+//! per-query "active slot" protocol used to forbid. Lanes must not cost
+//! throughput under stealing, and answers must stay bit-identical to
+//! the stealing-off sequential pool path.
+//!
 //! ```text
 //! cargo run --release -p odyssey-bench --bin multiq_throughput [out.json]
 //! ```
@@ -17,6 +25,7 @@
 //! `ODYSSEY_BENCH_SCALE` multiplies the dataset and query counts as in
 //! every other harness.
 
+use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
 use odyssey_core::index::{Index, IndexConfig};
 use odyssey_core::search::engine::{BatchEngine, BatchQuery, QueryKind};
 use odyssey_core::search::exact::SearchParams;
@@ -92,9 +101,13 @@ fn main() {
     // bit-identical to the sequential pool.
     let seq_out = engine.run_batch(&batch, &order, &params);
     let conc_out = engine.run_batch_concurrent(&batch, &plan, &params);
+    // One brute-force pass serves both exactness checks (engine + the
+    // cluster scenario below).
+    let truth: Vec<_> = (0..n_queries)
+        .map(|qi| index.brute_force(workload.query(qi)))
+        .collect();
     let mut mismatches = 0usize;
-    for qi in 0..n_queries {
-        let want = index.brute_force(workload.query(qi));
+    for (qi, want) in truth.iter().enumerate() {
         let seq = seq_out.items[qi].answer.nn();
         let conc = conc_out.items[qi].answer.nn();
         if (conc.distance - want.distance).abs() > 1e-9 {
@@ -105,18 +118,71 @@ fn main() {
         }
     }
 
+    // --- Skewed-node cluster scenario: stealing × lanes ---------------
+    // Two nodes of one FULL-replication group share the batch; node 1
+    // runs at half speed, so the straggler forces stealing. The steal
+    // service lives in the engine's registry, so lanes keep serving
+    // thieves mid-round — compare stealing-only vs stealing+lanes.
+    let cluster_queries = &workload.queries;
+    let steal_only = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(2)
+            .with_replication(Replication::Full)
+            .with_scheduler(SchedulerKind::PredictDn)
+            .with_threads_per_node(4)
+            .with_work_stealing(true)
+            .with_node_speed(1, 0.5)
+            .with_leaf_capacity(64)
+            .with_inter_query_lanes(false),
+    );
+    let steal_lanes = steal_only.reconfigured(|c| c.with_inter_query_lanes(true));
+    let sequential_cluster = steal_only.reconfigured(|c| c.with_work_stealing(false));
+    // Warm up (page in both configurations once).
+    let _ = steal_only.answer_batch(cluster_queries);
+    let _ = steal_lanes.answer_batch(cluster_queries);
+    let steal_only_s = time_batches(|| steal_only.answer_batch(cluster_queries).wall);
+    let steal_lanes_s = time_batches(|| steal_lanes.answer_batch(cluster_queries).wall);
+    let steal_only_qps = n_queries as f64 / steal_only_s;
+    let steal_lanes_qps = n_queries as f64 / steal_lanes_s;
+
+    // Exactness across the composition: stealing+lanes bit-identical to
+    // the stealing-off sequential pool path and correct vs brute force.
+    let composed = steal_lanes.answer_batch(cluster_queries);
+    let sequential = sequential_cluster.answer_batch(cluster_queries);
+    let mut cluster_mismatches = 0usize;
+    for (qi, want) in truth.iter().enumerate() {
+        if (composed.answers[qi].distance - want.distance).abs() > 1e-9 {
+            cluster_mismatches += 1;
+        }
+        if composed.answers[qi].distance.to_bits() != sequential.answers[qi].distance.to_bits() {
+            cluster_mismatches += 1;
+        }
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"multiq_throughput\",\n  \"n_series\": {n_series},\n  \
          \"series_len\": {series_len},\n  \"n_queries\": {n_queries},\n  \
          \"threads\": {THREADS},\n  \"easy_width\": {},\n  \"lanes\": {n_lanes},\n  \
          \"rounds\": {},\n  \
          \"sequential_qps\": {sequential_qps:.1},\n  \"concurrent_qps\": {concurrent_qps:.1},\n  \
-         \"speedup_throughput\": {:.3},\n  \"mismatches\": {mismatches}\n}}\n",
+         \"speedup_throughput\": {:.3},\n  \"mismatches\": {mismatches},\n  \
+         \"cluster_skewed_steal_qps\": {steal_only_qps:.1},\n  \
+         \"cluster_skewed_steal_lanes_qps\": {steal_lanes_qps:.1},\n  \
+         \"cluster_steal_lanes_speedup\": {:.3},\n  \
+         \"cluster_steals_attempted\": {},\n  \"cluster_steals_successful\": {},\n  \
+         \"cluster_mismatches\": {cluster_mismatches}\n}}\n",
         admission.easy_width,
         plan.rounds.len(),
         concurrent_qps / sequential_qps,
+        steal_lanes_qps / steal_only_qps,
+        composed.steals_attempted,
+        composed.steals_successful,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_multiq.json");
     print!("{json}");
     assert_eq!(mismatches, 0, "concurrent engine diverged");
+    assert_eq!(
+        cluster_mismatches, 0,
+        "stealing+lanes cluster diverged from the sequential pool path"
+    );
 }

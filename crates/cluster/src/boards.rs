@@ -230,8 +230,10 @@ impl KnnBoard {
 
 /// A node-local k-NN set connected to the shared k-th bound.
 pub struct BoardKnn<'b> {
-    /// The node's local k-NN set.
-    pub local: SharedKnn,
+    /// The node's local k-NN set. `Arc`-shared (like [`BoardBsf`]'s
+    /// BSF) so the steal registry can report the query's current k-th
+    /// bound while the search is running.
+    pub local: Arc<SharedKnn>,
     board: Option<(&'b KnnBoard, usize)>,
     calls: AtomicU64,
 }
@@ -240,7 +242,7 @@ impl<'b> BoardKnn<'b> {
     /// Creates the per-query set.
     pub fn new(k: usize, board: Option<(&'b KnnBoard, usize)>) -> Self {
         BoardKnn {
-            local: SharedKnn::new(k),
+            local: Arc::new(SharedKnn::new(k)),
             board,
             calls: AtomicU64::new(0),
         }

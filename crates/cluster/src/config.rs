@@ -88,12 +88,15 @@ pub struct ClusterConfig {
     /// meaningful stealing granularity.
     pub rs_batches: usize,
     /// Enable inter-query concurrency inside each node: a node with
-    /// per-query cost predictions (a PREDICT-* scheduler) and no active
-    /// work-stealing admits windows of queries onto disjoint worker
-    /// groups (narrow lanes for predicted-easy queries, the full pool
-    /// for predicted-hard ones) instead of running every query across
-    /// all of its threads. Stealing batches keep the per-query path —
-    /// the steal protocol hands out RS-batches of *one* active query.
+    /// per-query cost predictions (a PREDICT-* scheduler) admits
+    /// windows of queries onto disjoint worker groups (narrow lanes for
+    /// predicted-easy queries, the full pool for predicted-hard ones)
+    /// instead of running every query across all of its threads. Lanes
+    /// compose with inter-node work-stealing: every in-flight lane
+    /// query registers with the engine's steal registry, so the node's
+    /// manager (and the workers' cooperative service hook) hand out
+    /// RS-batches of whichever query has the widest remaining work,
+    /// mid-round.
     pub inter_query_lanes: bool,
     /// Lane-admission knobs (easy width, hardness cutoff).
     pub lane_admission: AdmissionConfig,

@@ -13,7 +13,7 @@
 
 use crate::boards::{AnswerBoard, BoardBsf, BoardKnn, BsfBoard, KnnBoard};
 use crate::config::{BatchMode, ClusterConfig};
-use crate::stealing::{manager_loop, ActiveQuery, ActiveSlot, StealRequest};
+use crate::stealing::{manager_loop, StealRequest};
 use crate::topology::Topology;
 use crate::units;
 use crossbeam::channel::{bounded, unbounded, Sender};
@@ -21,8 +21,8 @@ use odyssey_core::index::{BuildTimes, Index, IndexConfig};
 use odyssey_core::search::answer::{Answer, KnnAnswer};
 use odyssey_core::search::dtw_search::{approx_dtw, DtwKernel};
 use odyssey_core::search::bsf::ResultSet;
-use odyssey_core::search::engine::BatchEngine;
-use odyssey_core::search::exact::{SearchParams, SearchStats, StealView};
+use odyssey_core::search::engine::{BatchEngine, InflightQuery, StealRegistry};
+use odyssey_core::search::exact::{SearchParams, SearchStats};
 use odyssey_core::search::kernel::{EdKernel, QueryKernel};
 use odyssey_core::search::knn::seed_from_approx_leaf;
 use odyssey_core::search::multiq::LaneCtx;
@@ -456,7 +456,12 @@ impl OdysseyCluster {
         let answer_board = AnswerBoard::new(nq);
         let done: Vec<AtomicBool> = (0..n_nodes).map(|_| AtomicBool::new(false)).collect();
         let group_done: Vec<AtomicUsize> = (0..n_groups).map(|_| AtomicUsize::new(0)).collect();
-        let active: Vec<ActiveSlot> = (0..n_nodes).map(|_| Mutex::new(None)).collect();
+        // One steal registry per node, shared between the node's engine
+        // (which registers every in-flight pool or lane query) and its
+        // work-stealing manager thread (which picks victims from it).
+        let registries: Vec<Arc<StealRegistry>> = (0..n_nodes)
+            .map(|_| Arc::new(StealRegistry::default()))
+            .collect();
         let mut steal_tx: Vec<Sender<StealRequest>> = Vec::with_capacity(n_nodes);
         let mut steal_rx = Vec::with_capacity(n_nodes);
         let mut steal_rx_workers = Vec::with_capacity(n_nodes);
@@ -474,15 +479,17 @@ impl OdysseyCluster {
             (0..n_nodes).map(|_| AtomicUsize::new(0)).collect();
         let steals_attempted = AtomicU64::new(0);
         let steals_successful = AtomicU64::new(0);
-        let steals_served = AtomicU64::new(0);
+        // `Arc` (not a scoped borrow): the cooperative serving hook is
+        // installed into each engine's steal registry, whose hooks are
+        // `'static`.
+        let steals_served = Arc::new(AtomicU64::new(0));
 
         let stealing_enabled = self.config.work_stealing && group_size > 1;
-        // Inter-query lanes need per-query predictions, and the steal
-        // protocol hands out RS-batches of one active full-pool query —
-        // stealing batches therefore keep the per-query path.
-        let use_lanes = self.config.inter_query_lanes
-            && !stealing_enabled
-            && self.config.scheduler.needs_predictions();
+        // Inter-query lanes only need per-query predictions: the
+        // engine-resident steal registry serves thieves from any
+        // in-flight lane query, so stealing no longer disables lanes.
+        let use_lanes =
+            self.config.inter_query_lanes && self.config.scheduler.needs_predictions();
         let group_costs = &group_costs;
         std::thread::scope(|scope| {
             for node in 0..n_nodes {
@@ -497,7 +504,7 @@ impl OdysseyCluster {
                 let answer_board = &answer_board;
                 let done = &done;
                 let group_done = &group_done;
-                let active = &active;
+                let registries = &registries;
                 let steal_tx = &steal_tx;
                 let steal_rx_workers = &steal_rx_workers;
                 let steals_served = &steals_served;
@@ -514,10 +521,38 @@ impl OdysseyCluster {
                     // One persistent engine per node: thread-pool and
                     // scratch setup is paid once for the whole batch,
                     // not once per query (the node's "resident" cores).
-                    let engine = BatchEngine::new(
+                    let engine = BatchEngine::with_registry(
                         Arc::clone(&index),
                         self.config.threads_per_node,
+                        Arc::clone(&registries[node]),
                     );
+                    // One installed service hook covers the pool and
+                    // every lane: straggler pacing, plus cooperative
+                    // steal serving (workers drain pending requests
+                    // between queue claims — see `run_search_with_service`
+                    // for why the manager thread alone is not enough on
+                    // an oversubscribed host).
+                    if stealing_enabled || speed < 1.0 {
+                        let rx = stealing_enabled.then(|| steal_rx_workers[node].clone());
+                        let nsend = self.config.steal_nsend;
+                        let served = Arc::clone(steals_served);
+                        engine.steal_registry().install_service(Arc::new(
+                            move |reg: &StealRegistry| {
+                                // Straggler pacing: stretch the
+                                // processing phase so the protocol (and
+                                // thieves) see the slow node.
+                                if speed < 1.0 {
+                                    let extra = (1.0 / speed - 1.0) * 20.0;
+                                    std::thread::sleep(Duration::from_micros(extra as u64));
+                                }
+                                if let Some(rx) = &rx {
+                                    while let Ok(req) = rx.try_recv() {
+                                        crate::stealing::serve_request(req, reg, nsend, &served);
+                                    }
+                                }
+                            },
+                        ));
+                    }
                     let account = |qid: usize, stats: &SearchStats| {
                         let u = (units::search_units(
                             stats,
@@ -533,6 +568,8 @@ impl OdysseyCluster {
                         // Admission windows: pull a window of queries,
                         // plan widths from their cost estimates, run the
                         // window's rounds on partitioned worker groups.
+                        // Every lane query registers with the steal
+                        // registry, so thieves are served mid-round.
                         self.run_lane_windows(
                             &dispatch[g],
                             member_idx,
@@ -540,14 +577,14 @@ impl OdysseyCluster {
                             &engine,
                             &|ctx, qid| {
                                 let stats = self.execute_query(
-                                    &mut NnRunner::Lane(ctx),
+                                    &mut Runner::Lane(ctx),
+                                    None,
                                     queries.series(qid),
                                     qid,
                                     mode,
                                     g,
                                     bsf_board,
                                     answer_board,
-                                    speed,
                                 );
                                 account(qid, &stats);
                             },
@@ -555,27 +592,14 @@ impl OdysseyCluster {
                     } else {
                         while let Some(qid) = dispatch[g].next(member_idx) {
                             let stats = self.execute_query(
-                                &mut NnRunner::Pool {
-                                    engine: &engine,
-                                    active: if stealing_enabled {
-                                        Some(&active[node])
-                                    } else {
-                                        None
-                                    },
-                                    service_rx: if stealing_enabled {
-                                        Some((&steal_rx_workers[node], steals_served))
-                                    } else {
-                                        None
-                                    },
-                                    stolen: None,
-                                },
+                                &mut Runner::Pool(&engine),
+                                None,
                                 queries.series(qid),
                                 qid,
                                 mode,
                                 g,
                                 bsf_board,
                                 answer_board,
-                                speed,
                             );
                             account(qid, &stats);
                         }
@@ -599,19 +623,14 @@ impl OdysseyCluster {
                             steals_successful.fetch_add(1, Ordering::Relaxed);
                             let qid = resp.query_id.expect("non-empty steal has query");
                             let stats = self.execute_query(
-                                &mut NnRunner::Pool {
-                                    engine: &engine,
-                                    active: None,
-                                    service_rx: None,
-                                    stolen: Some((&resp.batch_ids, resp.bsf_sq)),
-                                },
+                                &mut Runner::Pool(&engine),
+                                Some((&resp.batch_ids, resp.bsf_sq)),
                                 queries.series(qid),
                                 qid,
                                 mode,
                                 g,
                                 bsf_board,
                                 answer_board,
-                                speed,
                             );
                             let u = (units::search_units(
                                 &stats,
@@ -679,15 +698,16 @@ impl OdysseyCluster {
                         }
                     }
                 });
-                // Work-stealing manager thread (Algorithm 3).
+                // Work-stealing manager thread (Algorithm 3): inspects
+                // the node's steal registry, not a per-query slot.
                 if stealing_enabled {
                     let rx = steal_rx[node].take().expect("receiver unused");
-                    let active = &active[node];
+                    let registry = Arc::clone(&registries[node]);
                     let group_done = &group_done[g];
                     let nsend = self.config.steal_nsend;
-                    let served: &AtomicU64 = steals_served;
+                    let served = Arc::clone(steals_served);
                     scope.spawn(move || {
-                        manager_loop(&rx, active, group_done, group_size, nsend, served);
+                        manager_loop(&rx, &registry, group_done, group_size, nsend, &served);
                     });
                 }
             }
@@ -721,41 +741,29 @@ impl OdysseyCluster {
 
     /// Executes one 1-NN query (or one stolen batch subset of it) on
     /// either execution surface — a node's resident pool or one of its
-    /// lanes — merging the local answer into the boards. The steal
-    /// surface (active slot, cooperative service, stolen subsets) only
-    /// exists on the pool: lanes run exactly when stealing is off.
+    /// lanes — merging the local answer into the boards. The query is
+    /// registered with the node engine's steal registry for its whole
+    /// run, so the work-stealing manager (and the workers' cooperative
+    /// service hook) can hand out its RS-batches from either surface —
+    /// lanes serve thieves mid-round just like the pool does.
     #[allow(clippy::too_many_arguments)]
     fn execute_query(
         &self,
-        runner: &mut NnRunner<'_, '_, '_>,
+        runner: &mut Runner<'_, '_, '_>,
+        stolen: Option<(&[usize], f64)>,
         query: &[f32],
         qid: usize,
         mode: BatchMode,
         group: usize,
         bsf_board: &BsfBoard,
         answer_board: &AnswerBoard,
-        speed: f64,
     ) -> SearchStats {
-        let index = match runner {
-            NnRunner::Pool { engine, .. } => Arc::clone(engine.index()),
-            NnRunner::Lane(ctx) => Arc::clone(ctx.index()),
-        };
-        let stolen_bsf = match runner {
-            NnRunner::Pool { stolen, .. } => stolen.map(|(_, bsf_sq)| bsf_sq),
-            NnRunner::Lane(_) => None,
-        };
+        let index = Arc::clone(runner.index());
+        let stolen_bsf = stolen.map(|(_, bsf_sq)| bsf_sq);
         let params = SearchParams::new(self.config.threads_per_node)
             .with_th(self.config.pq_threshold)
             .with_nsb(self.config.rs_batches);
         let board_opt = self.config.bsf_sharing.then_some((bsf_board, qid));
-        // Straggler pacing: stretch the processing phase so the
-        // protocol (and thieves) see the slow node.
-        let pace = move || {
-            if speed < 1.0 {
-                let extra = (1.0 / speed - 1.0) * 20.0;
-                std::thread::sleep(Duration::from_micros(extra as u64));
-            }
-        };
         let mut run = |kernel: &dyn QueryKernel, init_sq: f64, init_id: Option<u32>| {
             // Per-query TH (Figure 6): the sigmoid model predicts the
             // queue threshold from this query's initial BSF.
@@ -764,64 +772,18 @@ impl OdysseyCluster {
                 params.th = model.predict_th(init_sq.sqrt());
             }
             let bsf = BoardBsf::new(init_sq, init_id, board_opt);
-            let stats = match &mut *runner {
-                NnRunner::Pool {
-                    engine,
-                    active,
-                    service_rx,
-                    stolen,
-                } => {
-                    let view = Arc::new(StealView::new());
-                    if let Some(slot) = active {
-                        *slot.lock() = Some(ActiveQuery {
-                            query_id: qid,
-                            view: Arc::clone(&view),
-                            bsf: Arc::clone(&bsf.local),
-                        });
-                    }
-                    // Cooperative steal-request service: workers drain
-                    // pending requests between queue claims (see the
-                    // `run_search_with_service` docs for why the manager
-                    // thread alone is not enough on an oversubscribed
-                    // host).
-                    let view_for_service = Arc::clone(&view);
-                    let bsf_for_service = Arc::clone(&bsf.local);
-                    let nsend = self.config.steal_nsend;
-                    let service_rx = *service_rx;
-                    let service = move || {
-                        pace();
-                        if let Some((rx, served)) = service_rx {
-                            while let Ok(req) = rx.try_recv() {
-                                crate::stealing::serve_request(
-                                    req,
-                                    qid,
-                                    &view_for_service,
-                                    &bsf_for_service,
-                                    nsend,
-                                    served,
-                                );
-                            }
-                        }
-                    };
-                    let stats = engine.run_query(
-                        kernel,
-                        &params,
-                        &bsf,
-                        stolen.map(|(ids, _)| ids),
-                        &view,
-                        &|_, _| {},
-                        &service,
-                    );
-                    if let Some(slot) = active {
-                        *slot.lock() = None;
-                    }
-                    stats
-                }
-                NnRunner::Lane(ctx) => {
-                    let view = StealView::new();
-                    ctx.run_query(kernel, &params, &bsf, None, &view, &|_, _| {}, &pace)
-                }
-            };
+            let grant = runner.admit(
+                qid,
+                Arc::clone(&bsf.local) as Arc<dyn ResultSet + Send + Sync>,
+            );
+            let stats = runner.run_query(
+                kernel,
+                &params,
+                &bsf,
+                stolen.map(|(ids, _)| ids),
+                &grant,
+            );
+            drop(grant);
             answer_board.merge(qid, self.globalize(group, bsf.local_answer()));
             stats
         };
@@ -961,7 +923,7 @@ impl OdysseyCluster {
                             &engine,
                             &|ctx, qid| {
                                 let stats = self.execute_knn_query(
-                                    &mut KnnRunner::Lane(ctx),
+                                    &mut Runner::Lane(ctx),
                                     &index,
                                     queries.series(qid),
                                     qid,
@@ -976,7 +938,7 @@ impl OdysseyCluster {
                     } else {
                         while let Some(qid) = dispatch[g].next(member_idx) {
                             let stats = self.execute_knn_query(
-                                &mut KnnRunner::Pool(&engine),
+                                &mut Runner::Pool(&engine),
                                 &index,
                                 queries.series(qid),
                                 qid,
@@ -1009,7 +971,7 @@ impl OdysseyCluster {
     #[allow(clippy::too_many_arguments)]
     fn execute_knn_query(
         &self,
-        runner: &mut KnnRunner<'_, '_, '_>,
+        runner: &mut Runner<'_, '_, '_>,
         index: &Index,
         q: &[f32],
         qid: usize,
@@ -1031,15 +993,12 @@ impl OdysseyCluster {
                 params.th = model.predict_th(t.sqrt());
             }
         }
-        let view = StealView::new();
-        let stats = match runner {
-            KnnRunner::Pool(engine) => {
-                engine.run_query(&kernel, &params, &set, None, &view, &|_, _| {}, &|| {})
-            }
-            KnnRunner::Lane(ctx) => {
-                ctx.run_query(&kernel, &params, &set, None, &view, &|_, _| {}, &|| {})
-            }
-        };
+        let grant = runner.admit(
+            qid,
+            Arc::clone(&set.local) as Arc<dyn ResultSet + Send + Sync>,
+        );
+        let stats = runner.run_query(&kernel, &params, &set, None, &grant);
+        drop(grant);
         let mut local = set.local.snapshot();
         // Translate chunk-local ids to global ids.
         for n in local.neighbors.iter_mut() {
@@ -1050,25 +1009,57 @@ impl OdysseyCluster {
     }
 }
 
-/// Where a k-NN query executes: a node's resident pool, or one lane of
-/// it during a concurrent window.
-enum KnnRunner<'a, 'e, 's> {
+/// Where a query executes: a node's resident pool, or one lane of it
+/// during a concurrent window. The steal machinery lives in the
+/// engine's [`StealRegistry`] (registration grants + the installed
+/// cooperative service hook), so both surfaces carry the identical —
+/// and steal-capable — execution interface; the old per-surface
+/// `active`/`service_rx` plumbing is gone.
+enum Runner<'a, 'e, 's> {
     Pool(&'a BatchEngine),
     Lane(&'a mut LaneCtx<'e, 's>),
 }
 
-/// Where a 1-NN query executes. The pool surface carries the steal
-/// machinery (active-query slot, cooperative request service, stolen
-/// batch subsets); lanes have none — they only run when stealing is
-/// off.
-enum NnRunner<'a, 'e, 's> {
-    Pool {
-        engine: &'a BatchEngine,
-        active: Option<&'a ActiveSlot>,
-        service_rx: Option<(&'a crossbeam::channel::Receiver<StealRequest>, &'a AtomicU64)>,
-        stolen: Option<(&'a [usize], f64)>,
-    },
-    Lane(&'a mut LaneCtx<'e, 's>),
+impl Runner<'_, '_, '_> {
+    /// The engine index this surface searches.
+    fn index(&self) -> &Arc<Index> {
+        match self {
+            Runner::Pool(engine) => engine.index(),
+            Runner::Lane(ctx) => ctx.index(),
+        }
+    }
+
+    /// Registers a query with the node's steal service at this
+    /// surface's width (full pool or lane).
+    fn admit(
+        &self,
+        qid: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+    ) -> InflightQuery {
+        match self {
+            Runner::Pool(engine) => engine.admit(qid, results),
+            Runner::Lane(ctx) => ctx.admit(qid, results),
+        }
+    }
+
+    /// Runs one admitted query on this surface.
+    fn run_query<R: ResultSet + ?Sized>(
+        &mut self,
+        kernel: &dyn QueryKernel,
+        params: &SearchParams,
+        results: &R,
+        batch_subset: Option<&[usize]>,
+        query: &InflightQuery,
+    ) -> SearchStats {
+        match self {
+            Runner::Pool(engine) => {
+                engine.run_query(kernel, params, results, batch_subset, query, &|_, _| {})
+            }
+            Runner::Lane(ctx) => {
+                ctx.run_query(kernel, params, results, batch_subset, query, &|_, _| {})
+            }
+        }
+    }
 }
 
 /// The per-group dispatch structure (stage 3's output).
@@ -1427,8 +1418,10 @@ mod tests {
 
     #[test]
     fn inter_query_lanes_stay_exact_and_match_sequential_nodes() {
-        // Stealing off + a PREDICT policy engages the per-node lanes;
-        // answers must equal brute force and the lanes-off run.
+        // A PREDICT policy engages the per-node lanes (stealing off
+        // here isolates the lane mechanism; the lanes×stealing
+        // composition is covered by `tests/multiq.rs`); answers must
+        // equal brute force and the lanes-off run.
         let data = random_walk(1200, 64, 61);
         let w = QueryWorkload::generate(
             &data,

@@ -2,21 +2,28 @@
 //!
 //! Each node runs a **work-stealing manager** alongside its search
 //! workers (Algorithm 1 line 6 allocates a thread for this role). When a
-//! `StealingRequest` arrives, the manager consults the
-//! `StealView` (see `odyssey_core::search::exact`) of the query the
-//! node is currently answering, takes away up to `Nsend` RS-batches
-//! satisfying the Take-Away property, marks their queues stolen, and
-//! replies with the batch **ids**, the query id, and the query's current
-//! BSF — never any series data. The thief rebuilds those priority queues
-//! from its own identical index (replication-group nodes store the same
-//! chunk) and processes them.
+//! `StealingRequest` arrives, the manager consults the node engine's
+//! [`StealRegistry`] — the service that tracks **every** in-flight query
+//! of the node, whether it runs on the full pool or on one of the
+//! concurrent lanes — picks the victim query with the widest remaining
+//! work, takes away up to `Nsend` RS-batches satisfying the Take-Away
+//! property, marks their queues stolen, and replies with the batch
+//! **ids**, the query id, and the query's current BSF — never any series
+//! data. The thief rebuilds those priority queues from its own identical
+//! index (replication-group nodes store the same chunk) and processes
+//! them.
+//!
+//! Because the registry (not a one-query "active slot") is the unit the
+//! manager inspects, stealing composes with the inter-query lanes of
+//! `odyssey_core::search::multiq`: a node running eight lane queries at
+//! once serves thieves from whichever of them has the most unclaimed
+//! work, mid-round. The same serving path also runs cooperatively on
+//! the search workers themselves through the registry's installed
+//! service hook (see `ClusterConfig::work_stealing`).
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use odyssey_core::search::bsf::SharedBsf;
-use odyssey_core::search::exact::StealView;
-use parking_lot::Mutex;
+use odyssey_core::search::engine::StealRegistry;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// A steal request (`StealingRequest` in Algorithm 3).
@@ -50,50 +57,38 @@ impl StealResponse {
     }
 }
 
-/// What a node's manager knows about the query currently being answered.
-#[derive(Clone)]
-pub struct ActiveQuery {
-    /// Query id within the batch.
-    pub query_id: usize,
-    /// The running search's steal view.
-    pub view: Arc<StealView>,
-    /// The running search's local BSF.
-    pub bsf: Arc<SharedBsf>,
-}
-
-/// The per-node slot the worker publishes its active query into.
-pub type ActiveSlot = Mutex<Option<ActiveQuery>>;
-
-/// Serves one steal request against the currently running query's state
-/// (the body of Algorithm 3, lines 2–4). Used both by the manager thread
-/// and by the search workers' cooperative service hook.
+/// Serves one steal request against the node's steal registry (the body
+/// of Algorithm 3, lines 2–4, generalized over every in-flight query).
+/// Used both by the manager thread and by the search workers'
+/// cooperative service hook.
 pub fn serve_request(
     req: StealRequest,
-    query_id: usize,
-    view: &StealView,
-    bsf: &SharedBsf,
+    registry: &StealRegistry,
     nsend: usize,
     steals_served: &AtomicU64,
 ) {
-    let batch_ids = view.try_steal(nsend);
+    let stolen = registry.serve_steal(nsend);
     if std::env::var("ODYSSEY_STEAL_DEBUG").is_ok() {
-        let (claimed, total) = view.queue_progress();
         eprintln!(
-            "serve q{query_id}: processing={} done={} queues={claimed}/{total} -> {} ids",
-            view.is_processing(),
-            view.is_done(),
-            batch_ids.len(),
+            "serve from node {}: {} in flight -> {:?}",
+            req.from,
+            registry.in_flight(),
+            stolen
+                .as_ref()
+                .map(|w| (w.query_id, w.batch_ids.len()))
         );
     }
-    let response = if batch_ids.is_empty() {
-        StealResponse::empty()
-    } else {
-        steals_served.fetch_add(1, Ordering::Relaxed);
-        StealResponse {
-            batch_ids,
-            query_id: Some(query_id),
-            bsf_sq: bsf.get_sq(),
+    let response = match stolen {
+        Some(w) => {
+            steals_served.fetch_add(1, Ordering::Relaxed);
+            StealResponse {
+                batch_ids: w.batch_ids,
+                query_id: Some(w.query_id),
+                bsf_sq: w.bsf_sq,
+            }
         }
+        // The thief may have timed out; a dropped receiver is fine.
+        None => StealResponse::empty(),
     };
     let _ = req.reply.send(response);
 }
@@ -103,28 +98,15 @@ pub fn serve_request(
 /// of `group_total`.
 pub fn manager_loop(
     rx: &Receiver<StealRequest>,
-    active: &ActiveSlot,
+    registry: &StealRegistry,
     group_done: &AtomicUsize,
     group_total: usize,
     nsend: usize,
     steals_served: &AtomicU64,
 ) {
-    let serve = |req: StealRequest| {
-        let aq = active.lock().clone();
-        match aq {
-            Some(aq) => serve_request(req, aq.query_id, &aq.view, &aq.bsf, nsend, steals_served),
-            None => {
-                if std::env::var("ODYSSEY_STEAL_DEBUG").is_ok() {
-                    eprintln!("steal miss: victim idle");
-                }
-                // The thief may have timed out; a dropped receiver is fine.
-                let _ = req.reply.send(StealResponse::empty());
-            }
-        }
-    };
     loop {
         match rx.recv_timeout(Duration::from_millis(1)) {
-            Ok(req) => serve(req),
+            Ok(req) => serve_request(req, registry, nsend, steals_served),
             Err(RecvTimeoutError::Timeout) => {
                 if group_done.load(Ordering::Acquire) >= group_total {
                     break;
@@ -135,7 +117,7 @@ pub fn manager_loop(
     }
     // Drain any request that raced with the exit condition.
     while let Ok(req) = rx.try_recv() {
-        serve(req);
+        serve_request(req, registry, nsend, steals_served);
     }
 }
 
@@ -143,15 +125,17 @@ pub fn manager_loop(
 mod tests {
     use super::*;
     use crossbeam::channel::{bounded, unbounded};
+    use odyssey_core::search::bsf::{ResultSet, SharedBsf};
+    use std::sync::Arc;
 
     #[test]
     fn manager_replies_empty_when_idle() {
         let (tx, rx) = unbounded::<StealRequest>();
-        let active: ActiveSlot = Mutex::new(None);
+        let registry = Arc::new(StealRegistry::default());
         let done = AtomicUsize::new(0);
         let served = AtomicU64::new(0);
         std::thread::scope(|s| {
-            s.spawn(|| manager_loop(&rx, &active, &done, 1, 4, &served));
+            s.spawn(|| manager_loop(&rx, &registry, &done, 1, 4, &served));
             let (rtx, rrx) = bounded(1);
             tx.send(StealRequest { from: 9, reply: rtx }).unwrap();
             let resp = rrx.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -163,22 +147,18 @@ mod tests {
     }
 
     #[test]
-    fn manager_serves_active_query() {
+    fn manager_serves_registered_query() {
         let (tx, rx) = unbounded::<StealRequest>();
-        let view = Arc::new(StealView::new());
+        let registry = Arc::new(StealRegistry::default());
         // Simulate a search mid-processing with 6 batches published.
-        view.test_init(6);
-        view.test_publish(vec![0, 1, 2, 3, 4, 5]);
         let bsf = Arc::new(SharedBsf::new(42.0, Some(7)));
-        let active: ActiveSlot = Mutex::new(Some(ActiveQuery {
-            query_id: 3,
-            view,
-            bsf,
-        }));
+        let grant = registry.register(3, 2, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+        grant.view().test_init(6);
+        grant.view().test_publish(vec![0, 1, 2, 3, 4, 5]);
         let done = AtomicUsize::new(0);
         let served = AtomicU64::new(0);
         std::thread::scope(|s| {
-            s.spawn(|| manager_loop(&rx, &active, &done, 2, 4, &served));
+            s.spawn(|| manager_loop(&rx, &registry, &done, 2, 4, &served));
             let (rtx, rrx) = bounded(1);
             tx.send(StealRequest { from: 1, reply: rtx }).unwrap();
             let resp = rrx.recv_timeout(Duration::from_secs(1)).unwrap();
@@ -188,16 +168,52 @@ mod tests {
             done.store(2, Ordering::Release);
         });
         assert_eq!(served.load(Ordering::Relaxed), 1);
+        drop(grant);
+        assert_eq!(registry.in_flight(), 0, "grant drop deregisters");
+    }
+
+    #[test]
+    fn manager_picks_widest_remaining_lane_query() {
+        // Two concurrent lane queries in one registry: the one with more
+        // unclaimed queues is the steal victim.
+        let (tx, rx) = unbounded::<StealRequest>();
+        let registry = Arc::new(StealRegistry::default());
+        let narrow = registry.register(
+            10,
+            1,
+            Arc::new(SharedBsf::new(1.0, None)) as Arc<dyn ResultSet + Send + Sync>,
+        );
+        narrow.view().test_init(2);
+        narrow.view().test_publish(vec![0, 1]);
+        let wide = registry.register(
+            11,
+            2,
+            Arc::new(SharedBsf::new(2.0, None)) as Arc<dyn ResultSet + Send + Sync>,
+        );
+        wide.view().test_init(5);
+        wide.view().test_publish(vec![0, 1, 2, 3, 4]);
+        let done = AtomicUsize::new(0);
+        let served = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| manager_loop(&rx, &registry, &done, 1, 2, &served));
+            let (rtx, rrx) = bounded(1);
+            tx.send(StealRequest { from: 0, reply: rtx }).unwrap();
+            let resp = rrx.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(resp.query_id, Some(11), "most remaining work wins");
+            assert_eq!(resp.bsf_sq, 2.0);
+            done.store(1, Ordering::Release);
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn manager_exits_when_group_done() {
         let (_tx, rx) = unbounded::<StealRequest>();
-        let active: ActiveSlot = Mutex::new(None);
+        let registry = Arc::new(StealRegistry::default());
         let done = AtomicUsize::new(3);
         let served = AtomicU64::new(0);
         let t0 = std::time::Instant::now();
-        manager_loop(&rx, &active, &done, 3, 4, &served);
+        manager_loop(&rx, &registry, &done, 3, 4, &served);
         assert!(t0.elapsed() < Duration::from_secs(1));
     }
 }

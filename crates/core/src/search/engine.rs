@@ -27,6 +27,15 @@
 //! feeds: it takes a set of [`BatchQuery`]s plus a dispatch *order* (a
 //! permutation, e.g. the descending-cost order of `odyssey-sched`'s
 //! PREDICT-DN policy) and executes the batch on the resident pool.
+//!
+//! The engine also hosts the **steal service**: a [`StealRegistry`]
+//! tracking every in-flight query — full-pool or lane — with its
+//! [`StealView`], worker-group width, and progress. A node's
+//! work-stealing manager inspects the registry (not a per-query side
+//! channel) to pick a victim among everything the engine is running,
+//! and the registry's installed service hook is invoked cooperatively
+//! by the search workers themselves, so steal requests are served even
+//! mid-round while several lane queries are in flight.
 
 use super::answer::{Answer, KnnAnswer};
 use super::bsf::ResultSet;
@@ -41,7 +50,8 @@ use super::multiq::{ConcurrentPlan, LaneCtx, LaneRuntime, RoundSpec};
 use super::scratch::WorkerScratch;
 use crate::index::Index;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -127,6 +137,7 @@ pub struct BatchOutcome {
 pub struct BatchEngine {
     index: Arc<Index>,
     pool: WorkerPool,
+    registry: Arc<StealRegistry>,
 }
 
 impl BatchEngine {
@@ -134,8 +145,24 @@ impl BatchEngine {
     /// submitting thread counts as one; `n_threads - 1` workers are
     /// spawned and stay resident until drop).
     pub fn new(index: Arc<Index>, n_threads: usize) -> Self {
+        Self::with_registry(index, n_threads, Arc::new(StealRegistry::default()))
+    }
+
+    /// [`BatchEngine::new`] with an externally created [`StealRegistry`]
+    /// — the distributed layer shares the registry with the node's
+    /// work-stealing manager thread, which may outlive (or predate) the
+    /// engine itself.
+    pub fn with_registry(
+        index: Arc<Index>,
+        n_threads: usize,
+        registry: Arc<StealRegistry>,
+    ) -> Self {
         let pool = WorkerPool::new(n_threads.max(1));
-        BatchEngine { index, pool }
+        BatchEngine {
+            index,
+            pool,
+            registry,
+        }
     }
 
     /// The engine's index.
@@ -148,11 +175,33 @@ impl BatchEngine {
         self.pool.n_threads
     }
 
-    /// Runs one query on the resident pool. Mirrors
+    /// The engine's steal service: every in-flight query (full-pool or
+    /// lane) is visible here while it runs.
+    pub fn steal_registry(&self) -> &Arc<StealRegistry> {
+        &self.registry
+    }
+
+    /// Registers a full-pool query with the steal service and returns
+    /// its execution grant (view allocation + registry entry). The grant
+    /// is what [`BatchEngine::run_query`] executes under; dropping it
+    /// deregisters the query and recycles its view.
+    pub fn admit(
+        &self,
+        query_id: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+    ) -> InflightQuery {
+        self.registry
+            .register(query_id, self.pool.n_threads, results)
+    }
+
+    /// Runs one admitted query on the resident pool. Mirrors
     /// [`super::exact::run_search_with_service`] — same three-phase
-    /// engine, same `batch_subset`/[`StealView`]/`on_improve`/`service`
-    /// hooks — but `params.n_threads` is overridden by the pool size and
-    /// no threads are spawned.
+    /// engine, same `batch_subset`/`on_improve` hooks — but
+    /// `params.n_threads` is overridden by the pool size, no threads are
+    /// spawned, and the [`StealView`] plus the cooperative steal-service
+    /// hook come from the engine itself: `query` carries the view, and
+    /// workers invoke the registry's installed service between queue
+    /// claims.
     ///
     /// # Panics
     /// A panic raised by a hook (or the engine body) during the queue
@@ -160,28 +209,33 @@ impl BatchEngine {
     /// finished the query. A panic *between the phase barriers* instead
     /// deadlocks the pool — the same contract as the scoped per-query
     /// driver, whose threads also block on a shared barrier.
-    #[allow(clippy::too_many_arguments)]
     pub fn run_query<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
         &self,
         kernel: &K,
         params: &SearchParams,
         results: &R,
         batch_subset: Option<&[usize]>,
-        view: &StealView,
+        query: &InflightQuery,
         on_improve: &(dyn Fn(f64, u32) + Sync),
-        service: &(dyn Fn() + Sync),
     ) -> SearchStats {
         let mut eff = *params;
         eff.n_threads = self.pool.n_threads;
+        let hook = self.registry.service_hook();
+        let registry = &*self.registry;
+        let service = move || {
+            if let Some(h) = &hook {
+                h(registry);
+            }
+        };
         let shared = ExecShared::new(
             &self.index,
             kernel,
             &eff,
             results,
             batch_subset,
-            view,
+            query.view(),
             on_improve,
-            service,
+            &service,
         );
         if shared.has_work() {
             let barrier = &self.pool.inner.barrier;
@@ -193,11 +247,16 @@ impl BatchEngine {
 
     /// Exact Euclidean 1-NN on the pool; answer-identical to
     /// [`super::exact::exact_search`] with the same thread count.
+    /// Standalone calls register with the steal service as query 0.
     pub fn exact(&self, query: &[f32], params: &SearchParams) -> SearchOutcome {
+        self.exact_as(0, query, params)
+    }
+
+    fn exact_as(&self, query_id: usize, query: &[f32], params: &SearchParams) -> SearchOutcome {
         let (kernel, bsf, initial) = seed_ed(&self.index, query);
-        let view = StealView::new();
-        let mut stats =
-            self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+        let bsf = Arc::new(bsf);
+        let grant = self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+        let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
         stats.initial_bsf = initial;
         SearchOutcome {
             answer: bsf.answer(),
@@ -214,10 +273,10 @@ impl BatchEngine {
         params: &SearchParams,
     ) -> (Answer, SearchStats) {
         let (kernel, bsf, initial) = seed_ed(&self.index, query);
-        let relaxed = EpsilonRelaxed::new(&bsf, epsilon);
-        let view = StealView::new();
-        let mut stats =
-            self.run_query(&kernel, params, &relaxed, None, &view, &|_, _| {}, &|| {});
+        let bsf = Arc::new(bsf);
+        let relaxed = EpsilonRelaxed::new(&*bsf, epsilon);
+        let grant = self.admit(0, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+        let mut stats = self.run_query(&kernel, params, &relaxed, None, &grant, &|_, _| {});
         stats.initial_bsf = initial;
         (bsf.answer(), stats)
     }
@@ -230,9 +289,20 @@ impl BatchEngine {
         k: usize,
         params: &SearchParams,
     ) -> (KnnAnswer, SearchStats) {
+        self.knn_as(0, query, k, params)
+    }
+
+    fn knn_as(
+        &self,
+        query_id: usize,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> (KnnAnswer, SearchStats) {
         let (kernel, knn) = seed_knn(&self.index, query, k);
-        let view = StealView::new();
-        let stats = self.run_query(&kernel, params, &knn, None, &view, &|_, _| {}, &|| {});
+        let knn = Arc::new(knn);
+        let grant = self.admit(query_id, Arc::clone(&knn) as Arc<dyn ResultSet + Send + Sync>);
+        let stats = self.run_query(&kernel, params, &*knn, None, &grant, &|_, _| {});
         (knn.snapshot(), stats)
     }
 
@@ -244,12 +314,51 @@ impl BatchEngine {
         window: usize,
         params: &SearchParams,
     ) -> (Answer, SearchStats) {
+        self.dtw_as(0, query, window, params)
+    }
+
+    fn dtw_as(
+        &self,
+        query_id: usize,
+        query: &[f32],
+        window: usize,
+        params: &SearchParams,
+    ) -> (Answer, SearchStats) {
         let (kernel, bsf, initial) = seed_dtw(&self.index, query, window);
-        let view = StealView::new();
-        let mut stats =
-            self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+        let bsf = Arc::new(bsf);
+        let grant = self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+        let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
         stats.initial_bsf = initial;
         (bsf.answer(), stats)
+    }
+
+    /// Answers one batch item, registering it with the steal service
+    /// under its batch index. Shared by the sequential and concurrent
+    /// batch drivers.
+    fn run_one(&self, query_id: usize, q: &BatchQuery, params: &SearchParams) -> BatchItem {
+        match q.kind {
+            QueryKind::Exact => {
+                let out = self.exact_as(query_id, q.data, params);
+                BatchItem {
+                    answer: BatchAnswer::Nn(out.answer),
+                    stats: out.stats,
+                }
+            }
+            QueryKind::Knn(k) => {
+                let (ans, stats) = self.knn_as(query_id, q.data, k, params);
+                BatchItem {
+                    answer: BatchAnswer::Knn(ans),
+                    stats,
+                }
+            }
+            QueryKind::Dtw(window) => {
+                let (ans, stats) = self.dtw_as(query_id, q.data, window, params);
+                BatchItem {
+                    answer: BatchAnswer::Nn(ans),
+                    stats,
+                }
+            }
+        }
     }
 
     /// Executes a whole batch in the given dispatch `order` (a
@@ -279,30 +388,7 @@ impl BatchEngine {
             assert!(slot.is_none(), "dispatch order repeats query {qi}");
             let q = &queries[qi];
             let p = q.params.unwrap_or(*params);
-            let item = match q.kind {
-                QueryKind::Exact => {
-                    let out = self.exact(q.data, &p);
-                    BatchItem {
-                        answer: BatchAnswer::Nn(out.answer),
-                        stats: out.stats,
-                    }
-                }
-                QueryKind::Knn(k) => {
-                    let (ans, stats) = self.knn(q.data, k, &p);
-                    BatchItem {
-                        answer: BatchAnswer::Knn(ans),
-                        stats,
-                    }
-                }
-                QueryKind::Dtw(window) => {
-                    let (ans, stats) = self.dtw(q.data, window, &p);
-                    BatchItem {
-                        answer: BatchAnswer::Nn(ans),
-                        stats,
-                    }
-                }
-            };
-            items[qi] = Some(item);
+            items[qi] = Some(self.run_one(qi, q, &p));
         }
         BatchOutcome {
             items: items.into_iter().map(|i| i.expect("order is total")).collect(),
@@ -331,8 +417,9 @@ impl BatchEngine {
     {
         round.validate_pool(self.pool.n_threads);
         let rt = LaneRuntime::new(round);
-        self.pool
-            .run(&|tid, scratch| rt.participate(tid, scratch, &self.index, round, driver));
+        self.pool.run(&|tid, scratch| {
+            rt.participate(tid, scratch, &self.index, &self.registry, driver)
+        });
     }
 
     /// Executes a batch under a [`ConcurrentPlan`]: several queries run
@@ -357,7 +444,7 @@ impl BatchEngine {
             self.run_concurrent(round, &|ctx, qi| {
                 let q = &queries[qi];
                 let p = q.params.unwrap_or(*params);
-                let item = ctx.execute(q, &p);
+                let item = ctx.execute(qi, q, &p);
                 items[qi]
                     .set(item)
                     .unwrap_or_else(|_| unreachable!("validated plan names each query once"));
@@ -369,6 +456,273 @@ impl BatchEngine {
                 .map(|s| s.into_inner().expect("validated plan is total"))
                 .collect(),
             wall: t0.elapsed(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The steal service
+// ---------------------------------------------------------------------
+
+/// The cooperative steal-service hook installed into a
+/// [`StealRegistry`]: invoked by every search worker between queue
+/// claims (and by a node's manager thread), with the registry to serve
+/// from. The distributed layer installs a hook that drains its
+/// steal-request channel and answers each request via
+/// [`StealRegistry::serve_steal`].
+pub type StealServiceHook = Arc<dyn Fn(&StealRegistry) + Send + Sync>;
+
+/// Work handed to a thief by [`StealRegistry::serve_steal`].
+#[derive(Debug, Clone)]
+pub struct StolenWork {
+    /// The victim query's caller-assigned id (its batch index).
+    pub query_id: usize,
+    /// Global RS-batch ids the thief should process.
+    pub batch_ids: Vec<usize>,
+    /// The victim query's current pruning threshold (squared BSF).
+    pub bsf_sq: f64,
+}
+
+/// Progress snapshot of one in-flight query (diagnostics).
+#[derive(Debug, Clone)]
+pub struct InflightInfo {
+    /// Caller-assigned query id.
+    pub query_id: usize,
+    /// Worker-group width the query runs at.
+    pub width: usize,
+    /// Claimed queues of the processing phase.
+    pub claimed: usize,
+    /// Total queues of the processing phase.
+    pub total: usize,
+    /// Whether the query is in the (stealable) processing phase.
+    pub processing: bool,
+}
+
+struct InflightEntry {
+    token: u64,
+    query_id: usize,
+    width: usize,
+    view: Arc<StealView>,
+    results: Arc<dyn ResultSet + Send + Sync>,
+}
+
+/// Cap on recycled [`StealView`] allocations parked in the registry.
+const MAX_SPARE_VIEWS: usize = 32;
+
+/// The engine-resident steal service: tracks every in-flight query of a
+/// [`BatchEngine`] — full-pool or lane — with its [`StealView`], its
+/// worker-group width, and (via the view) its processing progress.
+///
+/// The registry replaces the per-query "active slot" side channel: a
+/// work-stealing manager serves a steal request by asking the registry,
+/// which picks a victim among **all** in-flight queries — the one with
+/// the widest remaining work (most unclaimed queues, ties broken by
+/// wider lane) — so stealing composes with concurrent lanes instead of
+/// requiring one active full-pool query per node.
+///
+/// Views are allocated and recycled here: registration hands out a
+/// fresh (or reset) [`StealView`], and dropping the returned
+/// [`InflightQuery`] grant returns the allocation for the next query.
+#[derive(Default)]
+pub struct StealRegistry {
+    inflight: Mutex<Vec<InflightEntry>>,
+    spare_views: Mutex<Vec<StealView>>,
+    hook: RwLock<Option<StealServiceHook>>,
+    next_token: AtomicU64,
+}
+
+impl StealRegistry {
+    /// Registers one in-flight query: `query_id` is the caller's id for
+    /// it (reported to thieves), `width` its worker-group width, and
+    /// `results` the live result set whose threshold a steal response
+    /// reports as the victim's current BSF. Returns the execution grant;
+    /// the query stays visible to the service until the grant drops.
+    pub fn register(
+        self: &Arc<Self>,
+        query_id: usize,
+        width: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+    ) -> InflightQuery {
+        let view = {
+            let mut spares = lock_plain(&self.spare_views);
+            spares.pop().unwrap_or_default()
+        };
+        let view = Arc::new(view);
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        lock_plain(&self.inflight).push(InflightEntry {
+            token,
+            query_id,
+            width,
+            view: Arc::clone(&view),
+            results,
+        });
+        InflightQuery {
+            registry: Arc::clone(self),
+            view: Some(view),
+            token,
+            query_id,
+        }
+    }
+
+    /// Number of currently registered queries.
+    pub fn in_flight(&self) -> usize {
+        lock_plain(&self.inflight).len()
+    }
+
+    /// Progress snapshot of every registered query (diagnostics).
+    pub fn snapshot(&self) -> Vec<InflightInfo> {
+        lock_plain(&self.inflight)
+            .iter()
+            .map(|e| {
+                let (claimed, total) = e.view.queue_progress();
+                InflightInfo {
+                    query_id: e.query_id,
+                    width: e.width,
+                    claimed,
+                    total,
+                    processing: e.view.is_processing(),
+                }
+            })
+            .collect()
+    }
+
+    /// Installs the cooperative service hook. Search workers invoke it
+    /// between queue claims for **every** query the engine runs (pool or
+    /// lane), so pending steal requests are served even while the
+    /// serving node is itself mid-query.
+    pub fn install_service(&self, hook: StealServiceHook) {
+        *self.hook.write().unwrap_or_else(PoisonError::into_inner) = Some(hook);
+    }
+
+    /// Removes the installed service hook.
+    pub fn clear_service(&self) {
+        *self.hook.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// The installed hook, if any (cloned once per query execution).
+    pub(crate) fn service_hook(&self) -> Option<StealServiceHook> {
+        self.hook
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Invokes the installed service hook once (no-op without one).
+    pub fn service(&self) {
+        if let Some(h) = self.service_hook() {
+            h(self);
+        }
+    }
+
+    /// Serves one steal request against the registry: picks the victim
+    /// with the **widest remaining work** — most unclaimed processing
+    /// queues first, ties broken by wider worker group, then by
+    /// registration order — and takes away up to `nsend` of its
+    /// RS-batches (the Take-Away property is enforced by
+    /// [`StealView::try_steal`]). Falls through to the next candidate
+    /// when a race leaves the first with nothing stealable; returns
+    /// `None` when no in-flight query has stealable work.
+    pub fn serve_steal(&self, nsend: usize) -> Option<StolenWork> {
+        type Candidate = (
+            usize,
+            usize,
+            u64,
+            Arc<StealView>,
+            usize,
+            Arc<dyn ResultSet + Send + Sync>,
+        );
+        let mut candidates: Vec<Candidate> = {
+            let inflight = lock_plain(&self.inflight);
+            inflight
+                .iter()
+                .filter(|e| e.view.is_processing())
+                .filter_map(|e| {
+                    let (claimed, total) = e.view.queue_progress();
+                    let remaining = total - claimed;
+                    (remaining > 0).then(|| {
+                        (
+                            remaining,
+                            e.width,
+                            e.token,
+                            Arc::clone(&e.view),
+                            e.query_id,
+                            Arc::clone(&e.results),
+                        )
+                    })
+                })
+                .collect()
+        };
+        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+        for (_, _, _, view, query_id, results) in candidates {
+            let batch_ids = view.try_steal(nsend);
+            if !batch_ids.is_empty() {
+                // Read the victim's bound *after* the successful steal:
+                // the latest (tightest) value seeds the thief with the
+                // most pruning power.
+                return Some(StolenWork {
+                    query_id,
+                    batch_ids,
+                    bsf_sq: results.threshold_sq(),
+                });
+            }
+        }
+        None
+    }
+
+    /// Test/diagnostic helper: recycled view allocations currently
+    /// parked in the registry.
+    #[doc(hidden)]
+    pub fn spare_view_count(&self) -> usize {
+        lock_plain(&self.spare_views).len()
+    }
+
+    fn deregister(&self, token: u64, view: Arc<StealView>) {
+        lock_plain(&self.inflight).retain(|e| e.token != token);
+        // Recycle the view allocation if this was the last reference
+        // (a manager holding a snapshot clone just forfeits the spare).
+        if let Ok(mut view) = Arc::try_unwrap(view) {
+            view.reset();
+            let mut spares = lock_plain(&self.spare_views);
+            if spares.len() < MAX_SPARE_VIEWS {
+                spares.push(view);
+            }
+        }
+    }
+}
+
+/// Recovers a guard from a (practically unreachable) poisoned registry
+/// lock: the registry's critical sections are trivial state updates.
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The execution grant of one registered query: carries the
+/// engine-allocated [`StealView`] the query runs under. Dropping the
+/// grant deregisters the query from the [`StealRegistry`] (it can no
+/// longer be chosen as a steal victim) and recycles the view.
+pub struct InflightQuery {
+    registry: Arc<StealRegistry>,
+    view: Option<Arc<StealView>>,
+    token: u64,
+    query_id: usize,
+}
+
+impl InflightQuery {
+    /// The steal view this query executes under.
+    pub fn view(&self) -> &Arc<StealView> {
+        self.view.as_ref().expect("view present until drop")
+    }
+
+    /// The caller-assigned query id.
+    pub fn query_id(&self) -> usize {
+        self.query_id
+    }
+}
+
+impl Drop for InflightQuery {
+    fn drop(&mut self) {
+        if let Some(view) = self.view.take() {
+            self.registry.deregister(self.token, view);
         }
     }
 }
@@ -397,13 +751,6 @@ pub(crate) fn erase_job(f: JobRef<'_>) -> Job {
     Job(unsafe {
         std::mem::transmute::<JobRef<'_>, &'static (dyn Fn(usize, &mut WorkerScratch) + Sync)>(f)
     })
-}
-
-/// Recovers a usable guard from a (practically unreachable) poisoned
-/// pool lock: workers run jobs outside the lock, so a panic can only
-/// poison it between trivial state updates.
-fn lock_state(m: &Mutex<PoolState>) -> MutexGuard<'_, PoolState> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 struct PoolState {
@@ -452,12 +799,21 @@ impl WorkerPool {
             done_cv: Condvar::new(),
             barrier: Barrier::new(n_threads),
         });
+        // Reserve a contiguous block of target cores for this pool's
+        // resident workers: lanes are contiguous tid ranges, so a
+        // lane's workers land on adjacent cores (the pinning unit is
+        // the lane, not a flat process-wide `tid % ncpu` round-robin) —
+        // the first step toward a NUMA-aware layout where a lane stays
+        // inside one domain. The submitter (tid 0) stays unpinned as
+        // before — it is the caller's thread, not the engine's — so
+        // only the `n_threads - 1` worker slots are reserved.
+        let core_base = reserve_core_block(n_threads.saturating_sub(1));
         let handles = (1..n_threads)
             .map(|tid| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("odyssey-engine-{tid}"))
-                    .spawn(move || worker_main(&inner, tid))
+                    .spawn(move || worker_main(&inner, tid, core_base))
                     .expect("spawn batch-engine worker")
             })
             .collect();
@@ -479,7 +835,7 @@ impl WorkerPool {
             .unwrap_or_else(PoisonError::into_inner);
         let resident = self.handles.len();
         if resident > 0 {
-            let mut st = lock_state(&self.inner.state);
+            let mut st = lock_plain(&self.inner.state);
             debug_assert!(st.job.is_none(), "one job at a time");
             st.epoch += 1;
             st.job = Some(erase_job(f));
@@ -495,7 +851,7 @@ impl WorkerPool {
         let caller_outcome = catch_unwind(AssertUnwindSafe(|| f(0, &mut scratch)));
         let mut worker_panicked = false;
         if resident > 0 {
-            let mut st = lock_state(&self.inner.state);
+            let mut st = lock_plain(&self.inner.state);
             while st.remaining > 0 {
                 st = self
                     .inner
@@ -519,7 +875,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = lock_state(&self.inner.state);
+            let mut st = lock_plain(&self.inner.state);
             st.shutdown = true;
         }
         self.inner.work_cv.notify_all();
@@ -530,13 +886,15 @@ impl Drop for WorkerPool {
 }
 
 /// Resident-worker main loop: pin, then run jobs until shutdown.
-fn worker_main(inner: &PoolInner, tid: usize) {
-    pin_to_core(next_core());
+fn worker_main(inner: &PoolInner, tid: usize, core_base: usize) {
+    // Workers have tids 1..n; tid 0 (the unpinned submitter) owns no
+    // reserved slot, so the block packs without holes.
+    pin_to_core(core_base + tid - 1);
     let mut scratch = WorkerScratch::default();
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = lock_state(&inner.state);
+            let mut st = lock_plain(&inner.state);
             loop {
                 if st.shutdown {
                     return;
@@ -552,7 +910,7 @@ fn worker_main(inner: &PoolInner, tid: usize) {
             }
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| (job.0)(tid, &mut scratch)));
-        let mut st = lock_state(&inner.state);
+        let mut st = lock_plain(&inner.state);
         if outcome.is_err() {
             st.panicked = true;
         }
@@ -563,23 +921,26 @@ fn worker_main(inner: &PoolInner, tid: usize) {
     }
 }
 
-/// Hands out target cores round-robin **process-wide**, so the many
-/// engines a cluster simulation creates (one per node) spread their
-/// workers across all cores instead of stacking every engine's worker
-/// `i` onto the same core.
-fn next_core() -> usize {
-    use std::sync::atomic::{AtomicUsize, Ordering};
+/// Reserves a **contiguous** block of `n` target cores, process-wide,
+/// so the many engines a cluster simulation creates (one per node) get
+/// disjoint blocks instead of stacking every engine's worker `i` onto
+/// the same core — and so each engine's workers (and therefore each
+/// lane's contiguous tid range) occupy adjacent cores. Wraps modulo the
+/// host core count in [`pin_to_core`].
+fn reserve_core_block(n: usize) -> usize {
+    use std::sync::atomic::AtomicUsize;
     static NEXT: AtomicUsize = AtomicUsize::new(0);
-    let ncpu = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    NEXT.fetch_add(1, Ordering::Relaxed) % ncpu
+    NEXT.fetch_add(n, Ordering::Relaxed)
 }
 
 /// Best-effort thread pinning (Linux only; a failed or unsupported call
 /// is silently ignored — pinning is an optimization, not a contract).
 #[cfg(target_os = "linux")]
 fn pin_to_core(core: usize) {
+    let ncpu = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let core = core % ncpu;
     // Mirrors glibc's `cpu_set_t` (1024 bits).
     #[repr(C)]
     struct CpuSet {
@@ -785,5 +1146,118 @@ mod tests {
             out.items[1].stats.pq_count,
             out.items[0].stats.pq_count
         );
+    }
+
+    use super::super::bsf::SharedBsf;
+
+    fn fake_inflight(
+        registry: &Arc<StealRegistry>,
+        query_id: usize,
+        width: usize,
+        bsf_sq: f64,
+        queues: usize,
+    ) -> InflightQuery {
+        let grant = registry.register(
+            query_id,
+            width,
+            Arc::new(SharedBsf::new(bsf_sq, None)) as Arc<dyn ResultSet + Send + Sync>,
+        );
+        grant.view().test_init(queues);
+        grant.view().test_publish((0..queues).collect());
+        grant
+    }
+
+    #[test]
+    fn registry_serves_widest_remaining_victim_first() {
+        let registry = Arc::new(StealRegistry::default());
+        assert!(registry.serve_steal(4).is_none(), "empty registry");
+        let small = fake_inflight(&registry, 1, 1, 10.0, 2);
+        let big = fake_inflight(&registry, 2, 4, 20.0, 6);
+        assert_eq!(registry.in_flight(), 2);
+        let w = registry.serve_steal(2).expect("stealable work");
+        assert_eq!(w.query_id, 2, "most remaining queues wins");
+        assert_eq!(w.batch_ids, vec![5, 4], "rightmost batches, Nsend=2");
+        assert_eq!(w.bsf_sq, 20.0);
+        // After the big query finishes, the small one becomes the victim.
+        big.view().test_finish();
+        drop(big);
+        let w = registry.serve_steal(8).expect("small query still live");
+        assert_eq!(w.query_id, 1);
+        assert_eq!(w.batch_ids, vec![1, 0]);
+        // Everything stolen: nothing left to serve.
+        assert!(registry.serve_steal(1).is_none());
+        drop(small);
+        assert_eq!(registry.in_flight(), 0);
+    }
+
+    #[test]
+    fn registry_ties_break_by_wider_lane() {
+        let registry = Arc::new(StealRegistry::default());
+        let _narrow = fake_inflight(&registry, 1, 1, 1.0, 4);
+        let _wide = fake_inflight(&registry, 2, 3, 2.0, 4);
+        let w = registry.serve_steal(1).expect("stealable");
+        assert_eq!(w.query_id, 2, "equal remaining: wider lane wins");
+    }
+
+    #[test]
+    fn registry_never_serves_finished_or_unpublished_queries() {
+        let registry = Arc::new(StealRegistry::default());
+        // Registered but still traversing: not stealable.
+        let grant = registry.register(
+            7,
+            2,
+            Arc::new(SharedBsf::new(1.0, None)) as Arc<dyn ResultSet + Send + Sync>,
+        );
+        grant.view().test_init(4);
+        assert!(registry.serve_steal(4).is_none(), "traversal phase");
+        grant.view().test_publish(vec![0, 1, 2, 3]);
+        grant.view().test_finish();
+        assert!(registry.serve_steal(4).is_none(), "done phase");
+    }
+
+    #[test]
+    fn registry_recycles_views_across_registrations() {
+        let registry = Arc::new(StealRegistry::default());
+        let g = fake_inflight(&registry, 0, 1, 1.0, 3);
+        assert_eq!(registry.spare_view_count(), 0);
+        drop(g);
+        assert_eq!(registry.spare_view_count(), 1, "view parked for reuse");
+        // The recycled view comes back reset: a fresh registration can
+        // re-init it at a different batch count and steal normally.
+        let g = fake_inflight(&registry, 1, 1, 1.0, 5);
+        assert_eq!(registry.spare_view_count(), 0, "spare taken");
+        let w = registry.serve_steal(10).expect("recycled view serves");
+        assert_eq!(w.batch_ids, vec![4, 3, 2, 1, 0]);
+        drop(g);
+    }
+
+    #[test]
+    fn installed_service_hook_fires_during_queries() {
+        let idx = build(600);
+        let engine = BatchEngine::new(Arc::clone(&idx), 2);
+        let calls = Arc::new(AtomicUsize::new(0));
+        {
+            let calls = Arc::clone(&calls);
+            engine.steal_registry().install_service(Arc::new(move |reg| {
+                // The in-flight query is visible to the hook.
+                assert!(reg.in_flight() >= 1);
+                calls.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let q = walk_dataset(1, 64, 99).series(0).to_vec();
+        let out = engine.exact(&q, &SearchParams::new(2));
+        assert!(
+            (out.answer.distance - idx.brute_force(&q).distance).abs() < 1e-9,
+            "hook must not disturb the answer"
+        );
+        assert!(
+            calls.load(Ordering::Relaxed) > 0,
+            "workers service the hook between queue claims"
+        );
+        engine.steal_registry().clear_service();
+        let before = calls.load(Ordering::Relaxed);
+        let _ = engine.exact(&q, &SearchParams::new(2));
+        assert_eq!(calls.load(Ordering::Relaxed), before, "hook cleared");
+        assert_eq!(engine.steal_registry().in_flight(), 0);
     }
 }

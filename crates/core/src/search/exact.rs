@@ -157,6 +157,16 @@ impl StealView {
         self.phase.store(PHASE_DONE, Ordering::Release);
     }
 
+    /// Returns the view to its pre-`init` state so its allocations can
+    /// serve another query (the recycling path of the engine's
+    /// [`StealRegistry`](super::engine::StealRegistry)).
+    pub(crate) fn reset(&mut self) {
+        *self.phase.get_mut() = PHASE_TRAVERSAL;
+        *self.pq_cnt.get_mut() = 0;
+        let _ = self.stolen.take();
+        self.pq_batches.get_mut().clear();
+    }
+
     #[inline]
     fn is_stolen(&self, batch_id: usize) -> bool {
         self.stolen
@@ -193,6 +203,19 @@ impl StealView {
     #[doc(hidden)]
     pub fn test_publish(&self, batch_ids: Vec<usize>) {
         self.publish_queues(batch_ids);
+    }
+
+    /// Test/simulation helper: claims one queue, as a processing-phase
+    /// worker would.
+    #[doc(hidden)]
+    pub fn test_claim(&self) {
+        self.pq_cnt.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Test/simulation helper: performs the engine's completion step.
+    #[doc(hidden)]
+    pub fn test_finish(&self) {
+        self.finish();
     }
 
     /// Attempts to take away up to `nsend` RS-batches (Algorithm 3,

@@ -20,21 +20,35 @@
 //!   worker, exposing [`LaneCtx::run_query`] — the exact same
 //!   three-phase [`ExecShared`] body as the sequential paths, run at the
 //!   lane's width. Answers are therefore bit-identical to
-//!   `run_batch`: exactness never depended on the thread count.
+//!   `run_batch`: exactness never depended on the thread count;
+//! * **intra-round re-admission**: lane queues are shared, so a lane
+//!   that drains early claims queries from the round's still-loaded
+//!   lanes instead of idling at the round barrier
+//!   ([`RoundSpec::readmission`]).
+//!
+//! Every lane query is registered with the engine's
+//! [`StealRegistry`](super::engine::StealRegistry), so inter-node
+//! work-stealing keeps operating while lanes are in flight: the lane
+//! driver [`LaneCtx::admit`]s each query and workers serve pending
+//! steal requests cooperatively mid-round.
 //!
 //! *Which* queries deserve which width is a policy question; the
 //! `odyssey-sched` admission module builds plans from per-query cost
 //! predictions (easy → narrow lane, hard → the full pool).
 
 use super::bsf::ResultSet;
-use super::engine::{erase_job, BatchAnswer, BatchItem, BatchQuery, Job, JobRef, QueryKind};
-use super::exact::{seed_ed, ExecShared, SearchParams, SearchStats, StealView};
+use super::engine::{
+    erase_job, BatchAnswer, BatchItem, BatchQuery, InflightQuery, Job, JobRef, QueryKind,
+    StealRegistry,
+};
+use super::exact::{seed_ed, ExecShared, SearchParams, SearchStats};
 use super::kernel::QueryKernel;
 use super::knn::seed_knn;
 use super::scratch::WorkerScratch;
 use crate::index::Index;
 use crate::search::dtw_search::seed_dtw;
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::{Arc, Barrier};
 
 /// One worker group of a [`RoundSpec`]: `width` pool threads answering
@@ -54,9 +68,23 @@ pub struct RoundSpec {
     /// The round's lanes, assigned to pool threads in order: lane 0
     /// gets tids `0..w0`, lane 1 gets `w0..w0+w1`, and so on.
     pub lanes: Vec<LaneSpec>,
+    /// Intra-round re-admission: a lane that drains its own queue early
+    /// claims queued queries from the round's still-loaded lanes (most
+    /// remaining first, taken from the victim's tail) instead of idling
+    /// at the round barrier. Changes *where* a query runs, never its
+    /// answer.
+    pub readmission: bool,
 }
 
 impl RoundSpec {
+    /// A round over the given lanes with re-admission enabled.
+    pub fn new(lanes: Vec<LaneSpec>) -> Self {
+        RoundSpec {
+            lanes,
+            readmission: true,
+        }
+    }
+
     /// Panics unless the lane widths exactly partition a `pool`-thread
     /// engine.
     pub fn validate_pool(&self, pool: usize) {
@@ -89,12 +117,10 @@ impl ConcurrentPlan {
             return ConcurrentPlan::default();
         }
         ConcurrentPlan {
-            rounds: vec![RoundSpec {
-                lanes: vec![LaneSpec {
-                    width: pool.max(1),
-                    queries: order.to_vec(),
-                }],
-            }],
+            rounds: vec![RoundSpec::new(vec![LaneSpec {
+                width: pool.max(1),
+                queries: order.to_vec(),
+            }])],
         }
     }
 
@@ -129,7 +155,7 @@ impl ConcurrentPlan {
             last.width += pool - assigned;
         }
         ConcurrentPlan {
-            rounds: vec![RoundSpec { lanes }],
+            rounds: vec![RoundSpec::new(lanes)],
         }
     }
 
@@ -224,11 +250,16 @@ pub(crate) struct LaneRuntime {
     lanes: Vec<LaneState>,
     /// `tid -> (lane, rank within lane)`.
     membership: Vec<(usize, usize)>,
+    /// Per-lane pending queries. Shared (not per-rank-0-local) so a
+    /// drained lane can re-admit work from its siblings.
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    readmission: bool,
 }
 
 impl LaneRuntime {
     pub(crate) fn new(round: &RoundSpec) -> Self {
         let mut membership = Vec::new();
+        let mut queues = Vec::with_capacity(round.lanes.len());
         let lanes = round
             .lanes
             .iter()
@@ -237,6 +268,7 @@ impl LaneRuntime {
                 for rank in 0..spec.width {
                     membership.push((l, rank));
                 }
+                queues.push(Mutex::new(spec.queries.iter().copied().collect()));
                 LaneState {
                     width: spec.width,
                     barrier: Barrier::new(spec.width),
@@ -244,7 +276,38 @@ impl LaneRuntime {
                 }
             })
             .collect();
-        LaneRuntime { lanes, membership }
+        LaneRuntime {
+            lanes,
+            membership,
+            queues,
+            readmission: round.readmission,
+        }
+    }
+
+    /// The next query for lane `l`: its own queue first; once that is
+    /// drained (and re-admission is on), the tail of the round's most
+    /// loaded sibling lane — intra-round re-admission, so no lane idles
+    /// at the round barrier while another still has queries queued.
+    fn next_query(&self, l: usize) -> Option<usize> {
+        if let Some(qi) = self.queues[l].lock().pop_front() {
+            return Some(qi);
+        }
+        if !self.readmission {
+            return None;
+        }
+        loop {
+            let victim = (0..self.queues.len())
+                .filter(|&o| o != l)
+                .map(|o| (self.queues[o].lock().len(), o))
+                .filter(|&(n, _)| n > 0)
+                // Most remaining queries first; ties to the lowest lane.
+                .max_by_key(|&(n, o)| (n, usize::MAX - o))?;
+            // Raced pops can empty the victim between the scan and the
+            // claim; rescan (queues only shrink, so this terminates).
+            if let Some(qi) = self.queues[victim.1].lock().pop_back() {
+                return Some(qi);
+            }
+        }
     }
 
     /// The per-pool-thread body of one round: rank-0 members drive their
@@ -259,7 +322,7 @@ impl LaneRuntime {
         tid: usize,
         scratch: &mut WorkerScratch,
         index: &Arc<Index>,
-        round: &RoundSpec,
+        registry: &Arc<StealRegistry>,
         driver: &F,
     ) where
         F: Fn(&mut LaneCtx, usize) + Sync,
@@ -271,9 +334,10 @@ impl LaneRuntime {
                 let mut ctx = LaneCtx {
                     lane,
                     index,
+                    registry,
                     scratch,
                 };
-                for &qi in &round.lanes[l].queries {
+                while let Some(qi) = self.next_query(l) {
                     driver(&mut ctx, qi);
                 }
             }
@@ -289,6 +353,7 @@ impl LaneRuntime {
 pub struct LaneCtx<'e, 's> {
     lane: &'e LaneState,
     index: &'e Arc<Index>,
+    registry: &'e Arc<StealRegistry>,
     scratch: &'s mut WorkerScratch,
 }
 
@@ -303,34 +368,56 @@ impl LaneCtx<'_, '_> {
         self.index
     }
 
-    /// Runs one query on this lane's worker group. Mirrors
+    /// The engine's steal service (shared by all lanes and the pool).
+    pub fn steal_registry(&self) -> &Arc<StealRegistry> {
+        self.registry
+    }
+
+    /// Registers a lane query with the engine's steal service at this
+    /// lane's width (see
+    /// [`BatchEngine::admit`](super::engine::BatchEngine::admit)).
+    pub fn admit(
+        &self,
+        query_id: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+    ) -> InflightQuery {
+        self.registry.register(query_id, self.lane.width, results)
+    }
+
+    /// Runs one admitted query on this lane's worker group. Mirrors
     /// [`BatchEngine::run_query`](super::engine::BatchEngine::run_query)
-    /// — same three-phase engine, same hook surface — except
+    /// — same three-phase engine, same hook surface, same
+    /// engine-provided steal view and cooperative service — except
     /// `params.n_threads` is overridden by the **lane width**, so the
     /// query only ever touches this group's workers.
-    #[allow(clippy::too_many_arguments)]
     pub fn run_query<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
         &mut self,
         kernel: &K,
         params: &SearchParams,
         results: &R,
         batch_subset: Option<&[usize]>,
-        view: &StealView,
+        query: &InflightQuery,
         on_improve: &(dyn Fn(f64, u32) + Sync),
-        service: &(dyn Fn() + Sync),
     ) -> SearchStats {
         let lane = self.lane;
         let mut eff = *params;
         eff.n_threads = lane.width;
+        let hook = self.registry.service_hook();
+        let registry = &**self.registry;
+        let service = move || {
+            if let Some(h) = &hook {
+                h(registry);
+            }
+        };
         let shared = ExecShared::new(
             self.index,
             kernel,
             &eff,
             results,
             batch_subset,
-            view,
+            query.view(),
             on_improve,
-            service,
+            &service,
         );
         if shared.has_work() {
             lane.run(
@@ -343,15 +430,22 @@ impl LaneCtx<'_, '_> {
 
     /// Answers one [`BatchQuery`] on the lane — the concurrent analogue
     /// of the per-kind arms in
-    /// [`run_batch`](super::engine::BatchEngine::run_batch).
-    pub fn execute(&mut self, query: &BatchQuery, params: &SearchParams) -> BatchItem {
+    /// [`run_batch`](super::engine::BatchEngine::run_batch) — registered
+    /// with the steal service under `query_id` (its batch index).
+    pub fn execute(
+        &mut self,
+        query_id: usize,
+        query: &BatchQuery,
+        params: &SearchParams,
+    ) -> BatchItem {
         let index = self.index;
         match query.kind {
             QueryKind::Exact => {
                 let (kernel, bsf, initial) = seed_ed(index, query.data);
-                let view = StealView::new();
-                let mut stats =
-                    self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+                let bsf = Arc::new(bsf);
+                let grant =
+                    self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+                let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
                 stats.initial_bsf = initial;
                 BatchItem {
                     answer: BatchAnswer::Nn(bsf.answer()),
@@ -360,9 +454,10 @@ impl LaneCtx<'_, '_> {
             }
             QueryKind::Knn(k) => {
                 let (kernel, knn) = seed_knn(index, query.data, k);
-                let view = StealView::new();
-                let stats =
-                    self.run_query(&kernel, params, &knn, None, &view, &|_, _| {}, &|| {});
+                let knn = Arc::new(knn);
+                let grant =
+                    self.admit(query_id, Arc::clone(&knn) as Arc<dyn ResultSet + Send + Sync>);
+                let stats = self.run_query(&kernel, params, &*knn, None, &grant, &|_, _| {});
                 BatchItem {
                     answer: BatchAnswer::Knn(knn.snapshot()),
                     stats,
@@ -370,9 +465,10 @@ impl LaneCtx<'_, '_> {
             }
             QueryKind::Dtw(window) => {
                 let (kernel, bsf, initial) = seed_dtw(index, query.data, window);
-                let view = StealView::new();
-                let mut stats =
-                    self.run_query(&kernel, params, &bsf, None, &view, &|_, _| {}, &|| {});
+                let bsf = Arc::new(bsf);
+                let grant =
+                    self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+                let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
                 stats.initial_bsf = initial;
                 BatchItem {
                     answer: BatchAnswer::Nn(bsf.answer()),
@@ -423,12 +519,10 @@ mod tests {
     #[should_panic(expected = "partition the 4-thread pool")]
     fn validate_rejects_underfull_round() {
         let p = ConcurrentPlan {
-            rounds: vec![RoundSpec {
-                lanes: vec![LaneSpec {
-                    width: 3,
-                    queries: vec![0],
-                }],
-            }],
+            rounds: vec![RoundSpec::new(vec![LaneSpec {
+                width: 3,
+                queries: vec![0],
+            }])],
         };
         p.validate(4, 1);
     }
@@ -437,18 +531,16 @@ mod tests {
     #[should_panic(expected = "names query 0 twice")]
     fn validate_rejects_duplicate_query() {
         let p = ConcurrentPlan {
-            rounds: vec![RoundSpec {
-                lanes: vec![
-                    LaneSpec {
-                        width: 1,
-                        queries: vec![0],
-                    },
-                    LaneSpec {
-                        width: 1,
-                        queries: vec![0],
-                    },
-                ],
-            }],
+            rounds: vec![RoundSpec::new(vec![
+                LaneSpec {
+                    width: 1,
+                    queries: vec![0],
+                },
+                LaneSpec {
+                    width: 1,
+                    queries: vec![0],
+                },
+            ])],
         };
         p.validate(2, 1);
     }

@@ -20,7 +20,11 @@
 //!   ([`AdmissionConfig::easy_width`] workers each) and are packed onto
 //!   lanes greedily by descending estimate onto the least-loaded lane
 //!   (LPT — the same greedy the PREDICT-ST scheduler uses across
-//!   nodes), so lane makespans balance.
+//!   nodes), so lane makespans balance. Estimates are still estimates,
+//!   so plans default to **intra-round re-admission**
+//!   ([`AdmissionConfig::readmission`]): a lane that drains early
+//!   claims queued queries from the round's still-loaded lanes at run
+//!   time instead of idling at the round barrier.
 //!
 //! The controller also carries the sigmoid threshold model of Figure 6
 //! ([`ThresholdModel`]) and predicts a per-query priority-queue
@@ -48,6 +52,11 @@ pub struct AdmissionConfig {
     /// Upper bound on concurrent lanes (`usize::MAX` = only limited by
     /// the pool).
     pub max_lanes: usize,
+    /// Intra-round re-admission: lanes that drain early claim queued
+    /// queries from the round's still-loaded lanes instead of idling at
+    /// the round barrier (see
+    /// [`RoundSpec::readmission`](odyssey_core::search::multiq::RoundSpec)).
+    pub readmission: bool,
 }
 
 impl Default for AdmissionConfig {
@@ -57,6 +66,7 @@ impl Default for AdmissionConfig {
             hard_ratio: 2.0,
             hard_cutoff: None,
             max_lanes: usize::MAX,
+            readmission: true,
         }
     }
 }
@@ -86,6 +96,12 @@ impl AdmissionConfig {
     pub fn with_max_lanes(mut self, n: usize) -> Self {
         assert!(n >= 1);
         self.max_lanes = n;
+        self
+    }
+
+    /// Toggles intra-round re-admission.
+    pub fn with_readmission(mut self, on: bool) -> Self {
+        self.readmission = on;
         self
     }
 
@@ -129,12 +145,14 @@ pub fn plan_lanes(estimates: &[f64], pool: usize, config: &AdmissionConfig) -> C
 
     let mut rounds = Vec::new();
     if !hard.is_empty() {
-        rounds.push(RoundSpec {
-            lanes: vec![LaneSpec {
-                width: pool,
-                queries: hard,
-            }],
-        });
+        // A single full-pool lane has no siblings to re-admit from; the
+        // flag only matters once plans grow multi-lane hard tiers.
+        let mut round = RoundSpec::new(vec![LaneSpec {
+            width: pool,
+            queries: hard,
+        }]);
+        round.readmission = config.readmission;
+        rounds.push(round);
     }
     if !easy.is_empty() {
         rounds.push(easy_round(&easy, estimates, pool, config));
@@ -182,7 +200,9 @@ fn easy_round(
         lanes[lane].queries.push(q);
         load[lane] += estimates[q];
     }
-    RoundSpec { lanes }
+    let mut round = RoundSpec::new(lanes);
+    round.readmission = config.readmission;
+    round
 }
 
 /// The admission controller: lane planning plus the per-query `TH`

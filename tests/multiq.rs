@@ -11,14 +11,19 @@
 
 #![recursion_limit = "1024"]
 
+use odyssey::cluster::{ClusterConfig, OdysseyCluster, Replication, SchedulerKind};
+use odyssey::core::search::bsf::{ResultSet, SharedBsf};
 use odyssey::core::index::{Index, IndexConfig};
-use odyssey::core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
+use odyssey::core::search::engine::{
+    BatchAnswer, BatchEngine, BatchQuery, QueryKind, StealRegistry,
+};
 use odyssey::core::search::exact::SearchParams;
 use odyssey::core::search::multiq::ConcurrentPlan;
 use odyssey::sched::admission::{plan_lanes, AdmissionConfig};
 use odyssey::workloads::generator::random_walk;
 use odyssey::workloads::queries::{QueryWorkload, WorkloadKind};
 use proptest::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 fn setup() -> (Arc<Index>, QueryWorkload, QueryWorkload) {
@@ -165,6 +170,90 @@ fn concurrent_engine_reuse_is_stable_across_batches() {
     assert_bit_identical(&seq, &second, "sequential interleave");
 }
 
+#[test]
+fn readmission_off_stays_bit_identical() {
+    // Intra-round re-admission moves queries between lanes but must
+    // never change an answer: plans built with the knob off and on
+    // agree with each other and with the sequential pool.
+    let (index, easy, hard) = setup();
+    let batch = mixed_batch(&easy, &hard);
+    let order: Vec<usize> = (0..batch.len()).collect();
+    let estimates: Vec<f64> = batch
+        .iter()
+        .map(|q| index.approx_search(q.data).distance)
+        .collect();
+    let engine = BatchEngine::new(Arc::clone(&index), 4);
+    let params = SearchParams::new(4).with_th(32);
+    let seq = engine.run_batch(&batch, &order, &params);
+    for readmission in [false, true] {
+        let cfg = AdmissionConfig::default()
+            .with_easy_width(1)
+            .with_readmission(readmission);
+        let plan = plan_lanes(&estimates, 4, &cfg);
+        for round in &plan.rounds {
+            assert_eq!(round.readmission, readmission);
+        }
+        let conc = engine.run_batch_concurrent(&batch, &plan, &params);
+        assert_bit_identical(&seq, &conc, &format!("readmission={readmission}"));
+    }
+}
+
+/// The headline composition of this refactor: inter-query lanes and
+/// inter-node work-stealing running **together** on a replicated
+/// cluster, answers bit-identical to the all-mechanisms-off sequential
+/// pool path, at every pool size.
+#[test]
+fn cluster_lanes_with_stealing_match_sequential_pool() {
+    let data = random_walk(1400, 64, 0xBEEF);
+    let w = QueryWorkload::generate(
+        &data,
+        12,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.4,
+            noise: 0.04,
+        },
+        17,
+    );
+    let base = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4)
+            .with_replication(Replication::Partial(2))
+            .with_scheduler(SchedulerKind::PredictDn)
+            .with_work_stealing(true)
+            .with_inter_query_lanes(true)
+            .with_lane_window(5)
+            .with_leaf_capacity(64),
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let laned = base
+            .reconfigured(|c| c.with_threads_per_node(threads))
+            .answer_batch(&w.queries);
+        let sequential = base
+            .reconfigured(|c| {
+                c.with_threads_per_node(threads)
+                    .with_work_stealing(false)
+                    .with_inter_query_lanes(false)
+            })
+            .answer_batch(&w.queries);
+        for qi in 0..w.len() {
+            let q = w.query(qi);
+            let mut want = f64::INFINITY;
+            for i in 0..data.num_series() {
+                want = want.min(odyssey::core::distance::euclidean_sq(q, data.series(i)));
+            }
+            assert!(
+                (laned.answers[qi].distance_sq - want).abs() < 1e-9,
+                "threads={threads} query {qi}: lanes+stealing vs brute force"
+            );
+            assert_eq!(
+                laned.answers[qi].distance.to_bits(),
+                sequential.answers[qi].distance.to_bits(),
+                "threads={threads} query {qi}: lanes+stealing vs sequential pool"
+            );
+        }
+    }
+}
+
 fn flat_sorted_queries(plan: &ConcurrentPlan) -> Vec<usize> {
     let mut qs: Vec<usize> = plan
         .rounds
@@ -230,5 +319,105 @@ proptest! {
             flat_sorted_queries(&plan),
             (0..n_queries).collect::<Vec<_>>()
         );
+    }
+
+    // The engine-resident steal service never hands out the same
+    // RS-batch of a query twice, never serves a query outside its
+    // processing phase, and never serves one past completion
+    // (deregistration) — for arbitrary interleavings of publishes,
+    // queue claims, steals, and completions.
+    #[test]
+    fn steal_registry_never_double_serves(
+        nsbs in proptest::collection::vec(1usize..8, 1..5),
+        widths in proptest::collection::vec(1usize..5, 1..5),
+        ops in proptest::collection::vec(0u32..1_000_000, 0..60),
+    ) {
+        let registry = Arc::new(StealRegistry::default());
+        let nq = nsbs.len();
+        let shapes: Vec<(usize, usize)> = (0..nq)
+            .map(|q| (nsbs[q], widths[q % widths.len()]))
+            .collect();
+        let mut grants: Vec<Option<_>> = (0..nq)
+            .map(|qid| {
+                Some(registry.register(
+                    qid,
+                    shapes[qid].1,
+                    Arc::new(SharedBsf::new(qid as f64, None))
+                        as Arc<dyn ResultSet + Send + Sync>,
+                ))
+            })
+            .collect();
+        let mut published = vec![false; nq];
+        let mut finished = vec![false; nq];
+        let mut served: Vec<HashSet<usize>> = vec![HashSet::new(); nq];
+        for &op in &ops {
+            let kind = (op % 4) as u8;
+            let q = (op as usize / 4) % nq;
+            let nsend = 1 + (op as usize / 64) % 6;
+            match kind {
+                // Enter the processing phase.
+                0 => {
+                    if let Some(g) = &grants[q] {
+                        if !published[q] {
+                            let nsb = shapes[q].0;
+                            g.view().test_init(nsb);
+                            g.view().test_publish((0..nsb).collect());
+                            published[q] = true;
+                        }
+                    }
+                }
+                // A worker claims one queue.
+                1 => {
+                    if let Some(g) = &grants[q] {
+                        if published[q] {
+                            g.view().test_claim();
+                        }
+                    }
+                }
+                // A thief asks the registry.
+                2 => {
+                    if let Some(w) = registry.serve_steal(nsend) {
+                        prop_assert!(w.query_id < nq, "served id is live");
+                        prop_assert!(
+                            grants[w.query_id].is_some() && !finished[w.query_id],
+                            "served query {} past completion",
+                            w.query_id
+                        );
+                        prop_assert!(published[w.query_id], "only processing-phase victims");
+                        prop_assert!(!w.batch_ids.is_empty());
+                        prop_assert!(w.batch_ids.len() <= nsend);
+                        prop_assert_eq!(w.bsf_sq, w.query_id as f64);
+                        for b in w.batch_ids {
+                            prop_assert!(b < shapes[w.query_id].0, "batch id in range");
+                            prop_assert!(
+                                served[w.query_id].insert(b),
+                                "RS-batch {} of query {} served twice",
+                                b,
+                                w.query_id
+                            );
+                        }
+                    }
+                }
+                // The query completes and deregisters.
+                _ => {
+                    if let Some(g) = grants[q].take() {
+                        g.view().test_finish();
+                        finished[q] = true;
+                        drop(g);
+                    }
+                }
+            }
+        }
+        // Drain: whatever is still live and published can be stolen at
+        // most once per remaining batch, then the registry runs dry.
+        while let Some(w) = registry.serve_steal(2) {
+            prop_assert!(!finished[w.query_id]);
+            for b in w.batch_ids {
+                prop_assert!(served[w.query_id].insert(b));
+            }
+        }
+        drop(grants);
+        prop_assert_eq!(registry.in_flight(), 0);
+        prop_assert!(registry.serve_steal(1).is_none());
     }
 }
