@@ -20,6 +20,9 @@
 //! comparison about the *distributed* design — the quantity Figure 17d
 //! isolates.
 
+#![forbid(unsafe_code)]
+
+
 pub mod dmessi;
 pub mod dpisax;
 

@@ -31,6 +31,9 @@
 //! kernels plus three ablations of DESIGN.md §5: RS-batch counts, the
 //! queue-size threshold, and traversal helping.
 
+#![forbid(unsafe_code)]
+
+
 use odyssey_cluster::{BatchReport, ClusterConfig};
 use odyssey_core::series::DatasetBuffer;
 use odyssey_workloads::generator;

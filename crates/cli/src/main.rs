@@ -13,6 +13,9 @@
 //! community's exchange format); indexes use the `odyssey-core` persisted
 //! format.
 
+#![forbid(unsafe_code)]
+
+
 mod args;
 mod commands;
 

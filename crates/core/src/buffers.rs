@@ -39,7 +39,7 @@ impl Summaries {
         // Claim fixed-size stripes of series with Fetch&Add, writing into
         // disjoint regions of the output (no synchronization on the data).
         const STRIPE: usize = 1024;
-        let sax_ptr = SendPtr(sax.as_mut_ptr());
+        let sax_ptr = SendPtr::new(&mut sax);
         std::thread::scope(|scope| {
             for _ in 0..n_threads {
                 let next = &next;
@@ -118,17 +118,50 @@ impl Summaries {
     }
 }
 
-/// Pointer wrapper asserting cross-thread Send for the disjoint-stripe
-/// write pattern used in [`Summaries::compute`].
-struct SendPtr(*mut u8);
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+/// Pointer into a borrowed output byte array, shared across the worker
+/// threads of [`Summaries::compute`] for its disjoint-stripe write
+/// pattern.
+///
+/// # Invariants
+///
+/// * The wrapper holds the `&'a mut [u8]` borrow it was built from (via
+///   `PhantomData`), so the pointer cannot outlive — or alias a safe
+///   re-borrow of — the buffer while any thread still holds it.
+/// * Writers derive accesses only through [`Summaries::compute`]'s
+///   stripe claiming (`fetch_add` over series ids), so any two threads
+///   always touch pairwise-disjoint byte ranges.
+#[derive(Debug)]
+struct SendPtr<'a>(*mut u8, std::marker::PhantomData<&'a mut [u8]>);
+
+impl<'a> SendPtr<'a> {
+    fn new(target: &'a mut [u8]) -> Self {
+        SendPtr(target.as_mut_ptr(), std::marker::PhantomData)
+    }
+}
+
+// SAFETY: the wrapped pointer is derived from an exclusive borrow that
+// the `PhantomData` keeps alive, and all concurrent writes through it
+// go to pairwise-disjoint ranges (see the type invariants), so moving
+// the handle to — and sharing it with — other threads cannot race.
+unsafe impl Send for SendPtr<'_> {}
+// SAFETY: as above — `&SendPtr` only exposes writes to disjoint ranges.
+unsafe impl Sync for SendPtr<'_> {}
 
 /// Packs the top bit of each SAX symbol into a root-word key, MSB-first
 /// (segment 0 is the most significant bit).
+///
+/// # Panics
+/// Panics if the word has more than 64 segments — the key would
+/// silently shift high segments out of the `u64`, scattering series
+/// across wrong buffers. Checked in release builds too: persisted
+/// indexes pass externally-supplied words through here.
 #[inline]
 pub fn root_key_of_sax(sax: &[u8]) -> u64 {
-    debug_assert!(sax.len() <= 64);
+    assert!(
+        sax.len() <= 64,
+        "SAX word has {} segments; root keys support at most 64",
+        sax.len()
+    );
     let mut key = 0u64;
     for &s in sax {
         key = (key << 1) | (s >> (MAX_CARD_BITS - 1)) as u64;

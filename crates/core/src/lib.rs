@@ -44,6 +44,18 @@
 //! let answer = index.exact_search(&query, 2);
 //! assert!(answer.distance >= 0.0);
 //! ```
+//!
+//! ## Unsafe policy
+//!
+//! This crate is one of the two workspace crates allowed to contain
+//! `unsafe` (the other is `odyssey-cluster`, which contains none
+//! today). Every `unsafe` block or impl must carry a `// SAFETY:`
+//! comment, and `unsafe` may only appear in the modules whitelisted by
+//! the repo lint (`cargo run -p xtask -- lint`): [`buffers`], [`tree`],
+//! [`search::engine`], and [`search::scratch`].
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(missing_debug_implementations)]
 
 pub mod buffers;
 pub mod distance;
@@ -55,6 +67,7 @@ pub mod sax;
 pub mod search;
 pub mod series;
 pub mod subsequence;
+pub mod sync;
 pub mod tree;
 
 pub use index::{Index, IndexConfig};

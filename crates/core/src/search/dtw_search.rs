@@ -31,6 +31,7 @@ use crate::sax::{IsaxWord, MindistTable};
 /// so every table-based bound equals the interval-gap arithmetic the
 /// kernel previously evaluated per candidate — and stays below
 /// LB_Keogh, hence below DTW (the soundness chain).
+#[derive(Debug)]
 pub struct DtwKernel<'q> {
     query: &'q [f32],
     env: LbKeoghEnvelope,

@@ -49,9 +49,10 @@ use super::knn::seed_knn;
 use super::multiq::{ConcurrentPlan, LaneCtx, LaneRuntime, RoundSpec};
 use super::scratch::WorkerScratch;
 use crate::index::Index;
+use crate::sync::PhaseBarrier;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -140,6 +141,15 @@ pub struct BatchEngine {
     registry: Arc<StealRegistry>,
 }
 
+impl std::fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("n_threads", &self.pool.n_threads)
+            .field("in_flight", &self.registry.in_flight())
+            .finish_non_exhaustive()
+    }
+}
+
 impl BatchEngine {
     /// Creates an engine with `n_threads` total execution threads (the
     /// submitting thread counts as one; `n_threads - 1` workers are
@@ -204,11 +214,13 @@ impl BatchEngine {
     /// claims.
     ///
     /// # Panics
-    /// A panic raised by a hook (or the engine body) during the queue
-    /// processing phase propagates to the caller after all workers have
-    /// finished the query. A panic *between the phase barriers* instead
-    /// deadlocks the pool — the same contract as the scoped per-query
-    /// driver, whose threads also block on a shared barrier.
+    /// A panic raised by a hook (or the engine body) on any participant
+    /// propagates to the caller after all workers have finished the
+    /// query. A panic between the phase barriers *poisons* the pool's
+    /// [`PhaseBarrier`], so the surviving workers abort the round with
+    /// a clear message instead of deadlocking on a party that will
+    /// never arrive (the pool resets the barrier afterwards and stays
+    /// usable).
     pub fn run_query<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
         &self,
         kernel: &K,
@@ -409,8 +421,10 @@ impl BatchEngine {
     ///
     /// # Panics
     /// Panics if the round's lane widths do not exactly partition the
-    /// pool. A panic inside `driver` or a hook deadlocks the panicking
-    /// lane (the group-barrier contract of [`BatchEngine::run_query`]).
+    /// pool. A panic inside `driver` or a hook poisons the lane's
+    /// [`PhaseBarrier`], aborting that lane's round instead of
+    /// deadlocking it (the group-barrier contract of
+    /// [`BatchEngine::run_query`]).
     pub fn run_concurrent<F>(&self, round: &RoundSpec, driver: &F)
     where
         F: Fn(&mut LaneCtx, usize) + Sync,
@@ -529,6 +543,15 @@ pub struct StealRegistry {
     spare_views: Mutex<Vec<StealView>>,
     hook: RwLock<Option<StealServiceHook>>,
     next_token: AtomicU64,
+}
+
+impl std::fmt::Debug for StealRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealRegistry")
+            .field("in_flight", &self.in_flight())
+            .field("spare_views", &self.spare_view_count())
+            .finish_non_exhaustive()
+    }
 }
 
 impl StealRegistry {
@@ -677,7 +700,19 @@ impl StealRegistry {
     }
 
     fn deregister(&self, token: u64, view: Arc<StealView>) {
-        lock_plain(&self.inflight).retain(|e| e.token != token);
+        {
+            let mut inflight = lock_plain(&self.inflight);
+            let before = inflight.len();
+            inflight.retain(|e| e.token != token);
+            // Contract check: every grant deregisters exactly the entry
+            // it registered — a miss means a double drop or a token
+            // collision, both protocol violations.
+            debug_assert_eq!(
+                before - inflight.len(),
+                1,
+                "InflightQuery deregistered a query the registry does not hold"
+            );
+        }
         // Recycle the view allocation if this was the last reference
         // (a manager holding a snapshot clone just forfeits the spare).
         if let Ok(mut view) = Arc::try_unwrap(view) {
@@ -705,6 +740,15 @@ pub struct InflightQuery {
     view: Option<Arc<StealView>>,
     token: u64,
     query_id: usize,
+}
+
+impl std::fmt::Debug for InflightQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InflightQuery")
+            .field("query_id", &self.query_id)
+            .field("token", &self.token)
+            .finish_non_exhaustive()
+    }
 }
 
 impl InflightQuery {
@@ -740,16 +784,48 @@ pub(crate) type JobRef<'f> = &'f (dyn Fn(usize, &mut WorkerScratch) + Sync + 'f)
 #[derive(Clone, Copy)]
 pub(crate) struct Job(pub(crate) &'static (dyn Fn(usize, &mut WorkerScratch) + Sync + 'static));
 
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Job(..)")
+    }
+}
+
 /// Erases the borrow lifetime of a job closure.
 ///
-/// SAFETY contract (upheld by [`WorkerPool::run`] and the lane runtime
-/// in `multiq`): the returned `Job` must not be invoked after the
-/// publishing call returns — both drivers block until every
-/// participant has finished the job and clear the slot, so the erased
-/// borrow never outlives the real one.
+/// # Safety contract
+///
+/// Upheld by [`WorkerPool::run`] and the lane runtime in `multiq`: the
+/// returned `Job` must not be invoked after the publishing call
+/// returns — both drivers block until every participant has finished
+/// the job and clear the slot, so the erased borrow never outlives the
+/// real one. In debug builds the drivers additionally overwrite the
+/// cleared slot with [`poisoned_job`], so a protocol violation aborts
+/// loudly instead of dereferencing a dead stack frame.
+///
+/// This is the **only** permitted `transmute` in the workspace
+/// (enforced by `cargo run -p xtask -- lint`).
 pub(crate) fn erase_job(f: JobRef<'_>) -> Job {
+    // SAFETY: only extends the closure borrow's lifetime ('_ -> 'static,
+    // same fat-pointer layout). The publishing driver guarantees the
+    // erased reference is never dereferenced after the real borrow ends:
+    // it blocks until every participant finished the job, then clears
+    // (and in debug builds poisons) the published slot.
     Job(unsafe {
         std::mem::transmute::<JobRef<'_>, &'static (dyn Fn(usize, &mut WorkerScratch) + Sync)>(f)
+    })
+}
+
+/// A canary job written into a cleared job slot by the drivers in debug
+/// builds: any late pickup of a stale job — an epoch-protocol bug that
+/// would otherwise silently dereference a dead stack frame through the
+/// lifetime-erased pointer — invokes this instead and aborts loudly.
+#[cfg(debug_assertions)]
+pub(crate) fn poisoned_job() -> Job {
+    Job(&|_tid, _scratch| {
+        panic!(
+            "job canary invoked: a worker picked up an erased job after its \
+             round completed (pool/lane epoch protocol violated)"
+        )
     })
 }
 
@@ -770,8 +846,11 @@ struct PoolInner {
     /// The submitter waits here for job completion.
     done_cv: Condvar,
     /// Phase barrier shared by all jobs (`n_threads` parties: the
-    /// resident workers plus the submitting thread).
-    barrier: Barrier,
+    /// resident workers plus the submitting thread). Poisoned when a
+    /// participant panics mid-job so the survivors abort the round
+    /// instead of deadlocking; reset by the submitter after the pool
+    /// drains.
+    barrier: PhaseBarrier,
 }
 
 /// A fixed-size persistent thread pool executing one type-erased job at
@@ -797,7 +876,7 @@ impl WorkerPool {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
-            barrier: Barrier::new(n_threads),
+            barrier: PhaseBarrier::new(n_threads),
         });
         // Reserve a contiguous block of target cores for this pool's
         // resident workers: lanes are contiguous tid ranges, so a
@@ -836,7 +915,7 @@ impl WorkerPool {
         let resident = self.handles.len();
         if resident > 0 {
             let mut st = lock_plain(&self.inner.state);
-            debug_assert!(st.job.is_none(), "one job at a time");
+            debug_assert!(st.remaining == 0, "one job at a time");
             st.epoch += 1;
             st.job = Some(erase_job(f));
             st.remaining = resident;
@@ -847,8 +926,13 @@ impl WorkerPool {
         // finished the job: the erased `Job` borrows `f`'s closure (and
         // everything it captures) from frames above this one, so an
         // early unwind would leave workers dereferencing a dead stack.
-        // Catch, wait, then resume.
+        // Catch, poison the phase barrier (workers may be blocked there
+        // waiting for the caller — the pre-barrier-panic deadlock),
+        // wait for the pool to drain, then resume.
         let caller_outcome = catch_unwind(AssertUnwindSafe(|| f(0, &mut scratch)));
+        if caller_outcome.is_err() {
+            self.inner.barrier.poison();
+        }
         let mut worker_panicked = false;
         if resident > 0 {
             let mut st = lock_plain(&self.inner.state);
@@ -859,10 +943,22 @@ impl WorkerPool {
                     .wait(st)
                     .unwrap_or_else(PoisonError::into_inner);
             }
+            // Clear the slot; in debug builds replace the erased job
+            // with a canary so any late pickup aborts loudly instead of
+            // dereferencing this (now dead) stack frame.
             st.job = None;
+            #[cfg(debug_assertions)]
+            {
+                st.job = Some(poisoned_job());
+            }
             worker_panicked = std::mem::take(&mut st.panicked);
         }
         drop(scratch);
+        // Every participant is out of the job (and out of the barrier),
+        // so a poisoned barrier can be safely rearmed for the next job.
+        if self.inner.barrier.is_poisoned() {
+            self.inner.barrier.reset();
+        }
         if let Err(payload) = caller_outcome {
             std::panic::resume_unwind(payload);
         }
@@ -910,6 +1006,12 @@ fn worker_main(inner: &PoolInner, tid: usize, core_base: usize) {
             }
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| (job.0)(tid, &mut scratch)));
+        if outcome.is_err() {
+            // Poison before reporting completion: siblings blocked at a
+            // phase barrier must abort the round instead of waiting for
+            // this worker's (never-coming) arrival.
+            inner.barrier.poison();
+        }
         let mut st = lock_plain(&inner.state);
         if outcome.is_err() {
             st.panicked = true;
@@ -935,7 +1037,8 @@ fn reserve_core_block(n: usize) -> usize {
 
 /// Best-effort thread pinning (Linux only; a failed or unsupported call
 /// is silently ignored — pinning is an optimization, not a contract).
-#[cfg(target_os = "linux")]
+/// Compiled out under Miri, which cannot execute foreign calls.
+#[cfg(all(target_os = "linux", not(miri)))]
 fn pin_to_core(core: usize) {
     let ncpu = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -957,7 +1060,7 @@ fn pin_to_core(core: usize) {
     let _ = unsafe { sched_setaffinity(0, std::mem::size_of::<CpuSet>(), &set) };
 }
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(any(not(target_os = "linux"), miri))]
 fn pin_to_core(_core: usize) {}
 
 #[cfg(test)]
@@ -1258,6 +1361,47 @@ mod tests {
         let before = calls.load(Ordering::Relaxed);
         let _ = engine.exact(&q, &SearchParams::new(2));
         assert_eq!(calls.load(Ordering::Relaxed), before, "hook cleared");
+        assert_eq!(engine.steal_registry().in_flight(), 0);
+    }
+
+    #[test]
+    fn panicking_hook_deregisters_query_and_pool_survives() {
+        use super::super::bsf::SharedBsf;
+        let idx = build(900);
+        let engine = BatchEngine::new(Arc::clone(&idx), 2);
+        let params = SearchParams::new(2);
+        let q = walk_dataset(1, 64, 4242).series(0).to_vec();
+
+        // Seed the BSF at infinity so the very first candidate improves
+        // it, guaranteeing the on_improve hook (and its panic) fires.
+        let (kernel, _, _) = seed_ed(&idx, &q);
+        let bsf = Arc::new(SharedBsf::new(f64::INFINITY, None));
+        let grant = engine.admit(9, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+        assert_eq!(engine.steal_registry().in_flight(), 1);
+
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            engine.run_query(&kernel, &params, &*bsf, None, &grant, &|_, _| {
+                panic!("on_improve hook panic (test)")
+            })
+        }));
+        assert!(out.is_err(), "the hook panic must propagate to the caller");
+
+        // The RAII grant deregisters the query even on the panic path.
+        drop(grant);
+        assert_eq!(
+            engine.steal_registry().in_flight(),
+            0,
+            "a panicked query must not stay registered with the steal service"
+        );
+
+        // The pool's poisoned barrier was reset: the engine still
+        // answers — and exactly (no worker deadlocked mid-phase).
+        let want = idx.brute_force(&q);
+        let got = engine.exact(&q, &params);
+        assert!(
+            (got.answer.distance - want.distance).abs() < 1e-9,
+            "engine must stay usable after a mid-round panic"
+        );
         assert_eq!(engine.steal_registry().in_flight(), 0);
     }
 }

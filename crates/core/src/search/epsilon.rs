@@ -28,6 +28,14 @@ pub struct EpsilonRelaxed<'r, R: ResultSet> {
     inv_sq: f64,
 }
 
+impl<R: ResultSet> std::fmt::Debug for EpsilonRelaxed<'_, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpsilonRelaxed")
+            .field("inv_sq", &self.inv_sq)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'r, R: ResultSet> EpsilonRelaxed<'r, R> {
     /// Wraps `inner` with relaxation factor `epsilon >= 0`.
     pub fn new(inner: &'r R, epsilon: f64) -> Self {

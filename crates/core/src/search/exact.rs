@@ -23,10 +23,11 @@ use super::pqueue::{BoundedPqSet, LeafPq};
 use super::scratch::{WorkerScratch, MAX_SPARE_HEAPS, MAX_SPARE_HEAP_CAP};
 use crate::index::Index;
 use crate::layout::LeafLayout;
+use crate::sync::PhaseBarrier;
 use crate::tree::{Node, RootSubtree};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Barrier, OnceLock};
+use std::sync::OnceLock;
 
 /// Number of RS-batches handed over per steal request; the paper found 4
 /// to be the sweet spot (Section 3.2.2).
@@ -142,6 +143,16 @@ impl StealView {
     }
 
     fn init(&self, nsb: usize) {
+        // Contract: a view may carry *pre-stolen* state into a run (the
+        // `stolen` OnceLock survives re-init), but it must never be
+        // re-initialized once a run has started claiming queues —
+        // rewinding the claim cursor would hand queues out twice.
+        debug_assert_eq!(
+            self.pq_cnt.load(Ordering::Acquire),
+            0,
+            "StealView::init while a previous run's queue claims are live \
+             (view recycled without reset?)"
+        );
         let _ = self
             .stolen
             .set((0..nsb).map(|_| AtomicBool::new(false)).collect());
@@ -149,6 +160,23 @@ impl StealView {
     }
 
     fn publish_queues(&self, batch_ids: Vec<usize>) {
+        // Contract: queues are published exactly once, after init, and
+        // every published id names an initialized RS-batch slot.
+        debug_assert!(
+            !self.is_processing() && !self.is_done(),
+            "StealView queues published twice (or after finish)"
+        );
+        if let Some(stolen) = self.stolen.get() {
+            debug_assert!(
+                batch_ids.iter().all(|&b| b < stolen.len()),
+                "published queue names an RS-batch id beyond the initialized count"
+            );
+        } else {
+            debug_assert!(
+                batch_ids.is_empty(),
+                "StealView queues published before init"
+            );
+        }
         *self.pq_batches.lock() = batch_ids;
         self.phase.store(PHASE_PROCESSING, Ordering::Release);
     }
@@ -348,13 +376,23 @@ pub fn run_search_with_service<K: QueryKernel + ?Sized, R: ResultSet + ?Sized>(
     );
     if shared.has_work() {
         let n_threads = shared.n_threads;
-        let barrier = Barrier::new(n_threads);
+        let barrier = PhaseBarrier::new(n_threads);
         std::thread::scope(|scope| {
             for tid in 0..n_threads {
                 let shared = &shared;
                 let barrier = &barrier;
                 scope.spawn(move || {
-                    shared.worker(tid, barrier, &mut WorkerScratch::default())
+                    // A participant panic poisons the shared barrier so
+                    // its siblings abort the query instead of waiting
+                    // forever for this thread's next phase arrival; the
+                    // scope re-raises the panic at join.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        shared.worker(tid, barrier, &mut WorkerScratch::default())
+                    }));
+                    if let Err(payload) = out {
+                        barrier.poison();
+                        std::panic::resume_unwind(payload);
+                    }
                 });
             }
         });
@@ -512,7 +550,7 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
     /// The three-phase per-thread engine body. All `n_threads`
     /// participants must call this exactly once per query with distinct
     /// `tid`s and a `barrier` of exactly `n_threads` parties.
-    pub(crate) fn worker(&self, tid: usize, barrier: &Barrier, scratch: &mut WorkerScratch) {
+    pub(crate) fn worker(&self, tid: usize, barrier: &PhaseBarrier, scratch: &mut WorkerScratch) {
         let WorkerScratch {
             lb_block,
             stack: spare_stack,
@@ -591,6 +629,13 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
         let mut lb_series_local = 0u64;
         let mut real_dist_local = 0u64;
         let sorted_guard = self.sorted.read();
+        // Contract: queue claims happen only inside the processing
+        // phase (the claim counter doubles as the steal cursor, and
+        // `try_steal` assumes it is monotone within this phase).
+        debug_assert!(
+            sorted_guard.is_empty() || self.view.is_processing(),
+            "queue claim outside the processing phase"
+        );
         loop {
             (self.service)();
             let i = self.view.pq_cnt.fetch_add(1, Ordering::AcqRel);

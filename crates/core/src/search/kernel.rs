@@ -52,6 +52,7 @@ pub trait QueryKernel: Sync {
 /// weights into a [`MindistTable`]; `node_lb_sq` and `series_lb_sq` are
 /// bit-identical to [`crate::sax::mindist_paa_isax_sq`] and
 /// [`crate::sax::mindist_paa_sax_sq`] (asserted by property tests).
+#[derive(Debug)]
 pub struct EdKernel<'q> {
     query: &'q [f32],
     qpaa: Vec<f64>,

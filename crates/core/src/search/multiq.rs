@@ -13,7 +13,7 @@
 //! * a [`ConcurrentPlan`] — *rounds* of *lanes*, where each lane is a
 //!   disjoint worker group (its widths exactly partition the pool) that
 //!   answers its assigned queries one at a time;
-//! * a lane runtime giving every group its own phase [`Barrier`], its
+//! * a lane runtime giving every group its own [`PhaseBarrier`], its
 //!   own job slot, and group-scoped ranks, so each in-flight query sees
 //!   only its group's workers (and their [`WorkerScratch`] arenas);
 //! * a [`LaneCtx`] handed to the per-lane driver on the group's rank-0
@@ -47,9 +47,12 @@ use super::knn::seed_knn;
 use super::scratch::WorkerScratch;
 use crate::index::Index;
 use crate::search::dtw_search::seed_dtw;
+use crate::sync::PhaseBarrier;
+#[cfg(debug_assertions)]
+use super::engine::poisoned_job;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// One worker group of a [`RoundSpec`]: `width` pool threads answering
 /// `queries` (engine-batch indices) one at a time, in order.
@@ -97,6 +100,26 @@ impl RoundSpec {
             total, pool,
             "lane widths must exactly partition the {pool}-thread pool"
         );
+    }
+
+    /// Debug-build re-validation at round start: the round's lanes must
+    /// name pairwise-disjoint query sets — a duplicate would race two
+    /// lanes on one result slot. [`ConcurrentPlan::validate`] checks
+    /// this plan-wide, but the raw
+    /// [`run_concurrent`](super::engine::BatchEngine::run_concurrent)
+    /// surface accepts hand-built rounds, so the contract is re-checked
+    /// where the unsafe lane machinery actually starts.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_assert_disjoint_queries(&self) {
+        let mut seen = std::collections::HashSet::new();
+        for lane in &self.lanes {
+            for &qi in &lane.queries {
+                assert!(
+                    seen.insert(qi),
+                    "round names query {qi} in two lanes (double partition violated)"
+                );
+            }
+        }
     }
 }
 
@@ -197,11 +220,12 @@ impl ConcurrentPlan {
 // ---------------------------------------------------------------------
 
 /// Runtime state of one worker group while a round executes.
+#[derive(Debug)]
 pub(crate) struct LaneState {
     width: usize,
     /// The group's phase barrier (`width` parties) — serves both the
     /// lane job hand-off and the [`ExecShared`] phase barriers.
-    barrier: Barrier,
+    barrier: PhaseBarrier,
     /// The published per-query job (lifetime-erased; see
     /// [`erase_job`]'s safety contract, upheld by [`LaneState::run`]).
     slot: Mutex<Option<Job>>,
@@ -220,7 +244,17 @@ impl LaneState {
         self.barrier.wait(); // publish: followers pick the job up
         body(0, scratch);
         self.barrier.wait(); // completion: no follower still runs it
-        *self.slot.lock() = None;
+        // The borrow erased by `erase_job` ends here; the slot must not
+        // be executable past this point. Debug builds plant a canary
+        // job that panics loudly if a stale pickup ever happens.
+        #[cfg(debug_assertions)]
+        {
+            *self.slot.lock() = Some(poisoned_job());
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            *self.slot.lock() = None;
+        }
     }
 
     /// Releases the group's followers after the lane's last query.
@@ -246,6 +280,7 @@ impl LaneState {
 }
 
 /// Maps pool tids onto lanes and drives one round.
+#[derive(Debug)]
 pub(crate) struct LaneRuntime {
     lanes: Vec<LaneState>,
     /// `tid -> (lane, rank within lane)`.
@@ -258,6 +293,10 @@ pub(crate) struct LaneRuntime {
 
 impl LaneRuntime {
     pub(crate) fn new(round: &RoundSpec) -> Self {
+        // Re-validate the double partition where the lane machinery
+        // actually starts, not just at plan-build time.
+        #[cfg(debug_assertions)]
+        round.debug_assert_disjoint_queries();
         let mut membership = Vec::new();
         let mut queues = Vec::with_capacity(round.lanes.len());
         let lanes = round
@@ -271,7 +310,7 @@ impl LaneRuntime {
                 queues.push(Mutex::new(spec.queries.iter().copied().collect()));
                 LaneState {
                     width: spec.width,
-                    barrier: Barrier::new(spec.width),
+                    barrier: PhaseBarrier::new(spec.width),
                     slot: Mutex::new(None),
                 }
             })
@@ -315,8 +354,10 @@ impl LaneRuntime {
     ///
     /// # Panics
     /// A panic raised inside `driver` (or the engine body) on one lane
-    /// member deadlocks the other members of that lane on the group
-    /// barrier — the same contract as the engine's phase barriers.
+    /// member poisons the group's [`PhaseBarrier`], so the lane's other
+    /// members abort the round with a clear panic instead of
+    /// deadlocking on a party that will never arrive. The original
+    /// panic is then resumed on this thread.
     pub(crate) fn participate<F>(
         &self,
         tid: usize,
@@ -329,21 +370,27 @@ impl LaneRuntime {
     {
         let (l, rank) = self.membership[tid];
         let lane = &self.lanes[l];
-        if rank == 0 {
-            {
-                let mut ctx = LaneCtx {
-                    lane,
-                    index,
-                    registry,
-                    scratch,
-                };
-                while let Some(qi) = self.next_query(l) {
-                    driver(&mut ctx, qi);
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if rank == 0 {
+                {
+                    let mut ctx = LaneCtx {
+                        lane,
+                        index,
+                        registry,
+                        scratch,
+                    };
+                    while let Some(qi) = self.next_query(l) {
+                        driver(&mut ctx, qi);
+                    }
                 }
+                lane.finish();
+            } else {
+                lane.follow(rank, scratch);
             }
-            lane.finish();
-        } else {
-            lane.follow(rank, scratch);
+        }));
+        if let Err(payload) = body {
+            lane.barrier.poison();
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -355,6 +402,14 @@ pub struct LaneCtx<'e, 's> {
     index: &'e Arc<Index>,
     registry: &'e Arc<StealRegistry>,
     scratch: &'s mut WorkerScratch,
+}
+
+impl std::fmt::Debug for LaneCtx<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneCtx")
+            .field("width", &self.lane.width)
+            .finish_non_exhaustive()
+    }
 }
 
 impl LaneCtx<'_, '_> {

@@ -123,6 +123,15 @@ impl<'a> LeafPq<'a> {
 #[derive(Default)]
 pub struct SpareHeap(Vec<LeafCandidate<'static>>);
 
+impl std::fmt::Debug for SpareHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The vector is empty by invariant; only the capacity matters.
+        f.debug_tuple("SpareHeap")
+            .field(&format_args!("capacity: {}", self.0.capacity()))
+            .finish()
+    }
+}
+
 impl SpareHeap {
     /// Rebinds the allocation to the current query's lifetime (safe:
     /// the vector is empty and `'static` outlives `'a`).

@@ -26,6 +26,7 @@ pub struct WindowRef {
 }
 
 /// A whole-matching index over the sliding windows of long sequences.
+#[derive(Debug)]
 pub struct SubsequenceIndex {
     index: Index,
     refs: Vec<WindowRef>,

@@ -316,7 +316,7 @@ pub fn build_forest(
     slots.resize_with(nb, || None);
     let next = AtomicUsize::new(0);
     let n_threads = n_threads.max(1).min(nb.max(1));
-    let slots_ptr = SlotsPtr(slots.as_mut_ptr());
+    let slots_ptr = SlotsPtr::new(&mut slots);
     std::thread::scope(|scope| {
         for _ in 0..n_threads {
             let next = &next;
@@ -327,7 +327,11 @@ pub fn build_forest(
                     break;
                 }
                 let st = build_root_subtree(&buffers.buffers[i], summaries, leaf_capacity);
-                // SAFETY: each index is claimed by exactly one thread.
+                // SAFETY: `i < nb` (checked above) keeps the write in
+                // bounds, and the `fetch_add` claim hands each index to
+                // exactly one thread, so no slot is written twice or
+                // concurrently; the scope joins all writers before the
+                // vector is read.
                 unsafe {
                     *slots_ptr.0.add(i) = Some(st);
                 }
@@ -345,9 +349,36 @@ pub fn build_forest(
     (forest, perm)
 }
 
-struct SlotsPtr(*mut Option<(RootSubtree, Vec<u32>)>);
-unsafe impl Send for SlotsPtr {}
-unsafe impl Sync for SlotsPtr {}
+/// One [`build_forest`] output slot: a built subtree plus its local
+/// leaf-order permutation, `None` until its claiming thread writes it.
+type SubtreeSlot = Option<(RootSubtree, Vec<u32>)>;
+
+/// Pointer into the borrowed subtree-slot vector of [`build_forest`],
+/// shared across its worker threads.
+///
+/// # Invariants
+///
+/// * The wrapper holds the `&'a mut` borrow it was built from (via
+///   `PhantomData`), so the pointer cannot outlive — or alias a safe
+///   re-borrow of — the slot vector while any thread still holds it.
+/// * Writers only reach slots through [`build_forest`]'s `fetch_add`
+///   index claiming, so each slot is written by exactly one thread.
+#[derive(Debug)]
+struct SlotsPtr<'a>(*mut SubtreeSlot, std::marker::PhantomData<&'a mut [SubtreeSlot]>);
+
+impl<'a> SlotsPtr<'a> {
+    fn new(target: &'a mut [SubtreeSlot]) -> Self {
+        SlotsPtr(target.as_mut_ptr(), std::marker::PhantomData)
+    }
+}
+
+// SAFETY: the wrapped pointer is derived from an exclusive borrow that
+// the `PhantomData` keeps alive, and concurrent writes go to distinct
+// claimed slots (see the type invariants), so moving the handle to —
+// and sharing it with — other threads cannot race.
+unsafe impl Send for SlotsPtr<'_> {}
+// SAFETY: as above — `&SlotsPtr` only exposes writes to claimed slots.
+unsafe impl Sync for SlotsPtr<'_> {}
 
 #[cfg(test)]
 mod tests {

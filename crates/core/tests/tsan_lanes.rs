@@ -1,0 +1,144 @@
+//! The ThreadSanitizer tier's target tests (`cargo run -p xtask --
+//! tsan` builds exactly this file with `-Zsanitizer=thread`).
+//!
+//! These are ordinary bit-identity tests — they also run in the plain
+//! test tier — but they are chosen so that every synchronization edge
+//! of the concurrency machinery is crossed under load: the resident
+//! pool's epoch hand-off, the lane runtime's group barriers, job slots
+//! and intra-round re-admission, and the steal registry's cooperative
+//! service path, each at pool widths 2, 4, and 8.
+//!
+//! Everything here synchronizes through in-crate primitives
+//! (`PhaseBarrier`, monomorphized `Mutex<T>`), so the happens-before
+//! edges are visible to TSan without rebuilding std (`-Zbuild-std`
+//! needs a network the CI cache setup avoids).
+
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::engine::{BatchEngine, BatchQuery, QueryKind};
+use odyssey_core::search::exact::SearchParams;
+use odyssey_core::search::multiq::ConcurrentPlan;
+use odyssey_core::series::DatasetBuffer;
+use std::sync::Arc;
+
+fn walk_dataset(n: usize, len: usize, seed: u64) -> DatasetBuffer {
+    let mut x = seed | 1;
+    let mut data = Vec::with_capacity(n * len);
+    for _ in 0..n {
+        let mut acc = 0.0f32;
+        let mut s = Vec::with_capacity(len);
+        for _ in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x % 2000) as f32 / 1000.0) - 1.0;
+            s.push(acc);
+        }
+        odyssey_core::series::znormalize(&mut s);
+        data.extend_from_slice(&s);
+    }
+    DatasetBuffer::from_vec(data, len)
+}
+
+fn build(n: usize) -> Arc<Index> {
+    Arc::new(Index::build(
+        walk_dataset(n, 64, 33),
+        IndexConfig::new(64).with_segments(8).with_leaf_capacity(24),
+        4,
+    ))
+}
+
+/// Lanes at every pool width must answer bit-identically to the
+/// sequential batch path — while TSan watches the group barriers, the
+/// shared lane queues (re-admission), and the result slots.
+#[test]
+fn concurrent_lanes_bit_identical_at_2_4_8_threads() {
+    let index = build(700);
+    let qdata: Vec<Vec<f32>> = (0..8)
+        .map(|i| walk_dataset(1, 64, 500 + i).series(0).to_vec())
+        .collect();
+    let queries: Vec<BatchQuery> = qdata
+        .iter()
+        .map(|q| BatchQuery::new(q, QueryKind::Exact))
+        .collect();
+    let params = SearchParams::new(1);
+    let order: Vec<usize> = (0..queries.len()).collect();
+
+    let reference = BatchEngine::new(Arc::clone(&index), 2)
+        .run_batch(&queries, &order, &params);
+
+    for pool in [2usize, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), pool);
+        // Several lanes per round (width pool/2, min 1) so lanes run
+        // simultaneously and re-admission has victims to drain.
+        let plan = ConcurrentPlan::uniform(queries.len(), pool, (pool / 2).max(1));
+        let conc = engine.run_batch_concurrent(&queries, &plan, &params);
+        for (qi, (a, b)) in reference.items.iter().zip(&conc.items).enumerate() {
+            let (da, db) = (a.answer.nn().distance, b.answer.nn().distance);
+            assert_eq!(
+                da.to_bits(),
+                db.to_bits(),
+                "pool={pool} query={qi}: lanes must be bit-identical to sequential"
+            );
+        }
+    }
+}
+
+/// The steal registry's cooperative service path under concurrent
+/// lanes: workers serve steal requests between queue claims while
+/// other lanes run. Exactness must survive at every pool width.
+#[test]
+fn steal_service_under_lanes_stays_exact_at_2_4_8_threads() {
+    let index = build(600);
+    let qdata: Vec<Vec<f32>> = (0..6)
+        .map(|i| walk_dataset(1, 64, 900 + i).series(0).to_vec())
+        .collect();
+    let queries: Vec<BatchQuery> = qdata
+        .iter()
+        .map(|q| BatchQuery::new(q, QueryKind::Exact))
+        .collect();
+    let params = SearchParams::new(1).with_th(16);
+    let order: Vec<usize> = (0..queries.len()).collect();
+    let reference = BatchEngine::new(Arc::clone(&index), 2)
+        .run_batch(&queries, &order, &params);
+
+    for pool in [2usize, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), pool);
+        // Exercise the registry's snapshot/serve surface concurrently
+        // with the running lanes.
+        engine.steal_registry().install_service(Arc::new(|reg| {
+            let _ = reg.snapshot();
+        }));
+        let plan = ConcurrentPlan::uniform(queries.len(), pool, 1);
+        let conc = engine.run_batch_concurrent(&queries, &plan, &params);
+        for (qi, (a, b)) in reference.items.iter().zip(&conc.items).enumerate() {
+            assert_eq!(
+                a.answer.nn().distance.to_bits(),
+                b.answer.nn().distance.to_bits(),
+                "pool={pool} query={qi}: steal service must not disturb answers"
+            );
+        }
+        assert_eq!(engine.steal_registry().in_flight(), 0);
+    }
+}
+
+/// The resident pool's epoch protocol (publish, run, drain) crossed
+/// many times in a row at each width — the pattern where a missed
+/// happens-before edge between submitter and workers would surface.
+#[test]
+fn pool_reuse_across_queries_at_2_4_8_threads() {
+    let index = build(500);
+    let params = SearchParams::new(1);
+    for pool in [2usize, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), pool);
+        for qseed in 0..4u64 {
+            let q = walk_dataset(1, 64, 2000 + qseed).series(0).to_vec();
+            let single = odyssey_core::search::exact::exact_search(&index, &q, &params);
+            let pooled = engine.exact(&q, &params);
+            assert_eq!(
+                pooled.answer.distance.to_bits(),
+                single.answer.distance.to_bits(),
+                "pool={pool} qseed={qseed}"
+            );
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //!   *similar* series across all nodes so no single node ends up with all
 //!   the low-pruning work for any query.
 
+#![forbid(unsafe_code)]
+
+
 pub mod density;
 pub mod gray;
 pub mod scheme;

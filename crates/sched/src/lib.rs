@@ -17,6 +17,9 @@
 //! concurrency decisions: each query's worker-group width and the
 //! packing of a batch into the batch engine's concurrent lanes.
 
+#![forbid(unsafe_code)]
+
+
 pub mod admission;
 pub mod linreg;
 pub mod predictor;

@@ -19,6 +19,9 @@
 //!
 //! [`registry`] catalogues the stand-ins with their paper counterparts.
 
+#![forbid(unsafe_code)]
+
+
 pub mod generator;
 pub mod io;
 pub mod queries;

@@ -1,0 +1,471 @@
+//! The repo-specific unsafe-boundary lint (`cargo run -p xtask -- lint`).
+//!
+//! A deliberately simple line-based scanner — no syn, no proc-macro
+//! machinery — that enforces the workspace's concurrency-safety policy:
+//!
+//! 1. **`SAFETY:` comments.** Every `unsafe` block, impl, or fn must be
+//!    immediately preceded (allowing only comment and attribute lines in
+//!    between) by a `// SAFETY:` comment justifying it.
+//! 2. **Unsafe module whitelist.** `unsafe` may appear only in the four
+//!    files that own the engine's load-bearing raw-pointer patterns
+//!    (striped summary writes, forest slot writes, job lifetime erasure,
+//!    allocation recycling).
+//! 3. **Transmute whitelist.** `transmute` may appear only in
+//!    `search/engine.rs` (the single `erase_job` lifetime erasure).
+//! 4. **Thread discipline.** No direct `thread::spawn` outside the
+//!    worker-pool runtime (scoped spawns are fine — they cannot leak a
+//!    thread past its borrow), and no `std::sync::Barrier` anywhere:
+//!    phase synchronization must go through the poisonable, sanitizer-
+//!    visible `odyssey_core::sync::PhaseBarrier`.
+//! 5. **Lint attributes.** Crates that need no unsafe carry
+//!    `#![forbid(unsafe_code)]`; the crate that hosts unsafe carries
+//!    `#![deny(unsafe_op_in_unsafe_fn)]` and
+//!    `#![deny(missing_debug_implementations)]`.
+//!
+//! Comments and string literals are stripped before token matching, so
+//! prose about `unsafe` never trips the lint, and the lint can check its
+//! own source.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files (workspace-relative, `/`-separated) allowed to contain
+/// `unsafe`. Extending this list is a reviewed decision: add the file
+/// here *and* document the new invariant at the unsafe site.
+const UNSAFE_WHITELIST: &[&str] = &[
+    "crates/core/src/buffers.rs",
+    "crates/core/src/search/engine.rs",
+    "crates/core/src/search/scratch.rs",
+    "crates/core/src/tree.rs",
+];
+
+/// Files allowed to contain `transmute` (only `erase_job`).
+const TRANSMUTE_WHITELIST: &[&str] = &["crates/core/src/search/engine.rs"];
+
+/// Files allowed to call `thread::spawn` directly (the resident worker
+/// pool). Everything else must use scoped threads.
+const SPAWN_WHITELIST: &[&str] = &["crates/core/src/search/engine.rs"];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+const FORBID_UNSAFE_ROOTS: &[&str] = &[
+    "crates/baselines/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/cli/src/main.rs",
+    "crates/partition/src/lib.rs",
+    "crates/sched/src/lib.rs",
+    "crates/workloads/src/lib.rs",
+    "xtask/src/main.rs",
+];
+
+/// Crate roots that host unsafe and must carry the hardening denies.
+const UNSAFE_HOST_ROOTS: &[&str] = &["crates/core/src/lib.rs"];
+
+/// One lint finding.
+#[derive(Debug)]
+pub struct Violation {
+    pub file: PathBuf,
+    /// 1-based line, or 0 for file-level findings.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Strips string literals, char literals, and comments from one line,
+/// replacing their contents with spaces so byte offsets are preserved.
+/// `in_block_comment` carries `/* ... */` state across lines.
+fn strip_line(line: &str, in_block_comment: &mut bool) -> String {
+    let bytes = line.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block_comment {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block_comment = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => break, // line comment
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                *in_block_comment = true;
+                i += 2;
+            }
+            b'"' => {
+                // String literal: skip to the unescaped closing quote.
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n') vs lifetime ('a, 'static).
+                let is_char = matches!(
+                    (bytes.get(i + 1), bytes.get(i + 2)),
+                    (Some(b'\\'), _) | (Some(_), Some(b'\''))
+                );
+                if is_char {
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                } else {
+                    i += 1; // lifetime: skip the quote, keep the name
+                }
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("ascii-preserving strip")
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whether `needle` occurs in `code` as a standalone token: its first
+/// and last characters must not extend an adjacent identifier. Path
+/// separators (`::`) inside the needle are matched literally.
+fn has_token(code: &str, needle: &str) -> bool {
+    token_at(code, needle).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `needle`.
+fn token_at(code: &str, needle: &str) -> Option<usize> {
+    let cb = code.as_bytes();
+    let nb = needle.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle).map(|p| p + from) {
+        let before_ok = pos == 0 || !is_word_byte(cb[pos - 1]);
+        let end = pos + nb.len();
+        let after_ok = end >= cb.len() || !is_word_byte(cb[end]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}
+
+/// Whether the stripped line contains an `unsafe` *code construct*
+/// (block, fn, impl, extern, or trait) as opposed to e.g. the word in
+/// an attribute like `unsafe_code`.
+fn unsafe_construct(code: &str) -> bool {
+    let Some(pos) = token_at(code, "unsafe") else {
+        return false;
+    };
+    let rest = code[pos + "unsafe".len()..].trim_start();
+    rest.starts_with('{')
+        || rest.starts_with("fn ")
+        || rest.starts_with("impl ")
+        || rest.starts_with("impl<")
+        || rest.starts_with("extern ")
+        || rest.starts_with("extern\"")
+        || rest.starts_with("trait ")
+        || rest.is_empty() // `unsafe` at end of line; `{` on the next
+}
+
+/// Whether a preceding comment run justifies the unsafe construct on
+/// line `idx`: walking upward, only comment and attribute lines may
+/// intervene, and one of them must carry `SAFETY:`.
+fn has_safety_comment(raw_lines: &[&str], idx: usize) -> bool {
+    // Same-line trailing comment counts too.
+    if raw_lines[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw_lines[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.starts_with("#![") {
+            // attributes may sit between the comment and the construct
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Lints one source file; `rel` is its workspace-relative path with
+/// `/` separators.
+pub fn lint_source(rel: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let raw_lines: Vec<&str> = content.lines().collect();
+    let mut in_block_comment = false;
+    let stripped: Vec<String> = raw_lines
+        .iter()
+        .map(|l| strip_line(l, &mut in_block_comment))
+        .collect();
+    let file = PathBuf::from(rel);
+    let push = |out: &mut Vec<Violation>, line: usize, rule: &'static str, message: String| {
+        out.push(Violation {
+            file: file.clone(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    for (i, code) in stripped.iter().enumerate() {
+        let line = i + 1;
+        if unsafe_construct(code) {
+            if !UNSAFE_WHITELIST.contains(&rel) {
+                push(
+                    &mut out,
+                    line,
+                    "unsafe-whitelist",
+                    format!(
+                        "`unsafe` outside the whitelisted modules ({}); \
+                         move the code there or extend the reviewed whitelist in xtask",
+                        UNSAFE_WHITELIST.join(", ")
+                    ),
+                );
+            }
+            if !has_safety_comment(&raw_lines, i) {
+                push(
+                    &mut out,
+                    line,
+                    "safety-comment",
+                    "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+                );
+            }
+        }
+        if has_token(code, "transmute") && !TRANSMUTE_WHITELIST.contains(&rel) {
+            push(
+                &mut out,
+                line,
+                "transmute",
+                "`transmute` is only permitted in search/engine.rs (`erase_job`)".to_string(),
+            );
+        }
+        if code.contains("thread::spawn") && !SPAWN_WHITELIST.contains(&rel) {
+            push(
+                &mut out,
+                line,
+                "thread-spawn",
+                "direct `thread::spawn` outside the worker-pool runtime; \
+                 use `std::thread::scope` (or go through the BatchEngine)"
+                    .to_string(),
+            );
+        }
+        if has_token(code, "Barrier") && !code.contains("PhaseBarrier") {
+            push(
+                &mut out,
+                line,
+                "std-barrier",
+                "`std::sync::Barrier` deadlocks on panic and is invisible to \
+                 ThreadSanitizer; use `odyssey_core::sync::PhaseBarrier`"
+                    .to_string(),
+            );
+        }
+    }
+
+    if FORBID_UNSAFE_ROOTS.contains(&rel) && !content.contains("#![forbid(unsafe_code)]") {
+        push(
+            &mut out,
+            0,
+            "lint-attrs",
+            "crate root must carry `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+    if UNSAFE_HOST_ROOTS.contains(&rel) {
+        for attr in [
+            "#![deny(unsafe_op_in_unsafe_fn)]",
+            "#![deny(missing_debug_implementations)]",
+        ] {
+            if !content.contains(attr) {
+                push(
+                    &mut out,
+                    0,
+                    "lint-attrs",
+                    format!("unsafe-hosting crate root must carry `{attr}`"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collects the `.rs` files the lint covers: everything
+/// under `crates/`, `src/`, `tests/`, and `xtask/`, skipping `target/`
+/// and the offline dependency shims under `vendor/`.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["crates", "src", "tests", "xtask"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name != "target" && name != "vendor" {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the lint over the workspace rooted at `root`. Returns all
+/// violations (empty = pass).
+pub fn run(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)?;
+        all.extend(lint_source(&rel, &content));
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(rel: &str, src: &str) -> Vec<&'static str> {
+        lint_source(rel, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn commented_unsafe_in_whitelisted_module_passes() {
+        let src = "fn f() {\n    // SAFETY: justified.\n    unsafe { g(); }\n}\n";
+        assert!(rules("crates/core/src/tree.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_safety_comment_is_flagged() {
+        let src = "fn f() {\n    unsafe { g(); }\n}\n";
+        assert_eq!(
+            rules("crates/core/src/tree.rs", src),
+            vec!["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn safety_comment_survives_interleaved_attributes() {
+        let src = "// SAFETY: fine.\n#[allow(clippy::x)]\nunsafe impl Send for T {}\n";
+        assert!(rules("crates/core/src/buffers.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_whitelist_is_flagged() {
+        let src = "// SAFETY: irrelevant.\nfn f() { unsafe { g(); } }\n";
+        assert_eq!(
+            rules("crates/sched/src/scheduler.rs", src),
+            vec!["unsafe-whitelist"]
+        );
+    }
+
+    #[test]
+    fn prose_and_strings_about_unsafe_do_not_trip() {
+        let src = "// unsafe { in a comment }\nfn f() { let _ = \"unsafe { }\"; }\n/* unsafe impl Y {} */\n";
+        assert!(rules("crates/sched/src/scheduler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn attribute_words_do_not_count_as_unsafe() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#![forbid(unsafe_code)]\n";
+        assert!(rules("crates/sched/src/scheduler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn transmute_outside_engine_is_flagged() {
+        let src = "fn f() { let _ = std::mem::transmute::<u8, i8>(0); }\n";
+        assert_eq!(rules("crates/core/src/tree.rs", src), vec!["transmute"]);
+        assert!(!rules("crates/core/src/search/engine.rs", src).contains(&"transmute"));
+    }
+
+    #[test]
+    fn direct_spawn_is_flagged_but_scoped_spawn_passes() {
+        assert_eq!(
+            rules("crates/cluster/src/runtime.rs", "std::thread::spawn(|| {});\n"),
+            vec!["thread-spawn"]
+        );
+        assert!(rules(
+            "crates/cluster/src/runtime.rs",
+            "std::thread::scope(|s| { s.spawn(|| {}); });\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn std_barrier_is_flagged_and_phase_barrier_passes() {
+        assert_eq!(
+            rules("crates/cluster/src/runtime.rs", "use std::sync::Barrier;\n"),
+            vec!["std-barrier"]
+        );
+        assert!(rules(
+            "crates/cluster/src/runtime.rs",
+            "use odyssey_core::sync::PhaseBarrier;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_attr_on_clean_crate_root_is_flagged() {
+        assert_eq!(rules("crates/sched/src/lib.rs", "pub mod x;\n"), vec!["lint-attrs"]);
+        assert!(rules("crates/sched/src/lib.rs", "#![forbid(unsafe_code)]\npub mod x;\n").is_empty());
+    }
+
+    #[test]
+    fn unsafe_host_root_requires_both_denies() {
+        let v = rules("crates/core/src/lib.rs", "pub mod x;\n");
+        assert_eq!(v, vec!["lint-attrs", "lint-attrs"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_stripper() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; todo!() }\n";
+        assert!(rules("crates/sched/src/linreg.rs", src).is_empty());
+    }
+}
