@@ -1,0 +1,200 @@
+//! Failover benchmark: emits `BENCH_failover.json` measuring recovery
+//! latency and answer coverage when a node is killed mid-batch, across
+//! the paper's replication settings at four nodes (FULL, PARTIAL-2,
+//! PARTIAL-N / equally-split).
+//!
+//! For each (replication, kill-time) scenario the harness runs the same
+//! batch twice — fault-free baseline, then with a deterministic
+//! [`FaultPlan`] killing one node after N query executions — and
+//! records:
+//!
+//! - **recovery latency** in simulated seconds: how much longer the
+//!   faulted batch ran (max-over-nodes work units) than its baseline,
+//!   i.e. the price of re-routing the dead node's unfinished queries to
+//!   a surviving replica;
+//! - **coverage**: the fraction of queries answered `Complete`, and the
+//!   worst-case fraction of the collection still covered by a
+//!   `Partial` answer (1.0 unless the victim's whole group died);
+//! - **exactness**: every `Complete` answer must be bit-identical to
+//!   the fault-free run, and every `Partial` answer must never beat the
+//!   true nearest neighbor (degraded answers are honest). Whenever the
+//!   victim's group keeps a survivor the batch must stay fully covered
+//!   with **zero** mismatches — asserted at exit, so CI fails loudly.
+//!
+//! Scheduling is [`SchedulerKind::Static`] so each node's assigned
+//! query count — and therefore whether a "kill after N" fault fires —
+//! is deterministic rather than a dynamic-claim race.
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin failover [out.json]
+//! ```
+//!
+//! `ODYSSEY_BENCH_SCALE` multiplies the dataset and query counts as in
+//! every other harness.
+
+use odyssey_cluster::{
+    units, ClusterConfig, Coverage, FaultPlan, OdysseyCluster, Replication, SchedulerKind,
+};
+use odyssey_core::distance::euclidean_sq;
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+
+const NODES: usize = 4;
+const THREADS_PER_NODE: usize = 2;
+
+/// One (replication, kill-time) measurement, already formatted as JSON.
+struct Scenario {
+    json: String,
+    mismatches: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    label: &str,
+    data: &odyssey_core::series::DatasetBuffer,
+    queries: &odyssey_workloads::queries::QueryWorkload,
+    truth_sq: &[f64],
+    replication: Replication,
+    victim: usize,
+    after: usize,
+) -> Scenario {
+    let clean = OdysseyCluster::build(
+        data,
+        ClusterConfig::new(NODES)
+            .with_replication(replication)
+            .with_scheduler(SchedulerKind::Static)
+            .with_threads_per_node(THREADS_PER_NODE)
+            .with_leaf_capacity(64),
+    );
+    let faulted = clean.reconfigured(|c| c.with_fault_plan(FaultPlan::new().kill(victim, after)));
+
+    let baseline = clean.answer_batch(&queries.queries);
+    let report = faulted.answer_batch(&queries.queries);
+
+    let recovery_s = units::recovery_seconds(
+        report.makespan_units(),
+        baseline.makespan_units(),
+        THREADS_PER_NODE,
+    );
+    let nq = report.answers.len();
+    let complete = report.coverage.iter().filter(|c| c.is_complete()).count();
+
+    // Worst-case fraction of the collection a Partial answer still
+    // covers (in series, over this cluster's own chunking).
+    let n_series = data.num_series();
+    let mut min_covered = 1.0f64;
+    for cov in &report.coverage {
+        if let Coverage::Partial { missing_groups } = cov {
+            let lost: usize = missing_groups
+                .iter()
+                .map(|&g| faulted.chunk_ids(g).len())
+                .sum();
+            min_covered = min_covered.min((n_series - lost) as f64 / n_series as f64);
+        }
+    }
+
+    // Exactness: Complete answers bit-identical to the baseline;
+    // Partial answers never better than the true nearest neighbor.
+    let mut mismatches = 0usize;
+    for (qi, got) in report.answers.iter().enumerate() {
+        match &report.coverage[qi] {
+            Coverage::Complete => {
+                if got.distance.to_bits() != baseline.answers[qi].distance.to_bits() {
+                    mismatches += 1;
+                }
+            }
+            Coverage::Partial { .. } => {
+                if got.distance_sq < truth_sq[qi] - 1e-9 {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+
+    let json = format!(
+        "    {{\"scenario\": \"{label}\", \"kill_node\": {victim}, \"kill_after\": {after}, \
+         \"dead_nodes\": {:?}, \"reroutes\": {}, \"final_epoch\": {}, \
+         \"baseline_makespan_units\": {}, \"faulted_makespan_units\": {}, \
+         \"recovery_seconds\": {recovery_s:.6}, \
+         \"complete_queries\": {complete}, \"n_queries\": {nq}, \
+         \"min_covered_fraction\": {min_covered:.4}, \"mismatches\": {mismatches}}}",
+        report.dead_nodes,
+        report.reroutes,
+        report.final_epoch,
+        baseline.makespan_units(),
+        report.makespan_units(),
+    );
+    Scenario { json, mismatches }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_failover.json".to_string());
+    let scale = odyssey_bench::scale();
+    let n_series = 2_000 * scale;
+    let series_len = 64;
+    let n_queries = 16 * scale;
+    let data = random_walk(n_series, series_len, 0x701);
+    let queries = QueryWorkload::generate(
+        &data,
+        n_queries,
+        WorkloadKind::Mixed { hard_fraction: 0.5, noise: 0.05 },
+        0x702,
+    );
+
+    // Ground truth for the degraded-answer honesty check: a Partial
+    // answer searches a subset of chunks, so it can never beat the full
+    // collection's nearest neighbor.
+    let truth_sq: Vec<f64> = (0..n_queries)
+        .map(|qi| {
+            let q = queries.query(qi);
+            (0..n_series)
+                .map(|i| euclidean_sq(q, data.series(i)))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    // Kill times: immediately, mid-workload, and past the victim's
+    // static assignment (the fault never fires — phantom-death guard).
+    let kill_times = [0usize, n_queries / (2 * NODES), 10 * n_queries];
+    let topologies: &[(&str, Replication)] = &[
+        ("FULL", Replication::Full),
+        ("PARTIAL-2", Replication::Partial(2)),
+        ("PARTIAL-N", Replication::EquallySplit),
+    ];
+
+    let mut scenarios = Vec::new();
+    let mut survivor_mismatches = 0usize;
+    for &(label, replication) in topologies {
+        let has_survivor = !matches!(replication, Replication::EquallySplit);
+        for &after in &kill_times {
+            let s = run_scenario(label, &data, &queries, &truth_sq, replication, 1, after);
+            if has_survivor {
+                survivor_mismatches += s.mismatches;
+            }
+            scenarios.push((s, has_survivor));
+        }
+    }
+
+    let total_mismatches: usize = scenarios.iter().map(|(s, _)| s.mismatches).sum();
+    let body: Vec<String> = scenarios.iter().map(|(s, _)| s.json.clone()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"failover\",\n  \"n_series\": {n_series},\n  \
+         \"series_len\": {series_len},\n  \"n_queries\": {n_queries},\n  \
+         \"nodes\": {NODES},\n  \"threads_per_node\": {THREADS_PER_NODE},\n  \
+         \"scheduler\": \"static\",\n  \"scenarios\": [\n{}\n  ],\n  \
+         \"mismatches\": {total_mismatches}\n}}\n",
+        body.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_failover.json");
+    print!("{json}");
+    assert_eq!(
+        survivor_mismatches, 0,
+        "a kill with a surviving replica changed or degraded answers"
+    );
+    assert_eq!(
+        total_mismatches, 0,
+        "a degraded (Partial) answer beat the true nearest neighbor"
+    );
+}

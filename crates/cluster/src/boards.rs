@@ -17,10 +17,11 @@
 //! improvements are injected every `CHECK_INTERVAL` threshold reads,
 //! modelling the *periodic* (not instantaneous) channel check.
 
+use crate::shard_map::Coverage;
 use odyssey_core::search::answer::{Answer, KnnAnswer};
 use odyssey_core::search::bsf::{ResultSet, SharedBsf, SharedKnn};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How many threshold reads pass between channel checks.
@@ -164,6 +165,63 @@ impl AnswerBoard {
     /// Final answers, in query order.
     pub fn into_answers(self) -> Vec<Answer> {
         self.answers.into_iter().map(|m| m.into_inner()).collect()
+    }
+}
+
+/// Tracks which replication *groups* have contributed a local answer to
+/// each query. The globalization step needs every group — not every
+/// node — to answer: replicas within a group hold the same chunk, so
+/// one surviving member covers the whole group. A query whose groups
+/// have all marked in is [`Coverage::Complete`]; anything less is an
+/// explicit [`Coverage::Partial`] listing the missing groups.
+#[derive(Debug)]
+pub struct CoverageBoard {
+    n_groups: usize,
+    /// `answered[q * n_groups + g]` — group `g` answered query `q`.
+    answered: Vec<AtomicBool>,
+}
+
+impl CoverageBoard {
+    /// A board for `n_queries` queries over `n_groups` groups.
+    pub fn new(n_queries: usize, n_groups: usize) -> Self {
+        assert!(n_groups > 0, "coverage needs at least one group");
+        CoverageBoard {
+            n_groups,
+            answered: (0..n_queries * n_groups)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+        }
+    }
+
+    /// Records that `group` merged a local answer for `query`.
+    /// Idempotent: replicas and re-routed executions may both mark.
+    pub fn mark(&self, query: usize, group: usize) {
+        self.answered[query * self.n_groups + group].store(true, Ordering::Release);
+    }
+
+    /// Whether `group` has answered `query`.
+    pub fn group_answered(&self, query: usize, group: usize) -> bool {
+        self.answered[query * self.n_groups + group].load(Ordering::Acquire)
+    }
+
+    /// The coverage verdict for `query` at this moment.
+    pub fn coverage(&self, query: usize) -> Coverage {
+        let missing: Vec<usize> = (0..self.n_groups)
+            .filter(|&g| !self.group_answered(query, g))
+            .collect();
+        if missing.is_empty() {
+            Coverage::Complete
+        } else {
+            Coverage::Partial {
+                missing_groups: missing,
+            }
+        }
+    }
+
+    /// Final per-query coverages, in query order.
+    pub fn into_coverages(self) -> Vec<Coverage> {
+        let n = self.answered.len() / self.n_groups;
+        (0..n).map(|q| self.coverage(q)).collect()
     }
 }
 
@@ -336,6 +394,28 @@ mod tests {
         assert_eq!(ans[0].distance_sq, 4.0);
         assert_eq!(ans[0].series_id, Some(2));
         assert_eq!(ans[1].series_id, None);
+    }
+
+    #[test]
+    fn coverage_board_tracks_groups_not_nodes() {
+        let c = CoverageBoard::new(2, 3);
+        c.mark(0, 0);
+        c.mark(0, 1);
+        c.mark(0, 1); // replica of the same group — idempotent
+        assert!(matches!(
+            c.coverage(0),
+            Coverage::Partial { ref missing_groups } if missing_groups == &[2]
+        ));
+        c.mark(0, 2);
+        assert_eq!(c.coverage(0), Coverage::Complete);
+        let cov = c.into_coverages();
+        assert_eq!(cov[0], Coverage::Complete);
+        assert_eq!(
+            cov[1],
+            Coverage::Partial {
+                missing_groups: vec![0, 1, 2]
+            }
+        );
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Cluster configuration.
 
+use crate::faults::FaultPlan;
 use odyssey_partition::PartitioningScheme;
 use odyssey_sched::{AdmissionConfig, CostModel, SchedulerKind, ThresholdModel};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The replication strategies of Section 3.3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +119,25 @@ pub struct ClusterConfig {
     /// or degraded hardware. The work-stealing ablation uses this to show
     /// the mechanism compensating for stragglers.
     pub node_speeds: Vec<f64>,
+    /// Deterministic fault scenario for this cluster (kills, worker
+    /// panics, delays — see [`crate::faults`]). `None` = fault-free;
+    /// the failover machinery is then entirely inert and the batch
+    /// paths behave exactly as before.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// How many times one query may be re-routed to another replica
+    /// after node deaths before it is abandoned (its group then counts
+    /// as missing in the query's [`crate::shard_map::Coverage`]).
+    pub max_reroutes: usize,
+    /// Upper bound on how long a drained node waits for possible
+    /// re-routed work from group members that might still die. Purely
+    /// defensive: the group-exit protocol terminates on its own; the
+    /// deadline guarantees a `Coverage::Partial` answer is returned
+    /// within it even if a member wedges.
+    pub query_deadline: Duration,
+    /// Lease length, in logical heartbeat ticks, for the shard map's
+    /// liveness tracking (one tick per query execution). A node a full
+    /// lease overdue turns `Suspect`; two leases overdue turns `Down`.
+    pub lease_ticks: u64,
 }
 
 impl ClusterConfig {
@@ -144,6 +165,10 @@ impl ClusterConfig {
             threshold_model: None,
             seed: 0xD15EA5E,
             node_speeds: Vec::new(),
+            fault_plan: None,
+            max_reroutes: 3,
+            query_deadline: Duration::from_secs(5),
+            lease_ticks: 64,
         }
     }
 
@@ -269,6 +294,32 @@ impl ClusterConfig {
     pub fn node_speed(&self, node: usize) -> f64 {
         self.node_speeds.get(node).copied().unwrap_or(1.0)
     }
+
+    /// Installs a deterministic fault scenario.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// Sets the per-query re-route budget.
+    pub fn with_max_reroutes(mut self, n: usize) -> Self {
+        self.max_reroutes = n;
+        self
+    }
+
+    /// Sets the drained-node wait deadline.
+    pub fn with_query_deadline(mut self, d: Duration) -> Self {
+        assert!(d > Duration::ZERO, "deadline must be positive");
+        self.query_deadline = d;
+        self
+    }
+
+    /// Sets the shard-map lease length in heartbeat ticks.
+    pub fn with_lease_ticks(mut self, t: u64) -> Self {
+        assert!(t >= 1, "leases need a positive length");
+        self.lease_ticks = t;
+        self
+    }
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -281,6 +332,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("threads_per_node", &self.threads_per_node)
             .field("work_stealing", &self.work_stealing)
             .field("bsf_sharing", &self.bsf_sharing)
+            .field("fault_plan", &self.fault_plan.is_some())
             .finish()
     }
 }
@@ -310,6 +362,21 @@ mod tests {
         assert_eq!(c.node_speed(2), 0.5);
         let d = ClusterConfig::new(4);
         assert_eq!(d.node_speed(3), 1.0);
+    }
+
+    #[test]
+    fn failover_knobs() {
+        let c = ClusterConfig::new(4)
+            .with_fault_plan(FaultPlan::new().kill(1, 2))
+            .with_max_reroutes(5)
+            .with_query_deadline(Duration::from_millis(750))
+            .with_lease_ticks(8);
+        assert!(c.fault_plan.as_ref().is_some_and(|p| p.affects(1)));
+        assert_eq!(c.max_reroutes, 5);
+        assert_eq!(c.query_deadline, Duration::from_millis(750));
+        assert_eq!(c.lease_ticks, 8);
+        let d = ClusterConfig::new(4);
+        assert!(d.fault_plan.is_none(), "fault-free by default");
     }
 
     #[test]

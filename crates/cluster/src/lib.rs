@@ -28,15 +28,32 @@
 //! The reported makespan is the max over nodes of those units — the
 //! quantity the paper's wall-clock maxima estimate on real hardware.
 //! Wall-clock durations are reported alongside for reference.
+//!
+//! ## Failure awareness
+//!
+//! The replication *degree* of a PARTIAL-k topology buys replication
+//! *capability*: a [`shard_map::ShardMap`] tracks per-node health
+//! (`Up`/`Suspect`/`Down`) with lease-style liveness and an epoch
+//! counter; a deterministic [`faults::FaultPlan`] injects node kills,
+//! mid-query worker panics, and delays; and the batch runtime
+//! re-routes a dead node's unfinished queries to a surviving replica
+//! of the same group. When a group loses all replicas, queries
+//! terminate with an explicit [`shard_map::Coverage::Partial`] answer
+//! (exact over the surviving chunks) instead of hanging or silently
+//! passing a subset answer off as complete.
 
 pub mod boards;
 pub mod config;
+pub mod faults;
 pub mod runtime;
+pub mod shard_map;
 pub mod stealing;
 pub mod topology;
 pub mod units;
 
 pub use config::{BatchMode, ClusterConfig, Replication};
+pub use faults::{Fault, FaultPlan};
 pub use odyssey_sched::SchedulerKind;
 pub use runtime::{BatchReport, BuildReport, KnnBatchReport, OdysseyCluster};
+pub use shard_map::{Coverage, NodeHealth, ShardMap};
 pub use topology::Topology;

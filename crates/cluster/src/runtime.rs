@@ -11,8 +11,10 @@
 //!    sharing and work-stealing.
 //! 5. Local answers merge into the final per-query results.
 
-use crate::boards::{AnswerBoard, BoardBsf, BoardKnn, BsfBoard, KnnBoard};
+use crate::boards::{AnswerBoard, BoardBsf, BoardKnn, BsfBoard, CoverageBoard, KnnBoard};
 use crate::config::{BatchMode, ClusterConfig};
+use crate::faults::{self, NodeFaults};
+use crate::shard_map::{Coverage, ShardMap};
 use crate::stealing::{manager_loop, StealRequest};
 use crate::topology::Topology;
 use crate::units;
@@ -112,6 +114,17 @@ pub struct BatchReport {
     pub steals_successful: u64,
     /// BSF-channel broadcasts.
     pub bsf_broadcasts: u64,
+    /// Per-query answer coverage (the degraded-answer contract):
+    /// `Complete` unless some replication group lost all replicas
+    /// before contributing its chunk's answer.
+    pub coverage: Vec<Coverage>,
+    /// Query executions re-routed from a dead node to a surviving
+    /// replica of the same group.
+    pub reroutes: u64,
+    /// Nodes declared `Down` during the batch, in id order.
+    pub dead_nodes: Vec<usize>,
+    /// The shard-map epoch after the batch (0 = no health transitions).
+    pub final_epoch: u64,
 }
 
 impl BatchReport {
@@ -129,6 +142,11 @@ impl BatchReport {
     /// Total units across all nodes (the work the system performed).
     pub fn total_units(&self) -> u64 {
         self.per_node_units.iter().sum()
+    }
+
+    /// Whether every query's answer covers the whole collection.
+    pub fn fully_covered(&self) -> bool {
+        self.coverage.iter().all(|c| c.is_complete())
     }
 
     /// Queries per simulated second.
@@ -151,6 +169,8 @@ pub struct KnnBatchReport {
     pub wall: Duration,
     /// Work units per node.
     pub per_node_units: Vec<u64>,
+    /// Per-query answer coverage (see [`BatchReport::coverage`]).
+    pub coverage: Vec<Coverage>,
 }
 
 impl KnnBatchReport {
@@ -287,6 +307,13 @@ impl OdysseyCluster {
         &self.chunk_index[g]
     }
 
+    /// The chunk-local → global series-id map of replication group `g`
+    /// — the series a [`Coverage::Partial`] answer misses when `g` is
+    /// among its missing groups.
+    pub fn chunk_ids(&self, g: usize) -> &Arc<[u32]> {
+        &self.id_maps[g]
+    }
+
     /// Translates a chunk-local answer of group `g` to global series ids.
     fn globalize(&self, g: usize, mut a: Answer) -> Answer {
         if let Some(local) = a.series_id {
@@ -369,6 +396,12 @@ impl OdysseyCluster {
             steals_attempted: 0,
             steals_successful: 0,
             bsf_broadcasts: 0,
+            // The approximate path ignores fault plans (it is the cheap
+            // estimation primitive, not the failure-tested exact path).
+            coverage: vec![Coverage::Complete; nq],
+            reroutes: 0,
+            dead_nodes: Vec::new(),
+            final_epoch: 0,
         }
     }
 
@@ -491,6 +524,21 @@ impl OdysseyCluster {
         let use_lanes =
             self.config.inter_query_lanes && self.config.scheduler.needs_predictions();
         let group_costs = &group_costs;
+
+        // --- Failure-aware control plane --------------------------------
+        let shard_map = ShardMap::new(*topo, self.config.lease_ticks);
+        let coverage_board = CoverageBoard::new(nq, n_groups);
+        let fault_plan = self.config.fault_plan.as_deref();
+        // Work stranded by dead members, per group; survivors claim it
+        // on their pool surface after draining their own dispatch.
+        let reroute_queues: Vec<Mutex<RerouteQueue>> = (0..n_groups)
+            .map(|_| Mutex::new(RerouteQueue::default()))
+            .collect();
+        // `drained[n]`: node n will produce no further stranded work —
+        // it either died (its hand-off already ran) or finished its own
+        // dispatch and is only claiming re-routes from here on.
+        let drained: Vec<AtomicBool> = (0..n_nodes).map(|_| AtomicBool::new(false)).collect();
+        let reroutes_total = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for node in 0..n_nodes {
                 let g = topo.group_of(node);
@@ -513,6 +561,11 @@ impl OdysseyCluster {
                 let per_node_queries = &per_node_queries;
                 let steals_attempted = &steals_attempted;
                 let steals_successful = &steals_successful;
+                let shard_map = &shard_map;
+                let coverage_board = &coverage_board;
+                let reroute_queues = &reroute_queues;
+                let drained = &drained;
+                let reroutes_total = &reroutes_total;
                 let topo2 = topo;
                 let index = Arc::clone(&self.chunk_index[g]);
                 // Node worker thread.
@@ -526,16 +579,24 @@ impl OdysseyCluster {
                         self.config.threads_per_node,
                         Arc::clone(&registries[node]),
                     );
+                    let mut nf = NodeFaults::new(fault_plan, node);
                     // One installed service hook covers the pool and
-                    // every lane: straggler pacing, plus cooperative
-                    // steal serving (workers drain pending requests
-                    // between queue claims — see `run_search_with_service`
-                    // for why the manager thread alone is not enough on
-                    // an oversubscribed host).
-                    if stealing_enabled || speed < 1.0 {
+                    // every lane: straggler pacing, the fault clock
+                    // (delay pacing + armed worker panics), plus
+                    // cooperative steal serving (workers drain pending
+                    // requests between queue claims — see
+                    // `run_search_with_service` for why the manager
+                    // thread alone is not enough on an oversubscribed
+                    // host).
+                    if stealing_enabled
+                        || speed < 1.0
+                        || fault_plan.is_some_and(|p| p.affects(node))
+                    {
                         let rx = stealing_enabled.then(|| steal_rx_workers[node].clone());
                         let nsend = self.config.steal_nsend;
                         let served = Arc::clone(steals_served);
+                        let panic_armed = nf.panic_flag();
+                        let fault_delay = nf.delay();
                         engine.steal_registry().install_service(Arc::new(
                             move |reg: &StealRegistry| {
                                 // Straggler pacing: stretch the
@@ -545,6 +606,7 @@ impl OdysseyCluster {
                                     let extra = (1.0 / speed - 1.0) * 20.0;
                                     std::thread::sleep(Duration::from_micros(extra as u64));
                                 }
+                                faults::service_tick(&panic_armed, fault_delay);
                                 if let Some(rx) = &rx {
                                     while let Ok(req) = rx.try_recv() {
                                         crate::stealing::serve_request(req, reg, nsend, &served);
@@ -563,8 +625,98 @@ impl OdysseyCluster {
                         per_node_units[node].fetch_add(u, Ordering::Relaxed);
                         per_query_units[qid].fetch_add(u, Ordering::Relaxed);
                         per_node_queries[node].fetch_add(1, Ordering::Relaxed);
+                        // Liveness + coverage book-keeping: a finished
+                        // execution renews the node's lease, advances
+                        // the logical clock, and marks this query
+                        // answered for the node's group.
+                        shard_map.tick();
+                        shard_map.heartbeat(node);
+                        coverage_board.mark(qid, g);
                     };
-                    if use_lanes {
+                    // A dying node's hand-off (the crash notification):
+                    // mark `Down` in the shard map, push the torn-down
+                    // query and any stranded static assignment to the
+                    // group's re-route queue, and retire from the
+                    // protocol. Push-then-decrement under one lock keeps
+                    // Phase B's exit condition sound: nobody observes an
+                    // empty queue while work can still reappear.
+                    let hand_off = |claimed: Option<(usize, usize)>, dec_inflight: bool| {
+                        shard_map.mark_down(node);
+                        let mut rq = reroute_queues[g].lock();
+                        if let Some((qid, attempts)) = claimed {
+                            if attempts < self.config.max_reroutes {
+                                rq.queue.push_back((qid, attempts + 1));
+                            }
+                        }
+                        if self.config.max_reroutes > 0 {
+                            for qid in dispatch[g].drain_member(member_idx) {
+                                rq.queue.push_back((qid, 1));
+                            }
+                        }
+                        if dec_inflight {
+                            rq.inflight -= 1;
+                        }
+                        drop(rq);
+                        drained[node].store(true, Ordering::Release);
+                        done[node].store(true, Ordering::Release);
+                        group_done[g].fetch_add(1, Ordering::AcqRel);
+                    };
+                    if nf.has_fatal() {
+                        // A fault-bearing node runs the sequential pool
+                        // surface so its death has a well-defined point
+                        // (lanes would smear one query's death across a
+                        // whole concurrent round). Healthy group members
+                        // keep their lanes.
+                        loop {
+                            if nf.kill_due() {
+                                hand_off(None, false);
+                                return;
+                            }
+                            let Some(qid) = dispatch[g].next(member_idx) else {
+                                break;
+                            };
+                            let fatal_now = nf.panic_due();
+                            let run = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| {
+                                    self.execute_query(
+                                        &mut Runner::Pool(&engine),
+                                        None,
+                                        queries.series(qid),
+                                        qid,
+                                        mode,
+                                        g,
+                                        bsf_board,
+                                        answer_board,
+                                    )
+                                }),
+                            );
+                            match run {
+                                Ok(stats) => {
+                                    account(qid, &stats);
+                                    nf.record_execution();
+                                    if fatal_now {
+                                        // The armed panic crossed no
+                                        // service tick; the node still
+                                        // dies at this query — after
+                                        // completing it, so nothing
+                                        // needs re-routing.
+                                        hand_off(None, false);
+                                        return;
+                                    }
+                                }
+                                Err(_) => {
+                                    // The worker panic poisoned the
+                                    // lane barrier, unwound through the
+                                    // engine (pool reset, grant
+                                    // deregistered), and lands here:
+                                    // the torn-down query re-routes to
+                                    // a surviving replica.
+                                    hand_off(Some((qid, 0)), false);
+                                    return;
+                                }
+                            }
+                        }
+                    } else if use_lanes {
                         // Admission windows: pull a window of queries,
                         // plan widths from their cost estimates, run the
                         // window's rounds on partitioned worker groups.
@@ -602,6 +754,99 @@ impl OdysseyCluster {
                                 answer_board,
                             );
                             account(qid, &stats);
+                        }
+                    }
+                    // Phase B (fault plans only): before thieving, a
+                    // survivor waits on its group's re-route queue so a
+                    // dead member's stranded queries get a full
+                    // re-execution on a replica holding the same chunk.
+                    // Fault-free batches skip this entirely — their
+                    // behavior is byte-for-byte the pre-failover one.
+                    if fault_plan.is_some() {
+                        drained[node].store(true, Ordering::Release);
+                        let members = topo2.nodes_in_group(g);
+                        let wait_deadline =
+                            std::time::Instant::now() + self.config.query_deadline;
+                        enum Step {
+                            Claim(usize, usize),
+                            Idle,
+                            Exit,
+                        }
+                        loop {
+                            if nf.kill_due() {
+                                // A kill point past the node's own
+                                // workload fires once it goes idle.
+                                hand_off(None, false);
+                                return;
+                            }
+                            let step = {
+                                let mut rq = reroute_queues[g].lock();
+                                match rq.queue.pop_front() {
+                                    Some((qid, attempts)) => {
+                                        rq.inflight += 1;
+                                        Step::Claim(qid, attempts)
+                                    }
+                                    None if rq.inflight == 0
+                                        && members.iter().all(|&m| {
+                                            m == node || drained[m].load(Ordering::Acquire)
+                                        }) =>
+                                    {
+                                        Step::Exit
+                                    }
+                                    None => Step::Idle,
+                                }
+                            };
+                            match step {
+                                Step::Exit => break,
+                                Step::Idle => {
+                                    // Waiting on members still in
+                                    // Phase A: keep the lease machinery
+                                    // moving and never out-wait the
+                                    // per-query deadline.
+                                    shard_map.heartbeat(node);
+                                    shard_map.expire_leases();
+                                    if std::time::Instant::now() > wait_deadline {
+                                        break;
+                                    }
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                                Step::Claim(qid, attempts) => {
+                                    reroutes_total.fetch_add(1, Ordering::Relaxed);
+                                    let fatal_now = nf.panic_due();
+                                    let run = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            self.execute_query(
+                                                &mut Runner::Pool(&engine),
+                                                None,
+                                                queries.series(qid),
+                                                qid,
+                                                mode,
+                                                g,
+                                                bsf_board,
+                                                answer_board,
+                                            )
+                                        }),
+                                    );
+                                    match run {
+                                        Ok(stats) => {
+                                            account(qid, &stats);
+                                            nf.record_execution();
+                                            reroute_queues[g].lock().inflight -= 1;
+                                            if fatal_now {
+                                                hand_off(None, false);
+                                                return;
+                                            }
+                                        }
+                                        Err(_) => {
+                                            // Died mid-re-route: put the
+                                            // query back (bounded by
+                                            // `max_reroutes`) and retire.
+                                            hand_off(Some((qid, attempts)), true);
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
                     done[node].store(true, Ordering::Release);
@@ -736,6 +981,10 @@ impl OdysseyCluster {
             steals_attempted: steals_attempted.into_inner(),
             steals_successful: steals_successful.into_inner(),
             bsf_broadcasts: bsf_board.broadcasts(),
+            coverage: coverage_board.into_coverages(),
+            reroutes: reroutes_total.into_inner(),
+            dead_nodes: (0..n_nodes).filter(|&n| shard_map.is_down(n)).collect(),
+            final_epoch: shard_map.epoch(),
         }
     }
 
@@ -885,6 +1134,16 @@ impl OdysseyCluster {
         let group_costs = &group_costs;
         let knn_board = KnnBoard::new(nq, k);
         let per_node_units: Vec<AtomicU64> = (0..n_nodes).map(|_| AtomicU64::new(0)).collect();
+        // k-NN fault model: any fatal fault is a clean kill at its
+        // trigger point (the worker-panic *path* is exercised by the
+        // 1-NN batches; delays need the 1-NN service hook). Coverage
+        // and re-routing follow the same group-level contract.
+        let fault_plan = self.config.fault_plan.as_deref();
+        let coverage_board = CoverageBoard::new(nq, n_groups);
+        let reroute_queues: Vec<Mutex<RerouteQueue>> = (0..n_groups)
+            .map(|_| Mutex::new(RerouteQueue::default()))
+            .collect();
+        let drained: Vec<AtomicBool> = (0..n_nodes).map(|_| AtomicBool::new(false)).collect();
         std::thread::scope(|scope| {
             for node in 0..n_nodes {
                 let g = topo.group_of(node);
@@ -896,6 +1155,10 @@ impl OdysseyCluster {
                 let dispatch = &dispatch;
                 let knn_board = &knn_board;
                 let per_node_units = &per_node_units;
+                let coverage_board = &coverage_board;
+                let reroute_queues = &reroute_queues;
+                let drained = &drained;
+                let topo2 = topo;
                 let index = Arc::clone(&self.chunk_index[g]);
                 scope.spawn(move || {
                     let engine = BatchEngine::new(
@@ -905,7 +1168,9 @@ impl OdysseyCluster {
                     let params = SearchParams::new(self.config.threads_per_node)
                         .with_th(self.config.pq_threshold)
                         .with_nsb(self.config.rs_batches);
-                    let account = |stats: &SearchStats| {
+                    let fatal_at = fault_plan.and_then(|p| p.fatal_after(node));
+                    let mut executed = 0usize;
+                    let account = |qid: usize, stats: &SearchStats| {
                         per_node_units[node].fetch_add(
                             units::search_units(
                                 stats,
@@ -914,8 +1179,9 @@ impl OdysseyCluster {
                             ),
                             Ordering::Relaxed,
                         );
+                        coverage_board.mark(qid, g);
                     };
-                    if use_lanes {
+                    if use_lanes && fatal_at.is_none() {
                         self.run_lane_windows(
                             &dispatch[g],
                             member_idx,
@@ -932,11 +1198,26 @@ impl OdysseyCluster {
                                     params,
                                     knn_board,
                                 );
-                                account(&stats);
+                                account(qid, &stats);
                             },
                         );
                     } else {
-                        while let Some(qid) = dispatch[g].next(member_idx) {
+                        loop {
+                            if fatal_at == Some(executed) {
+                                // Dies before its next claim: strand the
+                                // static remainder for the survivors.
+                                if self.config.max_reroutes > 0 {
+                                    let mut rq = reroute_queues[g].lock();
+                                    for qid in dispatch[g].drain_member(member_idx) {
+                                        rq.queue.push_back((qid, 1));
+                                    }
+                                }
+                                drained[node].store(true, Ordering::Release);
+                                return;
+                            }
+                            let Some(qid) = dispatch[g].next(member_idx) else {
+                                break;
+                            };
                             let stats = self.execute_knn_query(
                                 &mut Runner::Pool(&engine),
                                 &index,
@@ -947,7 +1228,64 @@ impl OdysseyCluster {
                                 params,
                                 knn_board,
                             );
-                            account(&stats);
+                            account(qid, &stats);
+                            executed += 1;
+                        }
+                    }
+                    // Re-route phase (fault plans only): survivors pick
+                    // up a dead member's stranded queries. Kills only
+                    // fire between queries here, so a claimed re-route
+                    // always completes and `inflight` never strands.
+                    if fault_plan.is_some() {
+                        drained[node].store(true, Ordering::Release);
+                        let members = topo2.nodes_in_group(g);
+                        let wait_deadline =
+                            std::time::Instant::now() + self.config.query_deadline;
+                        loop {
+                            if fatal_at == Some(executed) {
+                                return; // dies idle; already drained
+                            }
+                            let claim = {
+                                let mut rq = reroute_queues[g].lock();
+                                match rq.queue.pop_front() {
+                                    Some((qid, _)) => {
+                                        rq.inflight += 1;
+                                        Some(qid)
+                                    }
+                                    None if rq.inflight == 0
+                                        && members.iter().all(|&m| {
+                                            m == node
+                                                || drained[m].load(Ordering::Acquire)
+                                        }) =>
+                                    {
+                                        break;
+                                    }
+                                    None => None,
+                                }
+                            };
+                            match claim {
+                                Some(qid) => {
+                                    let stats = self.execute_knn_query(
+                                        &mut Runner::Pool(&engine),
+                                        &index,
+                                        queries.series(qid),
+                                        qid,
+                                        k,
+                                        g,
+                                        params,
+                                        knn_board,
+                                    );
+                                    account(qid, &stats);
+                                    executed += 1;
+                                    reroute_queues[g].lock().inflight -= 1;
+                                }
+                                None => {
+                                    if std::time::Instant::now() > wait_deadline {
+                                        break;
+                                    }
+                                    std::thread::sleep(Duration::from_micros(50));
+                                }
+                            }
                         }
                     }
                 });
@@ -960,6 +1298,7 @@ impl OdysseyCluster {
                 .iter()
                 .map(|u| u.load(Ordering::Relaxed))
                 .collect(),
+            coverage: coverage_board.into_coverages(),
         }
     }
 }
@@ -1062,6 +1401,19 @@ impl Runner<'_, '_, '_> {
     }
 }
 
+/// Work stranded by dead group members, awaiting a surviving replica.
+#[derive(Default)]
+struct RerouteQueue {
+    /// `(query id, hand-off count)` — a query is dropped once its count
+    /// would exceed `ClusterConfig::max_reroutes` (it then surfaces as
+    /// missing coverage rather than an unbounded retry loop).
+    queue: VecDeque<(usize, usize)>,
+    /// Claimed but unfinished re-routes. A claimer that dies re-pushes
+    /// the query *before* decrementing this (under the same lock), so
+    /// observers never see an empty queue while work can reappear.
+    inflight: usize,
+}
+
 /// The per-group dispatch structure (stage 3's output).
 enum GroupDispatch {
     /// Per-member fixed queues (STATIC / PREDICT-ST*).
@@ -1136,12 +1488,26 @@ impl GroupDispatch {
             GroupDispatch::Dynamic(q) => q.lock().pop_front(),
         }
     }
+
+    /// Removes and returns member `member_idx`'s remaining fixed
+    /// assignment (a dying node stranding its static queue). The
+    /// dynamic queue is shared — surviving members keep pulling from it
+    /// — so nothing is stranded there.
+    fn drain_member(&self, member_idx: usize) -> Vec<usize> {
+        match self {
+            GroupDispatch::Static(queues) => {
+                queues[member_idx].lock().drain(..).collect()
+            }
+            GroupDispatch::Dynamic(_) => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Replication;
+    use crate::faults::FaultPlan;
     use odyssey_workloads::generator::random_walk;
     use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
 
@@ -1510,6 +1876,111 @@ mod tests {
                 assert!(
                     (knn.answers[qi].neighbors[0].0 - want.distance_sq).abs() < 1e-9,
                     "lanes={lanes} query {qi}: knn rank 0"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kill_with_surviving_replica_stays_bit_identical() {
+        let data = random_walk(1000, 64, 91);
+        let w = QueryWorkload::generate(
+            &data,
+            10,
+            WorkloadKind::Mixed {
+                hard_fraction: 0.4,
+                noise: 0.05,
+            },
+            17,
+        );
+        // Static scheduling pins per-node workloads, so the fault point
+        // is deterministically reached (a dynamic queue could let the
+        // siblings drain the batch before node 1's second claim).
+        let base = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(4)
+                .with_replication(Replication::Partial(2))
+                .with_scheduler(SchedulerKind::Static),
+        );
+        let clean = base.answer_batch(&w.queries);
+        // Node 1 dies before its third execution; node 3 holds the
+        // same chunk and picks up the stranded work.
+        let faulted = base
+            .reconfigured(|c| c.with_fault_plan(FaultPlan::new().kill(1, 2)))
+            .answer_batch(&w.queries);
+        assert_eq!(faulted.dead_nodes, vec![1]);
+        assert!(faulted.final_epoch >= 1);
+        assert!(faulted.fully_covered());
+        assert!(clean.fully_covered() && clean.dead_nodes.is_empty());
+        for qi in 0..w.len() {
+            assert_eq!(
+                faulted.answers[qi].distance.to_bits(),
+                clean.answers[qi].distance.to_bits(),
+                "query {qi}: failover changed the answer"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_group_dead_yields_partial_coverage_not_lies() {
+        let data = random_walk(900, 64, 92);
+        let w = QueryWorkload::generate(&data, 8, WorkloadKind::Hard, 19);
+        let cluster = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(2)
+                .with_replication(Replication::EquallySplit)
+                .with_fault_plan(FaultPlan::new().kill(1, 0)),
+        );
+        let report = cluster.answer_batch(&w.queries);
+        assert_eq!(report.dead_nodes, vec![1]);
+        // Group 1 died before answering anything: every query is
+        // explicitly partial — and exact over the surviving chunk.
+        let survivors = cluster.chunk_ids(0);
+        for qi in 0..w.len() {
+            assert_eq!(
+                report.coverage[qi],
+                Coverage::Partial {
+                    missing_groups: vec![1]
+                }
+            );
+            let mut best = f64::INFINITY;
+            for &gid in survivors.iter() {
+                best = best.min(odyssey_core::distance::euclidean_sq(
+                    w.query(qi),
+                    data.series(gid as usize),
+                ));
+            }
+            assert!(
+                (report.answers[qi].distance_sq - best).abs() < 1e-9,
+                "query {qi}: partial answer must be exact over survivors"
+            );
+        }
+    }
+
+    #[test]
+    fn knn_kill_with_survivor_matches_brute_force() {
+        let data = random_walk(700, 64, 93);
+        let w = QueryWorkload::generate(&data, 6, WorkloadKind::Hard, 21);
+        let cluster = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(4)
+                .with_replication(Replication::Partial(2))
+                .with_scheduler(SchedulerKind::Static)
+                .with_fault_plan(FaultPlan::new().kill(0, 1)),
+        );
+        let k = 3;
+        let report = cluster.answer_batch_knn(&w.queries, k);
+        assert!(report.coverage.iter().all(|c| c.is_complete()));
+        for qi in 0..w.len() {
+            let q = w.query(qi);
+            let mut all: Vec<f64> = (0..data.num_series())
+                .map(|i| odyssey_core::distance::euclidean_sq(q, data.series(i)))
+                .collect();
+            all.sort_by(|a, b| a.total_cmp(b));
+            for (j, got) in report.answers[qi].neighbors.iter().enumerate() {
+                assert!(
+                    (got.0 - all[j]).abs() < 1e-9,
+                    "query {qi} neighbor {j} after failover"
                 );
             }
         }

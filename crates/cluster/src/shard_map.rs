@@ -1,0 +1,389 @@
+//! The failure-aware control plane: a node registry / shard map layered
+//! over [`Topology`].
+//!
+//! The [`Topology`] answers *where data lives* (which nodes form which
+//! replication group); the [`ShardMap`] answers *who is alive to serve
+//! it*. Grounded in the clarium HA design (SNIPPETS.md snippet 1: node
+//! registry + shard map + leases + degraded-mode reads):
+//!
+//! * every node carries a health state — [`NodeHealth::Up`],
+//!   [`NodeHealth::Suspect`], or [`NodeHealth::Down`];
+//! * liveness is lease-style: nodes renew their lease with
+//!   [`ShardMap::heartbeat`] ticks of a logical clock; a node whose
+//!   lease is one interval overdue becomes `Suspect`, two intervals
+//!   overdue becomes `Down` ([`ShardMap::expire_leases`]);
+//! * a crash notification ([`ShardMap::mark_down`]) short-circuits the
+//!   lease path — the simulated runtime calls it from a dying node's
+//!   own hand-off, the way an MPI connection reset would surface;
+//! * every health transition bumps an **epoch** counter, so any routing
+//!   decision can be attributed to the exact map version it was made
+//!   under ([`ShardMap::snapshot`]).
+//!
+//! `Down` is terminal within a batch: a downed node's heartbeats are
+//! fenced out (a rejoin is a *new* node — online node add is
+//! intentionally out of scope, see ROADMAP). `Suspect` is recoverable:
+//! the next heartbeat restores `Up`, so a merely *delayed* node (a
+//! [`crate::faults::Fault::Delay`] straggler) flaps to `Suspect` and
+//! back without ever being routed around permanently.
+//!
+//! The degraded-answer contract is expressed by [`Coverage`]: a query
+//! whose every replication group contributed an answer is
+//! [`Coverage::Complete`]; if some group lost all replicas before
+//! answering, the query still terminates — with
+//! [`Coverage::Partial`] naming the missing groups instead of hanging
+//! or silently passing off a subset answer as exact.
+
+use crate::topology::Topology;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Health of one node in the shard map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Lease current; full routing target.
+    Up,
+    /// Lease one interval overdue; still serving, deprioritized for
+    /// routing, recovers to [`NodeHealth::Up`] on the next heartbeat.
+    Suspect,
+    /// Crashed or lease two intervals overdue. Terminal for the batch.
+    Down,
+}
+
+const UP: u8 = 0;
+const SUSPECT: u8 = 1;
+const DOWN: u8 = 2;
+
+impl NodeHealth {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            UP => NodeHealth::Up,
+            SUSPECT => NodeHealth::Suspect,
+            _ => NodeHealth::Down,
+        }
+    }
+}
+
+/// How much of the data a query's answer covers (the degraded-answer
+/// contract).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Coverage {
+    /// Every replication group contributed: the answer is exact over
+    /// the full collection.
+    Complete,
+    /// The named groups lost all replicas before answering: the answer
+    /// is exact over the *surviving* chunks only.
+    Partial {
+        /// Replication groups (= chunks) with no contribution.
+        missing_groups: Vec<usize>,
+    },
+}
+
+impl Coverage {
+    /// Whether the answer covers the whole collection.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Coverage::Complete)
+    }
+
+    /// The missing groups (empty when complete).
+    pub fn missing_groups(&self) -> &[usize] {
+        match self {
+            Coverage::Complete => &[],
+            Coverage::Partial { missing_groups } => missing_groups,
+        }
+    }
+}
+
+/// An immutable view of the map at one epoch, for attributing routing
+/// decisions.
+#[derive(Debug, Clone)]
+pub struct ShardMapSnapshot {
+    /// The epoch the health vector was read at.
+    pub epoch: u64,
+    /// Per-node health at that epoch.
+    pub health: Vec<NodeHealth>,
+}
+
+/// The node registry: per-group member lists with health states,
+/// lease-driven liveness, and an epoch counter.
+///
+/// All methods take `&self` and are safe to call concurrently from
+/// every node thread of the simulated runtime.
+#[derive(Debug)]
+pub struct ShardMap {
+    topology: Topology,
+    health: Vec<AtomicU8>,
+    /// Logical-clock value of each node's last heartbeat.
+    last_beat: Vec<AtomicU64>,
+    /// The logical clock leases are measured against.
+    clock: AtomicU64,
+    /// Bumped once per health transition.
+    epoch: AtomicU64,
+    lease_ticks: u64,
+}
+
+impl ShardMap {
+    /// A map over `topology` with every node `Up` and leases `lease_ticks`
+    /// logical ticks long.
+    pub fn new(topology: Topology, lease_ticks: u64) -> Self {
+        assert!(lease_ticks >= 1, "leases need a positive length");
+        let n = topology.n_nodes();
+        ShardMap {
+            topology,
+            health: (0..n).map(|_| AtomicU8::new(UP)).collect(),
+            last_beat: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            clock: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            lease_ticks,
+        }
+    }
+
+    /// The topology this map is layered over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Current epoch (bumped once per health transition).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the logical clock by one tick and returns the new time.
+    /// The simulated runtime ticks once per query execution.
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Health of `node`.
+    pub fn health(&self, node: usize) -> NodeHealth {
+        NodeHealth::from_u8(self.health[node].load(Ordering::Acquire))
+    }
+
+    /// Whether `node` is `Down`.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.health[node].load(Ordering::Acquire) == DOWN
+    }
+
+    /// Renews `node`'s lease at the current logical time. A `Suspect`
+    /// node recovers to `Up`; a `Down` node's heartbeat is fenced out
+    /// (stale beats from a declared-dead node must not resurrect it).
+    pub fn heartbeat(&self, node: usize) {
+        self.last_beat[node].store(self.now(), Ordering::Relaxed);
+        if self.health[node]
+            .compare_exchange(SUSPECT, UP, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Applies lease expiry at the current logical time: a lease one
+    /// interval overdue demotes `Up → Suspect`; two intervals overdue
+    /// demotes `Suspect → Down`. Any node may call this (every node
+    /// observes every other node's silence).
+    pub fn expire_leases(&self) {
+        let now = self.now();
+        for node in 0..self.topology.n_nodes() {
+            let age = now.saturating_sub(self.last_beat[node].load(Ordering::Relaxed));
+            if age > 2 * self.lease_ticks
+                && self.health[node]
+                    .compare_exchange(SUSPECT, DOWN, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.epoch.fetch_add(1, Ordering::AcqRel);
+            }
+            if age > self.lease_ticks
+                && self.health[node]
+                    .compare_exchange(UP, SUSPECT, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                self.epoch.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Declares `node` `Down` immediately (a crash notification, not a
+    /// lease expiry). Returns whether this call performed the
+    /// transition — exactly one caller wins, so death-driven hand-off
+    /// runs once.
+    pub fn mark_down(&self, node: usize) -> bool {
+        let prev = self.health[node].swap(DOWN, Ordering::AcqRel);
+        if prev != DOWN {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The members of group `g` that are not `Down`, in id order.
+    pub fn live_in_group(&self, g: usize) -> Vec<usize> {
+        self.topology
+            .nodes_in_group(g)
+            .into_iter()
+            .filter(|&n| !self.is_down(n))
+            .collect()
+    }
+
+    /// Whether group `g` still has at least one non-`Down` member (its
+    /// chunk is still reachable).
+    pub fn group_has_survivor(&self, g: usize) -> bool {
+        self.topology
+            .nodes_in_group(g)
+            .into_iter()
+            .any(|n| !self.is_down(n))
+    }
+
+    /// Picks a surviving replica of group `g` to re-route work to,
+    /// excluding `exclude` (the dead node handing its work off).
+    /// Deterministic: the lowest-id `Up` member wins; `Suspect` members
+    /// are used only when no member is `Up`. Returns the node and the
+    /// epoch the decision was made at.
+    pub fn route(&self, g: usize, exclude: usize) -> Option<(usize, u64)> {
+        let epoch = self.epoch();
+        let members = self.topology.nodes_in_group(g);
+        let pick = |want: u8| {
+            members
+                .iter()
+                .copied()
+                .find(|&n| n != exclude && self.health[n].load(Ordering::Acquire) == want)
+        };
+        pick(UP).or_else(|| pick(SUSPECT)).map(|n| (n, epoch))
+    }
+
+    /// The groups with **no** surviving member — the `missing_groups` of
+    /// a [`Coverage::Partial`] answer when nobody answered for them.
+    pub fn dead_groups(&self) -> Vec<usize> {
+        (0..self.topology.n_groups())
+            .filter(|&g| !self.group_has_survivor(g))
+            .collect()
+    }
+
+    /// An epoch-stamped health snapshot.
+    pub fn snapshot(&self) -> ShardMapSnapshot {
+        ShardMapSnapshot {
+            epoch: self.epoch(),
+            health: (0..self.topology.n_nodes())
+                .map(|n| self.health(n))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n_nodes: usize, n_groups: usize, lease: u64) -> ShardMap {
+        ShardMap::new(Topology::new(n_nodes, n_groups).expect("valid"), lease)
+    }
+
+    #[test]
+    fn starts_all_up_at_epoch_zero() {
+        let m = map(4, 2, 4);
+        assert_eq!(m.epoch(), 0);
+        for n in 0..4 {
+            assert_eq!(m.health(n), NodeHealth::Up);
+        }
+        assert_eq!(m.live_in_group(0), vec![0, 2]);
+        assert!(m.dead_groups().is_empty());
+    }
+
+    #[test]
+    fn mark_down_bumps_epoch_once() {
+        let m = map(4, 2, 4);
+        assert!(m.mark_down(1));
+        assert_eq!(m.health(1), NodeHealth::Down);
+        assert_eq!(m.epoch(), 1);
+        assert!(!m.mark_down(1), "second caller loses the transition");
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_walks_up_suspect_down() {
+        let m = map(2, 1, 2);
+        // Node 1 beats at t=0 and then goes silent; node 0 keeps
+        // beating and observing.
+        for _ in 0..3 {
+            m.tick();
+            m.heartbeat(0);
+            m.expire_leases();
+        }
+        // t=3: node 1's lease (2 ticks) is one interval overdue.
+        assert_eq!(m.health(1), NodeHealth::Suspect);
+        assert_eq!(m.health(0), NodeHealth::Up);
+        for _ in 0..2 {
+            m.tick();
+            m.heartbeat(0);
+            m.expire_leases();
+        }
+        // t=5: two intervals overdue.
+        assert_eq!(m.health(1), NodeHealth::Down);
+        assert_eq!(m.epoch(), 2, "Up→Suspect and Suspect→Down each bump");
+        assert!(m.dead_groups().is_empty(), "node 0 still serves group 0");
+        assert_eq!(m.live_in_group(0), vec![0]);
+    }
+
+    #[test]
+    fn heartbeat_recovers_suspect_but_not_down() {
+        let m = map(2, 1, 1);
+        for _ in 0..2 {
+            m.tick();
+            m.heartbeat(0);
+        }
+        m.expire_leases();
+        assert_eq!(m.health(1), NodeHealth::Suspect);
+        let e = m.epoch();
+        m.heartbeat(1);
+        assert_eq!(m.health(1), NodeHealth::Up, "delayed node recovers");
+        assert_eq!(m.epoch(), e + 1);
+        m.mark_down(1);
+        m.heartbeat(1);
+        assert_eq!(m.health(1), NodeHealth::Down, "stale beat is fenced");
+    }
+
+    #[test]
+    fn route_prefers_up_over_suspect_and_skips_down() {
+        let m = map(8, 2, 4);
+        // Group 0 = {0, 2, 4, 6}. Kill 0, suspect 2.
+        m.mark_down(0);
+        m.health[2].store(SUSPECT, Ordering::Release);
+        let (n, epoch) = m.route(0, 0).expect("survivors exist");
+        assert_eq!(n, 4, "lowest-id Up member");
+        assert_eq!(epoch, m.epoch());
+        // Only a Suspect left: it is still a valid target.
+        m.mark_down(4);
+        m.mark_down(6);
+        assert_eq!(m.route(0, 0).map(|(n, _)| n), Some(2));
+        m.mark_down(2);
+        assert_eq!(m.route(0, 0), None, "whole group dead");
+        assert_eq!(m.dead_groups(), vec![0]);
+        assert!(m.group_has_survivor(1));
+    }
+
+    #[test]
+    fn snapshot_is_epoch_stamped() {
+        let m = map(4, 4, 4);
+        let s0 = m.snapshot();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.health, vec![NodeHealth::Up; 4]);
+        m.mark_down(3);
+        let s1 = m.snapshot();
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.health[3], NodeHealth::Down);
+    }
+
+    #[test]
+    fn coverage_accessors() {
+        assert!(Coverage::Complete.is_complete());
+        assert!(Coverage::Complete.missing_groups().is_empty());
+        let p = Coverage::Partial {
+            missing_groups: vec![1, 3],
+        };
+        assert!(!p.is_complete());
+        assert_eq!(p.missing_groups(), &[1, 3]);
+    }
+}

@@ -20,6 +20,28 @@
 //! work, mid-round. The same serving path also runs cooperatively on
 //! the search workers themselves through the registry's installed
 //! service hook (see `ClusterConfig::work_stealing`).
+//!
+//! ## Dead-node semantics
+//!
+//! The protocol tolerates a victim dying mid-batch without wedging
+//! thieves, because every path degrades to the *empty reply*:
+//!
+//! * a node that dies between queries has no registered grant, so its
+//!   registry is empty and [`serve_request`] answers
+//!   [`StealResponse::empty`];
+//! * a node that dies *mid-query* through the worker-panic path has its
+//!   grant deregistered by the engine's unwind (the `InflightQuery`
+//!   drop recycles the published batch views), so the next request also
+//!   sees an empty registry — a dead node's in-flight work is never
+//!   served twice;
+//! * the manager thread outlives its node's death: [`manager_loop`]
+//!   exits only when the whole group is done (a dying node still
+//!   increments the group counter during its hand-off), so requests
+//!   racing with the death are answered, not dropped.
+//!
+//! An empty reply sends the thief back to pick another victim; the dead
+//! node's *unfinished queries* travel separately, through the runtime's
+//! re-route queue, as whole re-executions on a surviving replica.
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use odyssey_core::search::engine::StealRegistry;
@@ -204,6 +226,42 @@ mod tests {
             done.store(1, Ordering::Release);
         });
         assert_eq!(served.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn dead_victim_replies_empty_and_never_double_serves() {
+        // A "node death" from the protocol's point of view: the grants
+        // drop (the engine unwound or the node retired between queries)
+        // while the manager keeps running on an incremented group
+        // counter. Thieves must get empty replies, not hangs, and the
+        // dropped query's batches must never be served again.
+        let (tx, rx) = unbounded::<StealRequest>();
+        let registry = Arc::new(StealRegistry::default());
+        let grant = registry.register(
+            5,
+            2,
+            Arc::new(SharedBsf::new(9.0, None)) as Arc<dyn ResultSet + Send + Sync>,
+        );
+        grant.view().test_init(4);
+        grant.view().test_publish(vec![0, 1, 2, 3]);
+        // The node dies: the grant drops (views recycled) and its
+        // hand-off counts it done.
+        drop(grant);
+        assert_eq!(registry.in_flight(), 0);
+        let done = AtomicUsize::new(1);
+        let served = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| manager_loop(&rx, &registry, &done, 2, 4, &served));
+            let (rtx, rrx) = bounded(1);
+            tx.send(StealRequest { from: 0, reply: rtx }).unwrap();
+            let resp = rrx
+                .recv_timeout(Duration::from_secs(1))
+                .expect("thief must not wedge on a dead victim");
+            assert!(resp.batch_ids.is_empty(), "dead node serves nothing");
+            assert_eq!(resp.query_id, None);
+            done.store(2, Ordering::Release);
+        });
+        assert_eq!(served.load(Ordering::Relaxed), 0, "no double-serve");
     }
 
     #[test]

@@ -160,4 +160,54 @@ mod tests {
         assert!(Topology::new(4, 3).is_err(), "3 does not divide 4");
         assert!(Topology::new(2, 4).is_err(), "more groups than nodes");
     }
+
+    /// Exhaustive round-trip over every (n, k) up to 16: either the
+    /// constructor rejects the pair, or `group_of`/`nodes_of_group`
+    /// (and the cluster maps) are mutually consistent bijections.
+    #[test]
+    fn group_round_trips_for_all_shapes_up_to_16() {
+        for n in 1..=16usize {
+            for k in 1..=16usize {
+                let t = match Topology::new(n, k) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        assert!(
+                            k > n || !n.is_multiple_of(k),
+                            "({n}, {k}) wrongly rejected"
+                        );
+                        continue;
+                    }
+                };
+                assert!(n.is_multiple_of(k), "({n}, {k}) wrongly accepted");
+                assert_eq!(t.replication_degree() * t.n_groups(), n);
+                // node → group → members → node round-trips.
+                for node in 0..n {
+                    let g = t.group_of(node);
+                    assert!(g < k);
+                    let members = t.nodes_in_group(g);
+                    assert!(
+                        members.contains(&node),
+                        "({n}, {k}): node {node} missing from its group {g}"
+                    );
+                    let c = t.cluster_of(node);
+                    assert!(t.nodes_in_cluster(c).contains(&node));
+                }
+                // group → members → group round-trips, and groups
+                // partition the node set.
+                let mut seen = vec![0u32; n];
+                for g in 0..k {
+                    let members = t.nodes_in_group(g);
+                    assert_eq!(members.len(), t.replication_degree());
+                    for m in members {
+                        assert_eq!(t.group_of(m), g);
+                        seen[m] += 1;
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "({n}, {k}): groups must partition the nodes"
+                );
+            }
+        }
+    }
 }

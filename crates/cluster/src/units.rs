@@ -55,6 +55,23 @@ pub fn units_to_seconds(units: u64, threads_per_node: usize) -> f64 {
     units as f64 * SECONDS_PER_UNIT / threads_per_node.max(1) as f64
 }
 
+/// Recovery latency of a faulted batch in simulated seconds: how much
+/// *longer* the batch ran (max-over-nodes, in units) than its
+/// fault-free baseline. Re-routed executions land on survivors, so the
+/// faulted makespan is at least the baseline; the difference is the
+/// price of the failover. Clamped at zero (a kill can also *shorten*
+/// the makespan when the dead node was the straggler).
+pub fn recovery_seconds(
+    faulted_makespan_units: u64,
+    baseline_makespan_units: u64,
+    threads_per_node: usize,
+) -> f64 {
+    units_to_seconds(
+        faulted_makespan_units.saturating_sub(baseline_makespan_units),
+        threads_per_node,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +100,13 @@ mod tests {
     fn buffer_units_proportional_to_volume() {
         assert_eq!(buffer_units(100, 64), 12_800);
         assert_eq!(buffer_units(200, 64), 25_600);
+    }
+
+    #[test]
+    fn recovery_seconds_is_clamped_overhead() {
+        let over = recovery_seconds(3_000_000, 1_000_000, 1);
+        assert!((over - units_to_seconds(2_000_000, 1)).abs() < 1e-15);
+        // A kill that removed the straggler: no recovery cost.
+        assert_eq!(recovery_seconds(500, 1_000, 4), 0.0);
     }
 }

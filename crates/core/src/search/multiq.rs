@@ -52,6 +52,7 @@ use crate::sync::PhaseBarrier;
 use super::engine::poisoned_job;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One worker group of a [`RoundSpec`]: `width` pool threads answering
@@ -229,12 +230,24 @@ pub(crate) struct LaneState {
     /// The published per-query job (lifetime-erased; see
     /// [`erase_job`]'s safety contract, upheld by [`LaneState::run`]).
     slot: Mutex<Option<Job>>,
+    /// Followers currently *inside* the published job. Rank 0 must not
+    /// let an unwind escape the job body's frame while this is nonzero:
+    /// the erased job borrows that frame (and those above it), so a
+    /// follower still executing it would dereference a dead stack.
+    active: AtomicUsize,
 }
 
 impl LaneState {
     /// Runs `body(rank, scratch)` once on every member of the group
     /// (the caller executes rank 0 inline) and returns when all are
     /// done. Followers must be parked in [`LaneState::follow`].
+    ///
+    /// # Panics
+    /// Re-raises a panic from `body` or from a follower-poisoned
+    /// barrier — but only after poisoning the lane and draining every
+    /// follower out of the erased job, so the unwind never frees a
+    /// frame the job still borrows (the lane-level analogue of the
+    /// worker pool's drain-before-resume discipline).
     fn run(&self, body: JobRef<'_>, scratch: &mut WorkerScratch) {
         if self.width == 1 {
             body(0, scratch);
@@ -242,8 +255,29 @@ impl LaneState {
         }
         *self.slot.lock() = Some(erase_job(body));
         self.barrier.wait(); // publish: followers pick the job up
-        body(0, scratch);
-        self.barrier.wait(); // completion: no follower still runs it
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(0, scratch);
+            self.barrier.wait(); // completion: no follower still runs it
+        }));
+        if let Err(payload) = outcome {
+            // Either the body panicked (a worker died mid-query) or a
+            // follower's panic poisoned the completion wait. Stop new
+            // pickups, then wait for followers still inside the job —
+            // poison wakes any of them blocked at a phase barrier.
+            self.barrier.poison();
+            while self.active.load(Ordering::SeqCst) > 0 {
+                std::hint::spin_loop();
+            }
+            #[cfg(debug_assertions)]
+            {
+                *self.slot.lock() = Some(poisoned_job());
+            }
+            #[cfg(not(debug_assertions))]
+            {
+                *self.slot.lock() = None;
+            }
+            std::panic::resume_unwind(payload);
+        }
         // The borrow erased by `erase_job` ends here; the slot must not
         // be executable past this point. Debug builds plant a canary
         // job that panics loudly if a stale pickup ever happens.
@@ -273,7 +307,23 @@ impl LaneState {
             self.barrier.wait();
             let job = *self.slot.lock();
             let Some(job) = job else { return };
-            (job.0)(rank, scratch);
+            // Enter the job visibly *before* re-checking for poison:
+            // rank 0 poisons first and drains `active` second, so every
+            // interleaving either sees the poison here (and never calls
+            // the job) or is seen by the drain (and holds rank 0's
+            // frames alive until the job call returns).
+            self.active.fetch_add(1, Ordering::SeqCst);
+            if self.barrier.is_poisoned() {
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                panic!("lane round aborted before this follower started its job");
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (job.0)(rank, scratch)
+            }));
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            if let Err(payload) = outcome {
+                std::panic::resume_unwind(payload);
+            }
             self.barrier.wait();
         }
     }
@@ -312,6 +362,7 @@ impl LaneRuntime {
                     width: spec.width,
                     barrier: PhaseBarrier::new(spec.width),
                     slot: Mutex::new(None),
+                    active: AtomicUsize::new(0),
                 }
             })
             .collect();

@@ -121,6 +121,61 @@ fn steal_service_under_lanes_stays_exact_at_2_4_8_threads() {
     }
 }
 
+/// A worker killed mid-round — the failover tier's death model: the
+/// cooperative service hook panics once inside a lane round, the
+/// poisoned barrier unwinds every sibling worker, the engine resets
+/// its pool and deregisters the steal grant, and the *same* engine
+/// then re-runs the full batch bit-identically. TSan watches the
+/// poison/reset edges that an unsynchronized teardown would miss.
+#[test]
+fn kill_mid_round_then_rerun_is_bit_identical_at_2_4_8_threads() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let index = build(600);
+    let qdata: Vec<Vec<f32>> = (0..6)
+        .map(|i| walk_dataset(1, 64, 1500 + i).series(0).to_vec())
+        .collect();
+    let queries: Vec<BatchQuery> = qdata
+        .iter()
+        .map(|q| BatchQuery::new(q, QueryKind::Exact))
+        .collect();
+    let params = SearchParams::new(1).with_th(16);
+    let order: Vec<usize> = (0..queries.len()).collect();
+    let reference = BatchEngine::new(Arc::clone(&index), 2)
+        .run_batch(&queries, &order, &params);
+
+    for pool in [2usize, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), pool);
+        let armed = Arc::new(AtomicBool::new(true));
+        let trigger = Arc::clone(&armed);
+        engine.steal_registry().install_service(Arc::new(move |_| {
+            if trigger.swap(false, Ordering::AcqRel) {
+                panic!("injected worker death");
+            }
+        }));
+        let plan = ConcurrentPlan::uniform(queries.len(), pool, (pool / 2).max(1));
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_batch_concurrent(&queries, &plan, &params)
+        }));
+        assert!(killed.is_err(), "pool={pool}: armed hook must kill the round");
+        assert_eq!(
+            engine.steal_registry().in_flight(),
+            0,
+            "pool={pool}: unwind must deregister the dying round's grants"
+        );
+        // The pool reset on unwind leaves the engine reusable: the
+        // re-run (a failover re-execution) must match the reference.
+        let conc = engine.run_batch_concurrent(&queries, &plan, &params);
+        for (qi, (a, b)) in reference.items.iter().zip(&conc.items).enumerate() {
+            assert_eq!(
+                a.answer.nn().distance.to_bits(),
+                b.answer.nn().distance.to_bits(),
+                "pool={pool} query={qi}: re-run after kill must be bit-identical"
+            );
+        }
+    }
+}
+
 /// The resident pool's epoch protocol (publish, run, drain) crossed
 /// many times in a row at each width — the pattern where a missed
 /// happens-before edge between submitter and workers would surface.

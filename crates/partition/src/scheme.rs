@@ -33,6 +33,28 @@ impl Partition {
         data.gather(&self.chunks[c])
     }
 
+    /// Per-chunk series counts, in chunk order.
+    pub fn chunk_sizes(&self) -> Vec<usize> {
+        self.chunks.iter().map(|c| c.len()).collect()
+    }
+
+    /// The fraction of the collection still covered when the chunks in
+    /// `missing` are unreachable (a cluster's degraded-answer coverage
+    /// when those replication groups lost all replicas). Chunk ids not
+    /// in this partition are ignored.
+    pub fn covered_fraction(&self, missing: &[usize]) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let lost: usize = missing
+            .iter()
+            .filter(|&&c| c < self.chunks.len())
+            .map(|&c| self.chunks[c].len())
+            .sum();
+        (total - lost) as f64 / total as f64
+    }
+
     /// Max/min chunk-size imbalance as a fraction of the mean (0 =
     /// perfectly balanced).
     pub fn imbalance(&self) -> f64 {
@@ -193,6 +215,20 @@ mod tests {
             chunks: vec![vec![0u32; 30], Vec::new()],
         };
         assert!(skewed.imbalance() > 1.9);
+    }
+
+    #[test]
+    fn covered_fraction_counts_lost_chunks() {
+        let p = equally_split(100, 4);
+        assert_eq!(p.chunk_sizes(), vec![25, 25, 25, 25]);
+        assert_eq!(p.covered_fraction(&[]), 1.0);
+        assert!((p.covered_fraction(&[1]) - 0.75).abs() < 1e-12);
+        assert!((p.covered_fraction(&[0, 3]) - 0.5).abs() < 1e-12);
+        assert_eq!(p.covered_fraction(&[0, 1, 2, 3]), 0.0);
+        // Out-of-range chunk ids are ignored, and the empty partition
+        // counts as fully covered.
+        assert!((p.covered_fraction(&[9]) - 1.0).abs() < 1e-12);
+        assert_eq!(equally_split(0, 2).covered_fraction(&[0]), 1.0);
     }
 
     #[test]

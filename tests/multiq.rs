@@ -254,6 +254,53 @@ fn cluster_lanes_with_stealing_match_sequential_pool() {
     }
 }
 
+/// Pins the registry's dead-node contract (the failover path's
+/// dependency): when a node is declared `Down`, its grants drop — via
+/// the engine's unwind on a worker panic, or trivially when death
+/// lands between queries — and from that point the registry must (a)
+/// recycle the published views, (b) never serve the dead query's
+/// batches again, and (c) answer further steal probes with `None`
+/// rather than blocking.
+#[test]
+fn registry_down_node_recycles_views_and_never_double_serves() {
+    let registry = Arc::new(StealRegistry::default());
+    let bsf = Arc::new(SharedBsf::new(7.0, None));
+    let grant = registry.register(0, 2, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+    grant.view().test_init(6);
+    grant.view().test_publish((0..6).collect());
+    // A thief takes a slice while the query is live.
+    let first = registry.serve_steal(2).expect("live victim");
+    assert_eq!(first.query_id, 0);
+    let mut seen: HashSet<usize> = first.batch_ids.into_iter().collect();
+    // The node dies: its grant drops exactly like the engine's unwind
+    // path drops it (InflightQuery::drop deregisters + recycles).
+    drop(grant);
+    assert_eq!(registry.in_flight(), 0, "death deregisters the query");
+    // No probe after death may produce the dead query's work.
+    for _ in 0..4 {
+        assert!(
+            registry.serve_steal(4).is_none(),
+            "dead node's batches must not be served"
+        );
+    }
+    // Re-registration after recycling (the replica re-executing the
+    // query) starts a fresh view: batches served before the death do
+    // not poison the new registration.
+    let regrant =
+        registry.register(0, 2, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+    regrant.view().test_init(6);
+    regrant.view().test_publish((0..6).collect());
+    let again = registry.serve_steal(6).expect("fresh registration serves");
+    assert_eq!(again.query_id, 0);
+    assert!(!again.batch_ids.is_empty());
+    // Within one registration nothing is double-served; across the
+    // re-execution the same global batch ids may legitimately reappear.
+    seen.clear();
+    for b in again.batch_ids {
+        assert!(seen.insert(b), "double-serve within one registration");
+    }
+}
+
 fn flat_sorted_queries(plan: &ConcurrentPlan) -> Vec<usize> {
     let mut qs: Vec<usize> = plan
         .rounds

@@ -21,6 +21,14 @@
 //!    `#![forbid(unsafe_code)]`; the crate that hosts unsafe carries
 //!    `#![deny(unsafe_op_in_unsafe_fn)]` and
 //!    `#![deny(missing_debug_implementations)]`.
+//! 6. **Fault-clock discipline.** In the fault-injection module
+//!    (`crates/cluster/src/faults.rs`) every `thread::sleep` must be
+//!    marked with a `// FAULT-CLOCK:` comment: injected delays are part
+//!    of the deterministic fault plan, and the marker keeps ad-hoc
+//!    timing sleeps from creeping into the fault machinery. (Raw
+//!    `thread::spawn` there is already banned by rule 4 — fault
+//!    injection rides the runtime's scoped node threads, it never owns
+//!    threads.)
 //!
 //! Comments and string literals are stripped before token matching, so
 //! prose about `unsafe` never trips the lint, and the lint can check its
@@ -59,6 +67,10 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
 
 /// Crate roots that host unsafe and must carry the hardening denies.
 const UNSAFE_HOST_ROOTS: &[&str] = &["crates/core/src/lib.rs"];
+
+/// Files whose `thread::sleep` calls must carry a `// FAULT-CLOCK:`
+/// marker (the deterministic fault-injection clock).
+const FAULT_CLOCK_FILES: &[&str] = &["crates/cluster/src/faults.rs"];
 
 /// One lint finding.
 #[derive(Debug)]
@@ -197,12 +209,12 @@ fn unsafe_construct(code: &str) -> bool {
         || rest.is_empty() // `unsafe` at end of line; `{` on the next
 }
 
-/// Whether a preceding comment run justifies the unsafe construct on
-/// line `idx`: walking upward, only comment and attribute lines may
-/// intervene, and one of them must carry `SAFETY:`.
-fn has_safety_comment(raw_lines: &[&str], idx: usize) -> bool {
-    // Same-line trailing comment counts too.
-    if raw_lines[idx].contains("SAFETY:") {
+/// Whether a preceding comment run carries `marker` for the construct
+/// on line `idx`: walking upward, only comment and attribute lines may
+/// intervene, and one of them must contain the marker. A same-line
+/// trailing comment counts too.
+fn has_marker_comment(raw_lines: &[&str], idx: usize, marker: &str) -> bool {
+    if raw_lines[idx].contains(marker) {
         return true;
     }
     let mut i = idx;
@@ -210,7 +222,7 @@ fn has_safety_comment(raw_lines: &[&str], idx: usize) -> bool {
         i -= 1;
         let t = raw_lines[i].trim_start();
         if t.starts_with("//") {
-            if t.contains("SAFETY:") {
+            if t.contains(marker) {
                 return true;
             }
         } else if t.starts_with("#[") || t.starts_with("#![") {
@@ -220,6 +232,12 @@ fn has_safety_comment(raw_lines: &[&str], idx: usize) -> bool {
         }
     }
     false
+}
+
+/// Whether a preceding comment run justifies the unsafe construct on
+/// line `idx` with a `SAFETY:` comment.
+fn has_safety_comment(raw_lines: &[&str], idx: usize) -> bool {
+    has_marker_comment(raw_lines, idx, "SAFETY:")
 }
 
 /// Lints one source file; `rel` is its workspace-relative path with
@@ -281,6 +299,20 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<Violation> {
                 "thread-spawn",
                 "direct `thread::spawn` outside the worker-pool runtime; \
                  use `std::thread::scope` (or go through the BatchEngine)"
+                    .to_string(),
+            );
+        }
+        if FAULT_CLOCK_FILES.contains(&rel)
+            && code.contains("thread::sleep")
+            && !has_marker_comment(&raw_lines, i, "FAULT-CLOCK:")
+        {
+            push(
+                &mut out,
+                line,
+                "fault-clock",
+                "`thread::sleep` in the fault-injection module without a \
+                 `// FAULT-CLOCK:` marker; injected delays must be part of \
+                 the deterministic fault plan"
                     .to_string(),
             );
         }
@@ -461,6 +493,30 @@ mod tests {
     fn unsafe_host_root_requires_both_denies() {
         let v = rules("crates/core/src/lib.rs", "pub mod x;\n");
         assert_eq!(v, vec!["lint-attrs", "lint-attrs"]);
+    }
+
+    #[test]
+    fn unmarked_fault_sleep_is_flagged_only_in_faults_module() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(rules("crates/cluster/src/faults.rs", src), vec!["fault-clock"]);
+        // The runtime's idle waits are not fault clocks; not in scope.
+        assert!(rules("crates/cluster/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn marked_fault_sleep_passes() {
+        let marked = "// FAULT-CLOCK: plan delay.\nstd::thread::sleep(d);\n";
+        assert!(rules("crates/cluster/src/faults.rs", marked).is_empty());
+        let trailing = "std::thread::sleep(d); // FAULT-CLOCK: plan delay\n";
+        assert!(rules("crates/cluster/src/faults.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn spawn_in_faults_module_is_flagged_by_thread_discipline() {
+        assert_eq!(
+            rules("crates/cluster/src/faults.rs", "std::thread::spawn(|| {});\n"),
+            vec!["thread-spawn"]
+        );
     }
 
     #[test]
