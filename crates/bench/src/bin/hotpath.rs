@@ -15,13 +15,47 @@
 //! every other harness.
 
 use odyssey_bench::mixed_queries;
+use odyssey_core::distance::euclidean_sq_early_abandon;
 use odyssey_core::index::{Index, IndexConfig};
 use odyssey_core::search::exact::{exact_search, SearchParams};
+use odyssey_core::search::kernel::{EdKernel, QueryKernel};
 use odyssey_workloads::generator::random_walk;
 
 fn median_us(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]
+}
+
+/// Per-candidate cost of the series lower bound (the batched SoA sweep)
+/// and the real distance (early-abandoning ED, unbounded threshold so
+/// every element is visited), measured directly on the built layout —
+/// the numbers the ROADMAP's "per-candidate LB under 5 ns" target is
+/// stated in.
+fn kernel_costs_ns(index: &Index, query: &[f32]) -> (f64, f64) {
+    let kernel = EdKernel::new(query, index.config().segments);
+    let layout = index.layout();
+    let n = layout.num_series();
+    let mut lb_out = vec![0.0f64; n];
+    let reps = 20usize;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        kernel.lb_block_at(layout, 0..n, &mut lb_out);
+        std::hint::black_box(&lb_out);
+    }
+    let lb_series_ns = t0.elapsed().as_secs_f64() * 1e9 / (reps * n) as f64;
+    let reps = 10usize;
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        for p in 0..n {
+            std::hint::black_box(euclidean_sq_early_abandon(
+                query,
+                layout.series(p),
+                f64::INFINITY,
+            ));
+        }
+    }
+    let real_dist_ns = t0.elapsed().as_secs_f64() * 1e9 / (reps * n) as f64;
+    (lb_series_ns, real_dist_ns)
 }
 
 fn main() {
@@ -68,14 +102,19 @@ fn main() {
         }
     }
     let nq = n_queries as f64;
+    let (lb_series_ns, real_dist_ns) = kernel_costs_ns(&index, queries.query(0));
     let json = format!(
         "{{\n  \"bench\": \"hotpath\",\n  \"n_series\": {n_series},\n  \
          \"series_len\": {series_len},\n  \"n_queries\": {n_queries},\n  \
+         \"simd_dispatch\": \"{}\",\n  \
          \"median_exact_search_us\": {:.1},\n  \
          \"mean_lb_node_per_query\": {:.1},\n  \
          \"mean_lb_series_per_query\": {:.1},\n  \
          \"mean_real_dist_per_query\": {:.1},\n  \
+         \"lb_series_ns\": {lb_series_ns:.2},\n  \
+         \"real_dist_ns\": {real_dist_ns:.2},\n  \
          \"brute_force_mismatches\": {mismatches}\n}}\n",
+        odyssey_core::distance::simd::dispatch_name(),
         median_us(latencies_us),
         lb_node as f64 / nq,
         lb_series as f64 / nq,

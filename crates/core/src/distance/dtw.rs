@@ -140,13 +140,31 @@ fn env_excess_sq(c: f32, upper: f32, lower: f32) -> f64 {
 /// `None` (candidate prunable). Accumulates into [`ACCS`] independent
 /// lanes with one abandon check per [`ABANDON_BLOCK`] elements, so the
 /// inner loop stays branch-free and vectorizable.
+///
+/// Dispatches to the AVX2 kernel when
+/// [`crate::distance::simd::avx2_available`] says so; the result is
+/// bit-identical to [`lb_keogh_sq_scalar`] either way.
 #[inline]
 pub fn lb_keogh_sq(env: &LbKeoghEnvelope, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
-    debug_assert_eq!(env.upper.len(), candidate.len());
+    crate::distance::simd::lb_keogh_sq(&env.upper, &env.lower, candidate, threshold_sq)
+}
+
+/// The scalar (auto-vectorizable) body of [`lb_keogh_sq`], over the raw
+/// envelope slices: the always-available fallback, and the rounding
+/// reference the SIMD path must reproduce bit for bit.
+#[inline]
+pub fn lb_keogh_sq_scalar(
+    upper: &[f32],
+    lower: &[f32],
+    candidate: &[f32],
+    threshold_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(upper.len(), candidate.len());
+    debug_assert_eq!(lower.len(), candidate.len());
     let mut acc = [0.0f64; ACCS];
     let mut bc = candidate.chunks_exact(ABANDON_BLOCK);
-    let mut bu = env.upper.chunks_exact(ABANDON_BLOCK);
-    let mut bl = env.lower.chunks_exact(ABANDON_BLOCK);
+    let mut bu = upper.chunks_exact(ABANDON_BLOCK);
+    let mut bl = lower.chunks_exact(ABANDON_BLOCK);
     for ((cb, ub), lb) in bc.by_ref().zip(bu.by_ref()).zip(bl.by_ref()) {
         for ((cq, uq), lq) in cb
             .chunks_exact(ACCS)
@@ -182,22 +200,48 @@ pub fn lb_keogh_sq(env: &LbKeoghEnvelope, candidate: &[f32], threshold_sq: f64) 
 /// exceeds `threshold_sq`.
 ///
 /// Uses a two-row dynamic program, O(n·window) time and O(n) space. The
-/// two rows live in a per-thread scratch (the hottest allocation of the
-/// DTW path: one pair per *candidate*, not per query), cleared — not
+/// rows live in a per-thread scratch (the hottest allocation of the
+/// DTW path: one set per *candidate*, not per query), cleared — not
 /// reallocated — between calls.
+///
+/// When [`crate::distance::simd::avx2_available`] says so, each row
+/// `i >= 1` is computed in two passes: a vectorized pass fills
+/// `cost[j]` and `emin[j] = min(prev[j], prev[j-1]) + cost[j]`, then a
+/// scalar carry folds in the sequential in-row predecessor,
+/// `curr[j] = min(emin[j], curr[j-1] + cost[j])`. That split is
+/// bit-identical to the fused three-way-min row ([`dtw_banded_scalar`]):
+/// `min` rounds nothing, and rounding is monotone, so
+/// `min(fl(x + c), fl(y + c)) == fl(min(x, y) + c)` for the NaN-free
+/// values the band holds.
 pub fn dtw_banded(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Option<f64> {
     DTW_ROWS.with(|cell| {
-        let (prev, curr) = &mut *cell.borrow_mut();
-        dtw_banded_with(a, b, window, threshold_sq, prev, curr)
+        let (prev, curr, cost, emin) = &mut *cell.borrow_mut();
+        let simd = crate::distance::simd::avx2_available();
+        dtw_banded_with(a, b, window, threshold_sq, prev, curr, cost, emin, simd)
     })
 }
 
-thread_local! {
-    /// Reusable DP band rows for [`dtw_banded`].
-    static DTW_ROWS: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
-        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+/// [`dtw_banded`] pinned to the scalar row kernel regardless of the
+/// dispatch decision — the rounding reference for the equivalence
+/// suite, and the body every non-AVX2 machine runs.
+pub fn dtw_banded_scalar(a: &[f32], b: &[f32], window: usize, threshold_sq: f64) -> Option<f64> {
+    DTW_ROWS.with(|cell| {
+        let (prev, curr, cost, emin) = &mut *cell.borrow_mut();
+        dtw_banded_with(a, b, window, threshold_sq, prev, curr, cost, emin, false)
+    })
 }
 
+/// The `(prev, curr, cost, emin)` row quartet of the banded DP.
+type DtwRows = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+thread_local! {
+    /// Reusable DP band rows for [`dtw_banded`]: `(prev, curr)` plus the
+    /// `(cost, emin)` pair of the vectorized two-pass row.
+    static DTW_ROWS: std::cell::RefCell<DtwRows> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+}
+
+#[allow(clippy::too_many_arguments)]
 fn dtw_banded_with(
     a: &[f32],
     b: &[f32],
@@ -205,6 +249,9 @@ fn dtw_banded_with(
     threshold_sq: f64,
     prev: &mut Vec<f64>,
     curr: &mut Vec<f64>,
+    cost: &mut Vec<f64>,
+    emin: &mut Vec<f64>,
+    use_simd: bool,
 ) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
@@ -217,30 +264,56 @@ fn dtw_banded_with(
     prev.resize(n, INF);
     curr.clear();
     curr.resize(n, INF);
+    if use_simd {
+        // Every in-band slot is overwritten before being read, so the
+        // fill value is irrelevant; resize just guarantees length.
+        cost.clear();
+        cost.resize(n, 0.0);
+        emin.clear();
+        emin.resize(n, 0.0);
+    }
     for (i, &ai) in a.iter().enumerate() {
         let lo = i.saturating_sub(w);
         let hi = (i + w).min(n - 1);
         let mut row_min = INF;
-        for j in lo..=hi {
-            let d = (ai - b[j]) as f64;
-            let cost = d * d;
-            let best_prev = if i == 0 && j == 0 {
-                0.0
-            } else {
-                let mut m = INF;
-                if j > 0 {
-                    m = m.min(curr[j - 1]); // insertion
-                }
-                if i > 0 {
-                    m = m.min(prev[j]); // deletion
+        if use_simd && i > 0 {
+            // Row 0 (with its j == 0 anchor) always runs scalar below.
+            crate::distance::simd::dtw_row_costs(ai, b, prev, lo, hi, cost, emin);
+            let mut j = lo;
+            if j == 0 {
+                // No in-row predecessor: emin already holds the answer.
+                curr[0] = emin[0];
+                row_min = curr[0];
+                j = 1;
+            }
+            while j <= hi {
+                let v = emin[j].min(curr[j - 1] + cost[j]);
+                curr[j] = v;
+                row_min = row_min.min(v);
+                j += 1;
+            }
+        } else {
+            for j in lo..=hi {
+                let d = (ai - b[j]) as f64;
+                let cost = d * d;
+                let best_prev = if i == 0 && j == 0 {
+                    0.0
+                } else {
+                    let mut m = INF;
                     if j > 0 {
-                        m = m.min(prev[j - 1]); // match
+                        m = m.min(curr[j - 1]); // insertion
                     }
-                }
-                m
-            };
-            curr[j] = best_prev + cost;
-            row_min = row_min.min(curr[j]);
+                    if i > 0 {
+                        m = m.min(prev[j]); // deletion
+                        if j > 0 {
+                            m = m.min(prev[j - 1]); // match
+                        }
+                    }
+                    m
+                };
+                curr[j] = best_prev + cost;
+                row_min = row_min.min(curr[j]);
+            }
         }
         if row_min > threshold_sq {
             return None;

@@ -65,8 +65,20 @@ const ABANDON_BLOCK: usize = 32;
 /// The returned value may differ from [`euclidean_sq`] in the last few
 /// ulps (different summation order); the `Some`/`None` decision is
 /// exact with respect to this kernel's own sum.
+///
+/// Dispatches to the AVX2 kernel when
+/// [`crate::distance::simd::avx2_available`] says so; the result is
+/// bit-identical to [`euclidean_sq_early_abandon_scalar`] either way.
 #[inline]
 pub fn euclidean_sq_early_abandon(a: &[f32], b: &[f32], threshold_sq: f64) -> Option<f64> {
+    crate::distance::simd::euclidean_sq_early_abandon(a, b, threshold_sq)
+}
+
+/// The scalar (auto-vectorizable) body of [`euclidean_sq_early_abandon`]:
+/// the always-available fallback, and the rounding reference the SIMD
+/// path must reproduce bit for bit.
+#[inline]
+pub fn euclidean_sq_early_abandon_scalar(a: &[f32], b: &[f32], threshold_sq: f64) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f64; ACCS];
     let mut blocks_a = a.chunks_exact(ABANDON_BLOCK);

@@ -11,6 +11,10 @@
 
 pub mod dtw;
 pub mod ed;
+pub mod simd;
 
-pub use dtw::{dtw_banded, keogh_envelope, keogh_envelope_reusing, lb_keogh_sq, LbKeoghEnvelope};
-pub use ed::{euclidean, euclidean_sq, euclidean_sq_early_abandon};
+pub use dtw::{
+    dtw_banded, dtw_banded_scalar, keogh_envelope, keogh_envelope_reusing, lb_keogh_sq,
+    lb_keogh_sq_scalar, LbKeoghEnvelope,
+};
+pub use ed::{euclidean, euclidean_sq, euclidean_sq_early_abandon, euclidean_sq_early_abandon_scalar};

@@ -9,12 +9,16 @@
 use crate::buffers::{root_key_of_sax, SummarizationBuffers, Summaries};
 use crate::layout::LeafLayout;
 use crate::paa::paa;
-use crate::sax::{mindist_paa_isax_sq, sax_word_into};
+use crate::sax::sax_word_into;
 use crate::search::answer::Answer;
 use crate::search::exact::{exact_search, SearchParams};
 use crate::series::DatasetBuffer;
 use crate::tree::{build_forest, Node, RootSubtree};
 use std::time::Duration;
+
+/// Roots bounded per sweep call in the approximate search's fallback
+/// scan — a stack buffer's worth, so the scan allocates nothing.
+const ROOT_SWEEP_CHUNK: usize = 64;
 
 /// Index construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +86,10 @@ pub struct Index {
     config: IndexConfig,
     layout: LeafLayout,
     forest: Vec<RootSubtree>,
+    /// Segment-major planes of the root words (the shape the SIMD
+    /// root-mindist sweep consumes); a pure function of `forest`,
+    /// rebuilt on load, never persisted.
+    root_soa: crate::tree::RootSoa,
     build_times: BuildTimes,
 }
 
@@ -124,6 +132,7 @@ impl Index {
         Index {
             config,
             layout,
+            root_soa: crate::tree::RootSoa::build(&forest),
             forest,
             build_times: BuildTimes {
                 buffer_time,
@@ -149,6 +158,7 @@ impl Index {
         Index {
             config,
             layout,
+            root_soa: crate::tree::RootSoa::build(&forest),
             forest,
             build_times: BuildTimes::default(),
         }
@@ -187,6 +197,14 @@ impl Index {
         &self.forest
     }
 
+    /// Segment-major planes of the root words — the operand of the
+    /// batched root-level lower-bound sweep
+    /// ([`crate::sax::MindistTable::root_lb_block`]).
+    #[inline]
+    pub fn root_soa(&self) -> &crate::tree::RootSoa {
+        &self.root_soa
+    }
+
     /// Construction timing breakdown.
     #[inline]
     pub fn build_times(&self) -> BuildTimes {
@@ -209,6 +227,7 @@ impl Index {
     /// quantity plotted in Figure 14).
     pub fn size_bytes(&self) -> usize {
         self.layout.size_bytes()
+            + self.root_soa.size_bytes()
             + self
                 .forest
                 .iter()
@@ -230,8 +249,30 @@ impl Index {
         self.approx_search_paa(query, &qpaa)
     }
 
-    /// [`Index::approx_search`] with a precomputed query PAA.
+    /// [`Index::approx_search`] with a precomputed query PAA. Builds a
+    /// throwaway per-query [`MindistTable`] — callers that already hold
+    /// one (the exact-search kernels) use
+    /// [`Index::approx_search_with_table`] instead.
     pub fn approx_search_paa(&self, query: &[f32], qpaa: &[f64]) -> ApproxResult {
+        let table = crate::sax::MindistTable::from_paa(qpaa, self.config.series_len);
+        self.approx_search_with_table(query, qpaa, &table)
+    }
+
+    /// [`Index::approx_search`] against a caller-supplied per-query
+    /// mindist table (built from the same `qpaa`). All lower bounds —
+    /// the fallback scan over every root and the greedy descent — go
+    /// through the table, whose `word_lb_sq` is bit-identical to the
+    /// reference [`crate::sax::mindist_paa_isax_sq`], so the visited leaf (and
+    /// hence the seeded BSF) is exactly the one the reference
+    /// arithmetic selects. The root scan runs through the batched SIMD
+    /// sweep over the root-word planes rather than one
+    /// breakpoint-recomputing call per root.
+    pub fn approx_search_with_table(
+        &self,
+        query: &[f32],
+        qpaa: &[f64],
+        table: &crate::sax::MindistTable,
+    ) -> ApproxResult {
         if self.forest.is_empty() {
             return ApproxResult {
                 distance: f64::INFINITY,
@@ -241,31 +282,40 @@ impl Index {
             };
         }
         // Prefer the root subtree whose region contains the query; fall
-        // back to the minimum-mindist subtree.
+        // back to the minimum-mindist subtree (first minimum on ties,
+        // matching `Iterator::min_by` over the same values).
         let mut qsax = vec![0u8; self.config.segments];
         sax_word_into(qpaa, &mut qsax);
         let qkey = root_key_of_sax(&qsax);
         let subtree = match self.forest.binary_search_by_key(&qkey, |t| t.key) {
             Ok(i) => &self.forest[i],
-            Err(_) => self
-                .forest
-                .iter()
-                .min_by(|a, b| {
-                    let da = mindist_paa_isax_sq(qpaa, a.node.word(), self.config.series_len);
-                    let db = mindist_paa_isax_sq(qpaa, b.node.word(), self.config.series_len);
-                    da.total_cmp(&db)
-                })
-                .expect("non-empty forest"),
+            Err(_) => {
+                let mut best = f64::INFINITY;
+                let mut best_root = 0usize;
+                let mut lbs = [0.0f64; ROOT_SWEEP_CHUNK];
+                let mut start = 0;
+                while start < self.forest.len() {
+                    let end = (start + ROOT_SWEEP_CHUNK).min(self.forest.len());
+                    let lbs = &mut lbs[..end - start];
+                    table.root_lb_block(&self.root_soa, start..end, lbs);
+                    for (k, &d) in lbs.iter().enumerate() {
+                        if d.total_cmp(&best) == std::cmp::Ordering::Less {
+                            best = d;
+                            best_root = start + k;
+                        }
+                    }
+                    start = end;
+                }
+                &self.forest[best_root]
+            }
         };
         // Greedy descent by child mindist.
         let mut node = &subtree.node;
         loop {
             match node {
                 Node::Inner { children, .. } => {
-                    let d0 =
-                        mindist_paa_isax_sq(qpaa, children[0].word(), self.config.series_len);
-                    let d1 =
-                        mindist_paa_isax_sq(qpaa, children[1].word(), self.config.series_len);
+                    let d0 = table.word_lb_sq(children[0].word());
+                    let d1 = table.word_lb_sq(children[1].word());
                     node = if d0 <= d1 { &children[0] } else { &children[1] };
                 }
                 Node::Leaf(leaf) => {

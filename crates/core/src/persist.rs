@@ -15,6 +15,13 @@
 //! space, so a loaded index satisfies the same layout contract as a
 //! freshly built one.
 //!
+//! The segment-major SAX transpose the SIMD mindist sweep reads
+//! (`LeafLayout::sax_soa_view`) is **not** persisted: it is a pure
+//! function of the persisted AoS block, and both the build and the load
+//! path assemble through `LeafLayout::from_scan_parts`, which rebuilds
+//! it — so ODY2 files written before vectorization load unchanged, and
+//! the format needs no version bump.
+//!
 //! Layout (all integers little-endian):
 //!
 //! ```text
@@ -412,6 +419,21 @@ mod tests {
             assert_eq!(index.sax_by_id(id), loaded.sax_by_id(id));
             assert_eq!(index.series_by_id(id), loaded.series_by_id(id));
         }
+    }
+
+    #[test]
+    fn load_rebuilds_segment_major_transpose() {
+        // The SoA transpose is not in the file; `from_scan_parts` must
+        // reconstruct it byte-identically on load.
+        let index = build(300);
+        let mut bytes = Vec::new();
+        save_index(&index, &mut bytes).expect("save");
+        let loaded = load_index(&mut bytes.as_slice()).expect("load");
+        assert_eq!(
+            index.layout().sax_soa_bytes(),
+            loaded.layout().sax_soa_bytes(),
+            "SoA transpose survives a save/load roundtrip"
+        );
     }
 
     #[test]

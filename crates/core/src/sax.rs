@@ -408,6 +408,64 @@ impl MindistTable {
             *slot = sum;
         }
     }
+
+    /// [`MindistTable::block_lb_sq`] over the segment-major (SoA)
+    /// transpose of the block ([`crate::layout::SaxSoaView`]): eight
+    /// candidates advance together through the segments, each summing
+    /// its table entries in the same ascending-segment order as
+    /// [`MindistTable::series_lb_sq`] — so every `out[j]` is
+    /// bit-identical to the AoS path. Dispatches to the AVX2 gather
+    /// kernel when [`crate::distance::simd::avx2_available`] says so.
+    ///
+    /// # Panics
+    /// Panics if the view's segment count differs from the table's or
+    /// `out.len() != view.len()`.
+    pub fn block_lb_sq_soa(&self, view: &crate::layout::SaxSoaView<'_>, out: &mut [f64]) {
+        assert_eq!(view.segments, self.segments, "segment count mismatch");
+        assert_eq!(view.len, out.len(), "ragged SoA block");
+        crate::distance::simd::lb_block_sq_soa(
+            &self.table,
+            view.soa,
+            view.stride,
+            view.offset,
+            self.segments,
+            out,
+        );
+    }
+
+    /// Node-level lower bounds for a contiguous range of forest roots,
+    /// eight words per iteration over the segment-major root planes
+    /// ([`crate::tree::RootSoa`]): each `out[k]` is bit-identical to
+    /// [`MindistTable::word_lb_sq`] of root `range.start + k`'s word —
+    /// the clamp of the per-segment reference symbol into the word's
+    /// covered symbol interval is exact integer arithmetic, and the
+    /// per-root sums accumulate in the same ascending-segment order.
+    /// Dispatches to the AVX2 clamp-and-gather kernel when
+    /// [`crate::distance::simd::avx2_available`] says so.
+    ///
+    /// # Panics
+    /// Panics if the planes' segment count differs from the table's,
+    /// `out.len() != range.len()`, or the range exceeds the root count.
+    pub fn root_lb_block(
+        &self,
+        roots: &crate::tree::RootSoa,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(roots.segments(), self.segments, "segment count mismatch");
+        assert_eq!(range.len(), out.len(), "ragged root block");
+        assert!(range.end <= roots.len(), "root range out of bounds");
+        crate::distance::simd::word_lb_sq_soa(
+            &self.table,
+            &self.ref_sym,
+            roots.lo_plane(),
+            roots.hi_plane(),
+            roots.len(),
+            range.start,
+            self.segments,
+            out,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -628,6 +686,92 @@ mod tests {
         table.block_lb_sq(&block, &mut got);
         for (g, w) in got.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn soa_block_matches_aos_block_bitwise() {
+        // 37 candidates: exercises the 8-wide SIMD body and its tail.
+        let len = 64;
+        let segs = 8;
+        let n = 37usize;
+        let q = pseudo_series(29, len);
+        let table = MindistTable::from_paa(&paa(&q, segs), len);
+        let mut aos = Vec::new();
+        for sb in 0..n as u64 {
+            let s = pseudo_series(sb + 700, len);
+            let mut sax = vec![0u8; segs];
+            sax_word_into(&paa(&s, segs), &mut sax);
+            aos.extend_from_slice(&sax);
+        }
+        let mut soa = vec![0u8; n * segs];
+        for p in 0..n {
+            for i in 0..segs {
+                soa[i * n + p] = aos[p * segs + i];
+            }
+        }
+        let mut want = vec![0.0f64; n];
+        table.block_lb_sq(&aos, &mut want);
+        // Offset windows: the view need not start at position 0.
+        for (off, cnt) in [(0usize, n), (3, 17), (5, 8), (30, 7), (36, 1), (7, 0)] {
+            let view = crate::layout::SaxSoaView {
+                soa: &soa,
+                stride: n,
+                offset: off,
+                len: cnt,
+                segments: segs,
+            };
+            let mut got = vec![0.0f64; cnt];
+            table.block_lb_sq_soa(&view, &mut got);
+            for (j, g) in got.iter().enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    want[off + j].to_bits(),
+                    "off={off} cnt={cnt} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn root_sweep_matches_word_lb_bitwise() {
+        // 43 roots with mixed per-segment cardinalities (including
+        // 0-bit whole-line segments): the batched clamp-and-gather
+        // sweep must reproduce `word_lb_sq` bit for bit, across the
+        // 8-wide body, the tail, and arbitrary sub-ranges.
+        let len = 64;
+        let segs = 8;
+        let n = 43usize;
+        let q = pseudo_series(57, len);
+        let table = MindistTable::from_paa(&paa(&q, segs), len);
+        let words: Vec<IsaxWord> = (0..n)
+            .map(|r| {
+                let s = pseudo_series(r as u64 + 4000, len);
+                let mut sax = vec![0u8; segs];
+                sax_word_into(&paa(&s, segs), &mut sax);
+                let card_bits: Vec<u8> = (0..segs).map(|i| ((r + i * 3) % 9) as u8).collect();
+                let symbols: Vec<u8> = sax
+                    .iter()
+                    .zip(&card_bits)
+                    .map(|(&sym, &bits)| if bits == 0 { 0 } else { sym >> (8 - bits) })
+                    .collect();
+                IsaxWord { symbols, card_bits }
+            })
+            .collect();
+        let roots = crate::tree::RootSoa::from_words(words.iter());
+        assert_eq!(roots.len(), n);
+        assert_eq!(roots.segments(), segs);
+        let want: Vec<f64> = words.iter().map(|w| table.word_lb_sq(w)).collect();
+        for range in [0..n, 0..8, 3..20, 30..43, 42..43, 7..7] {
+            let mut got = vec![0.0f64; range.len()];
+            table.root_lb_block(&roots, range.clone(), &mut got);
+            for (j, g) in got.iter().enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    want[range.start + j].to_bits(),
+                    "range={range:?} j={j}"
+                );
+            }
         }
     }
 

@@ -105,6 +105,27 @@ impl QueryKernel for DtwKernel<'_> {
         self.table.block_lb_sq(sax_block, out);
     }
 
+    #[inline]
+    fn lb_block_at(
+        &self,
+        layout: &crate::layout::LeafLayout,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        self.table.block_lb_sq_soa(&layout.sax_soa_view(range), out);
+    }
+
+    #[inline]
+    fn root_lb_block(
+        &self,
+        _forest: &[crate::tree::RootSubtree],
+        roots: &crate::tree::RootSoa,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        self.table.root_lb_block(roots, range, out);
+    }
+
     fn distance_sq(&self, candidate: &[f32], threshold_sq: f64) -> Option<f64> {
         // Tight raw-data filter first, then the full banded DTW.
         lb_keogh_sq(&self.env, candidate, threshold_sq)?;
@@ -119,11 +140,28 @@ impl QueryKernel for DtwKernel<'_> {
 fn most_promising_leaf<'i>(index: &'i Index, kernel: &DtwKernel) -> Option<&'i crate::tree::Leaf> {
     use crate::tree::Node;
     let forest = index.forest();
-    let subtree = forest.iter().min_by(|a, b| {
-        kernel
-            .node_lb_sq(a.node.word())
-            .total_cmp(&kernel.node_lb_sq(b.node.word()))
-    })?;
+    if forest.is_empty() {
+        return None;
+    }
+    // Minimum-bound root via the batched sweep (first minimum on ties,
+    // matching `Iterator::min_by` over the same values).
+    let mut best = f64::INFINITY;
+    let mut best_root = 0usize;
+    let mut lbs = [0.0f64; 64];
+    let mut start = 0;
+    while start < forest.len() {
+        let end = (start + lbs.len()).min(forest.len());
+        let lbs = &mut lbs[..end - start];
+        kernel.root_lb_block(forest, index.root_soa(), start..end, lbs);
+        for (k, &d) in lbs.iter().enumerate() {
+            if d.total_cmp(&best) == std::cmp::Ordering::Less {
+                best = d;
+                best_root = start + k;
+            }
+        }
+        start = end;
+    }
+    let subtree = &forest[best_root];
     let mut node = &subtree.node;
     loop {
         match node {

@@ -24,7 +24,7 @@ use super::scratch::{WorkerScratch, MAX_SPARE_HEAPS, MAX_SPARE_HEAP_CAP};
 use crate::index::Index;
 use crate::layout::LeafLayout;
 use crate::sync::PhaseBarrier;
-use crate::tree::{Node, RootSubtree};
+use crate::tree::{Node, RootSoa, RootSubtree};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -295,7 +295,7 @@ struct BatchState<'a> {
 /// per-query setup lives in exactly one place.
 pub(crate) fn seed_ed<'q>(index: &Index, query: &'q [f32]) -> (EdKernel<'q>, SharedBsf, f64) {
     let kernel = EdKernel::new(query, index.config().segments);
-    let approx = index.approx_search_paa(query, kernel.qpaa());
+    let approx = index.approx_search_with_table(query, kernel.qpaa(), kernel.table());
     let bsf = SharedBsf::new(approx.distance_sq, approx.series_id);
     (kernel, bsf, approx.distance)
 }
@@ -413,8 +413,8 @@ pub(crate) struct ExecShared<'e, K: ?Sized, R: ?Sized> {
     on_improve: &'e (dyn Fn(f64, u32) + Sync),
     service: &'e (dyn Fn() + Sync),
     forest: &'e [RootSubtree],
+    root_soa: &'e RootSoa,
     layout: &'e LeafLayout,
-    segments: usize,
     pub(crate) n_threads: usize,
     help_th: usize,
     /// Active (to-process) global batch ids.
@@ -480,8 +480,8 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
             on_improve,
             service,
             forest,
+            root_soa: index.root_soa(),
             layout: index.layout(),
-            segments: index.config().segments,
             n_threads,
             help_th: params.help_th,
             active,
@@ -506,9 +506,15 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
         !self.active.is_empty()
     }
 
-    /// Traverses one RS-batch: claims subtrees with `Fetch&Add`, prunes
-    /// against the shared threshold, pushes surviving leaves into the
-    /// batch's bounded queues (provisioned from `heaps` scratch).
+    /// Traverses one RS-batch: claims subtrees in chunks with
+    /// `Fetch&Add`, bounds each claimed chunk's *roots* in one batched
+    /// sweep (the SIMD clamp-and-gather kernel under table-backed
+    /// kernels — an iSAX forest over high-entropy data is wide and
+    /// shallow, so the root level is where almost all node bounds
+    /// happen), prunes against the shared threshold, and pushes
+    /// surviving leaves into the batch's bounded queues (provisioned
+    /// from `heaps` scratch). Roots that survive as inner nodes descend
+    /// through the per-node stack exactly as before.
     fn traverse_batch(
         &self,
         bi: usize,
@@ -517,30 +523,62 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
         lb_node_local: &mut u64,
         leaves_local: &mut u64,
     ) {
+        /// Subtrees claimed per `Fetch&Add` (also the root-sweep width):
+        /// big enough to amortize the atomic and fill the 8-way kernel,
+        /// small enough that batches still split fairly across helpers.
+        const CLAIM_CHUNK: usize = 32;
         let range = self.batches.range(self.active[bi]);
+        let mut root_lb = [0.0f64; CLAIM_CHUNK];
         loop {
-            let off = self.bstates[bi].next_subtree.fetch_add(1, Ordering::Relaxed);
+            let off = self.bstates[bi]
+                .next_subtree
+                .fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
             if off >= range.len() {
                 break;
             }
-            let subtree = &self.forest[range.start + off];
-            // Iterative traversal with an explicit (reused) stack.
-            stack.clear();
-            stack.push(&subtree.node);
-            while let Some(node) = stack.pop() {
-                let lb = self.kernel.node_lb_sq(node.word());
-                *lb_node_local += 1;
-                if lb >= self.results.threshold_sq() {
+            let end = (off + CLAIM_CHUNK).min(range.len());
+            let chunk = (range.start + off)..(range.start + end);
+            let root_lb = &mut root_lb[..chunk.len()];
+            self.kernel
+                .root_lb_block(self.forest, self.root_soa, chunk.clone(), root_lb);
+            *lb_node_local += root_lb.len() as u64;
+            // One threshold load per chunk: a stale (larger) value only
+            // prunes less, never wrongly.
+            let thr = self.results.threshold_sq();
+            for (k, ti) in chunk.enumerate() {
+                let lb = root_lb[k];
+                if lb >= thr {
                     continue; // prune the whole subtree
                 }
-                match node {
-                    Node::Inner { children, .. } => {
-                        stack.push(&children[0]);
-                        stack.push(&children[1]);
-                    }
+                match &self.forest[ti].node {
                     Node::Leaf(leaf) => {
                         self.bstates[bi].pqs.lock().push_with(lb, leaf, heaps);
                         *leaves_local += 1;
+                    }
+                    Node::Inner { children, .. } => {
+                        // Iterative descent with an explicit (reused)
+                        // stack; inner nodes are rare enough that their
+                        // bounds stay per-word.
+                        stack.clear();
+                        stack.push(&children[0]);
+                        stack.push(&children[1]);
+                        while let Some(node) = stack.pop() {
+                            let lb = self.kernel.node_lb_sq(node.word());
+                            *lb_node_local += 1;
+                            if lb >= self.results.threshold_sq() {
+                                continue;
+                            }
+                            match node {
+                                Node::Inner { children, .. } => {
+                                    stack.push(&children[0]);
+                                    stack.push(&children[1]);
+                                }
+                                Node::Leaf(leaf) => {
+                                    self.bstates[bi].pqs.lock().push_with(lb, leaf, heaps);
+                                    *leaves_local += 1;
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -553,6 +591,7 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
     pub(crate) fn worker(&self, tid: usize, barrier: &PhaseBarrier, scratch: &mut WorkerScratch) {
         let WorkerScratch {
             lb_block,
+            survivors,
             stack: spare_stack,
             heaps,
         } = scratch;
@@ -658,18 +697,29 @@ impl<'e, K: QueryKernel + ?Sized, R: ResultSet + ?Sized> ExecShared<'e, K, R> {
                     continue;
                 }
                 // Pass 1: batched lower bounds over the leaf's
-                // contiguous SAX block.
-                lb_block.resize(n_cand, 0.0);
-                self.kernel
-                    .lb_block_sq(self.layout.sax_block(range.clone()), self.segments, lb_block);
+                // contiguous (segment-major) SAX block. The scratch
+                // buffer only grows — the sweep overwrites exactly the
+                // prefix it uses, so no per-leaf re-zeroing.
+                if lb_block.len() < n_cand {
+                    lb_block.resize(n_cand, 0.0);
+                }
+                let lb = &mut lb_block[..n_cand];
+                self.kernel.lb_block_at(self.layout, range.clone(), lb);
                 lb_series_local += n_cand as u64;
                 // Pass 2: real distances for survivors, reading
-                // sequentially from the leaf's raw-series run.
-                for (lb, p) in lb_block.iter().zip(range) {
-                    if *lb >= thr {
-                        continue;
-                    }
-                    real_dist_local += 1;
+                // sequentially from the leaf's raw-series run. The
+                // survivor positions are gathered first (reusing one
+                // index buffer across leaves) so the distance loop runs
+                // branch-free over exactly the work it will do.
+                survivors.clear();
+                survivors.extend(
+                    lb.iter()
+                        .zip(range)
+                        .filter(|(lb, _)| **lb < thr)
+                        .map(|(_, p)| p),
+                );
+                real_dist_local += survivors.len() as u64;
+                for &p in survivors.iter() {
                     if let Some(d) = self.kernel.distance_sq(self.layout.series(p), thr) {
                         let id = self.layout.original_id(p);
                         if self.results.offer(d, id) {

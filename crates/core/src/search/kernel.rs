@@ -16,7 +16,9 @@
 //! breakpoint and segment-bound arithmetic, and blocks of candidates can
 //! be bounded in one tight pass ([`QueryKernel::lb_block_sq`]).
 
+use crate::layout::LeafLayout;
 use crate::sax::{IsaxWord, MindistTable};
+use crate::tree::{RootSoa, RootSubtree};
 
 /// The distance family of a query (see module docs for the contract).
 pub trait QueryKernel: Sync {
@@ -38,6 +40,36 @@ pub trait QueryKernel: Sync {
         debug_assert_eq!(sax_block.len(), out.len() * segments);
         for (slot, word) in out.iter_mut().zip(sax_block.chunks_exact(segments)) {
             *slot = self.series_lb_sq(word);
+        }
+    }
+
+    /// [`QueryKernel::lb_block_sq`] addressed by layout position: lower
+    /// bounds for the contiguous scan-position `range` (one leaf),
+    /// `out.len() == range.len()`. The default reads the interleaved
+    /// (AoS) SAX block; table-backed kernels override with the
+    /// segment-major SoA sweep so the SIMD gather kernel applies. Every
+    /// `out[j]` must stay bit-identical to `series_lb_sq` of position
+    /// `range.start + j`.
+    fn lb_block_at(&self, layout: &LeafLayout, range: std::ops::Range<usize>, out: &mut [f64]) {
+        self.lb_block_sq(layout.sax_block(range), layout.segments(), out);
+    }
+
+    /// Node-level lower bounds for a contiguous range of forest roots
+    /// (`out.len() == range.len()`). Each `out[k]` must equal
+    /// `node_lb_sq` of root `range.start + k`'s word; the default
+    /// delegates per root, table-backed kernels override with the
+    /// batched sweep over the segment-major root planes so the SIMD
+    /// clamp-and-gather kernel applies.
+    fn root_lb_block(
+        &self,
+        forest: &[RootSubtree],
+        _roots: &RootSoa,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(range.len(), out.len());
+        for (slot, tree) in out.iter_mut().zip(&forest[range]) {
+            *slot = self.node_lb_sq(tree.node.word());
         }
     }
 
@@ -76,6 +108,12 @@ impl<'q> EdKernel<'q> {
     pub fn query(&self) -> &[f32] {
         self.query
     }
+
+    /// The per-query mindist table (shared with the approximate search
+    /// so the seed lookup reuses the kernel's precomputation).
+    pub fn table(&self) -> &MindistTable {
+        &self.table
+    }
 }
 
 impl QueryKernel for EdKernel<'_> {
@@ -93,6 +131,22 @@ impl QueryKernel for EdKernel<'_> {
     fn lb_block_sq(&self, sax_block: &[u8], segments: usize, out: &mut [f64]) {
         debug_assert_eq!(segments, self.table.segments());
         self.table.block_lb_sq(sax_block, out);
+    }
+
+    #[inline]
+    fn lb_block_at(&self, layout: &LeafLayout, range: std::ops::Range<usize>, out: &mut [f64]) {
+        self.table.block_lb_sq_soa(&layout.sax_soa_view(range), out);
+    }
+
+    #[inline]
+    fn root_lb_block(
+        &self,
+        _forest: &[RootSubtree],
+        roots: &RootSoa,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        self.table.root_lb_block(roots, range, out);
     }
 
     #[inline]

@@ -61,7 +61,12 @@ impl SpareStack {
 #[derive(Default)]
 pub(crate) struct WorkerScratch {
     /// Lower-bound block buffer for the two-pass leaf drain (phase 3).
+    /// Grows to the largest leaf seen and is never shrunk or re-zeroed:
+    /// the lower-bound sweep overwrites exactly the prefix it uses.
     pub(crate) lb_block: Vec<f64>,
+    /// Surviving scan positions of the current leaf (phase 3); cleared —
+    /// not reallocated — between leaves.
+    pub(crate) survivors: Vec<usize>,
     /// Spare iterative-traversal stack (phase 1).
     pub(crate) stack: SpareStack,
     /// Spare priority-queue heap allocations, drawn on queue rollover

@@ -161,6 +161,106 @@ pub struct RootSubtree {
     pub size: usize,
 }
 
+/// Segment-major (SoA) planes of the forest's **root words**: byte
+/// `lo[i * len + r]` / `hi[i * len + r]` is the full-cardinality symbol
+/// interval covered by segment `i` of root `r`'s iSAX word
+/// ([`IsaxWord::full_range`]).
+///
+/// An iSAX forest over a high-entropy collection is wide and shallow —
+/// most series land in distinct root words — so the engine's
+/// node-level lower bound is evaluated once per *root* per query, and
+/// that sweep dominates traversal. This transpose is the shape the
+/// 8-way SIMD word-mindist kernel
+/// ([`crate::sax::MindistTable::root_lb_block`]) consumes: per segment,
+/// eight roots' `lo`/`hi` bytes are two contiguous 8-byte loads.
+///
+/// Built once at index assembly (both the build and the ODY2 load path);
+/// never persisted — it is a pure function of the forest.
+#[derive(Debug, Clone, Default)]
+pub struct RootSoa {
+    /// Lower symbol bounds, segment-major, stride = root count.
+    lo: Vec<u8>,
+    /// Upper symbol bounds, segment-major, stride = root count.
+    hi: Vec<u8>,
+    /// Number of roots (the plane stride).
+    len: usize,
+    /// Segments per word (the plane count).
+    segments: usize,
+}
+
+impl RootSoa {
+    /// Builds the planes from the forest's root words.
+    ///
+    /// # Panics
+    /// Panics if the root words disagree on segment count.
+    pub fn build(forest: &[RootSubtree]) -> Self {
+        Self::from_words(forest.iter().map(|t| t.node.word()))
+    }
+
+    /// Builds the planes from an explicit word sequence (exposed for
+    /// tests; [`RootSoa::build`] is the production path).
+    pub fn from_words<'a>(words: impl ExactSizeIterator<Item = &'a IsaxWord>) -> Self {
+        let len = words.len();
+        let mut segments = 0;
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        for (r, word) in words.enumerate() {
+            if r == 0 {
+                segments = word.segments();
+                lo = vec![0u8; segments * len];
+                hi = vec![0u8; segments * len];
+            }
+            assert_eq!(word.segments(), segments, "ragged root word {r}");
+            for i in 0..segments {
+                let (l, h) = word.full_range(i);
+                lo[i * len + r] = l as u8;
+                hi[i * len + r] = h as u8;
+            }
+        }
+        RootSoa {
+            lo,
+            hi,
+            len,
+            segments,
+        }
+    }
+
+    /// Number of roots covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the planes cover no roots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Segments per word (0 for an empty forest).
+    #[inline]
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// The lower-bound plane (segment-major, stride [`RootSoa::len`]).
+    #[inline]
+    pub(crate) fn lo_plane(&self) -> &[u8] {
+        &self.lo
+    }
+
+    /// The upper-bound plane (segment-major, stride [`RootSoa::len`]).
+    #[inline]
+    pub(crate) fn hi_plane(&self) -> &[u8] {
+        &self.hi
+    }
+
+    /// Heap bytes held by the planes.
+    pub fn size_bytes(&self) -> usize {
+        self.lo.len() + self.hi.len()
+    }
+}
+
 /// Picks the segment to split: the lowest-cardinality segment whose
 /// refinement actually separates the ids; among equal cardinalities the
 /// most balanced split wins. Returns `None` when no segment can separate

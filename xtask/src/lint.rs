@@ -5,11 +5,13 @@
 //!
 //! 1. **`SAFETY:` comments.** Every `unsafe` block, impl, or fn must be
 //!    immediately preceded (allowing only comment and attribute lines in
-//!    between) by a `// SAFETY:` comment justifying it.
-//! 2. **Unsafe module whitelist.** `unsafe` may appear only in the four
+//!    between) by a `// SAFETY:` comment — or, for documented unsafe
+//!    fns, a rustdoc `# Safety` section — justifying it.
+//! 2. **Unsafe module whitelist.** `unsafe` may appear only in the
 //!    files that own the engine's load-bearing raw-pointer patterns
 //!    (striped summary writes, forest slot writes, job lifetime erasure,
-//!    allocation recycling).
+//!    allocation recycling) and the SIMD kernel boundary
+//!    (`distance/simd`).
 //! 3. **Transmute whitelist.** `transmute` may appear only in
 //!    `search/engine.rs` (the single `erase_job` lifetime erasure).
 //! 4. **Thread discipline.** No direct `thread::spawn` outside the
@@ -29,6 +31,12 @@
 //!    `thread::spawn` there is already banned by rule 4 — fault
 //!    injection rides the runtime's scoped node threads, it never owns
 //!    threads.)
+//! 7. **`target_feature` guard naming.** Every `#[target_feature(...)]`
+//!    function must be preceded by a safety comment that *names* its
+//!    runtime-detection guard (`avx2_available` /
+//!    `is_x86_feature_detected!`): the attribute makes the function
+//!    sound only behind that check, and the name keeps the guard
+//!    greppable from the kernel.
 //!
 //! Comments and string literals are stripped before token matching, so
 //! prose about `unsafe` never trips the lint, and the lint can check its
@@ -42,6 +50,8 @@ use std::path::{Path, PathBuf};
 /// here *and* document the new invariant at the unsafe site.
 const UNSAFE_WHITELIST: &[&str] = &[
     "crates/core/src/buffers.rs",
+    "crates/core/src/distance/simd/avx.rs",
+    "crates/core/src/distance/simd/mod.rs",
     "crates/core/src/search/engine.rs",
     "crates/core/src/search/scratch.rs",
     "crates/core/src/tree.rs",
@@ -235,9 +245,10 @@ fn has_marker_comment(raw_lines: &[&str], idx: usize, marker: &str) -> bool {
 }
 
 /// Whether a preceding comment run justifies the unsafe construct on
-/// line `idx` with a `SAFETY:` comment.
+/// line `idx`: a `// SAFETY:` comment, or the rustdoc `# Safety`
+/// section convention used on documented unsafe fns.
 fn has_safety_comment(raw_lines: &[&str], idx: usize) -> bool {
-    has_marker_comment(raw_lines, idx, "SAFETY:")
+    has_marker_comment(raw_lines, idx, "SAFETY:") || has_marker_comment(raw_lines, idx, "# Safety")
 }
 
 /// Lints one source file; `rel` is its workspace-relative path with
@@ -283,6 +294,20 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<Violation> {
                     "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
                 );
             }
+        }
+        if has_token(code, "target_feature")
+            && !(has_marker_comment(&raw_lines, i, "avx2_available")
+                || has_marker_comment(&raw_lines, i, "is_x86_feature_detected"))
+        {
+            push(
+                &mut out,
+                line,
+                "target-feature-guard",
+                "`#[target_feature]` fn without a preceding safety comment naming \
+                 its runtime-detection guard (`avx2_available` / \
+                 `is_x86_feature_detected!`)"
+                    .to_string(),
+            );
         }
         if has_token(code, "transmute") && !TRANSMUTE_WHITELIST.contains(&rel) {
             push(
@@ -517,6 +542,47 @@ mod tests {
             rules("crates/cluster/src/faults.rs", "std::thread::spawn(|| {});\n"),
             vec!["thread-spawn"]
         );
+    }
+
+    #[test]
+    fn simd_modules_accept_commented_unsafe() {
+        let src = "// SAFETY: gated by avx2_available.\nunsafe { k(); }\n";
+        assert!(rules("crates/core/src/distance/simd/mod.rs", src).is_empty());
+        assert!(rules("crates/core/src/distance/simd/avx.rs", src).is_empty());
+        // The whitelist did not widen beyond the simd boundary.
+        assert_eq!(
+            rules("crates/core/src/distance/ed.rs", src),
+            vec!["unsafe-whitelist"]
+        );
+    }
+
+    #[test]
+    fn rustdoc_safety_section_satisfies_the_safety_rule() {
+        let src = "/// # Safety\n/// Callers uphold X.\npub unsafe fn k() {}\n";
+        assert!(rules("crates/core/src/distance/simd/avx.rs", src).is_empty());
+    }
+
+    #[test]
+    fn target_feature_without_named_guard_is_flagged() {
+        let src = "/// # Safety\n/// The CPU must support AVX2.\n#[target_feature(enable = \"avx2\")]\npub unsafe fn k() {}\n";
+        assert_eq!(
+            rules("crates/core/src/distance/simd/avx.rs", src),
+            vec!["target-feature-guard"]
+        );
+    }
+
+    #[test]
+    fn target_feature_naming_its_guard_passes() {
+        let doc = "/// # Safety\n/// Gated by [`super::avx2_available`].\n#[target_feature(enable = \"avx2\")]\npub unsafe fn k() {}\n";
+        assert!(rules("crates/core/src/distance/simd/avx.rs", doc).is_empty());
+        let line = "// SAFETY: callers check is_x86_feature_detected!(\"avx2\").\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n";
+        assert!(rules("crates/core/src/distance/simd/avx.rs", line).is_empty());
+    }
+
+    #[test]
+    fn prose_about_target_feature_does_not_trip() {
+        let src = "// #[target_feature] kernels live in simd/avx.rs\nfn f() {}\n";
+        assert!(rules("crates/core/src/distance/mod.rs", src).is_empty());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint        # unsafe-boundary + thread-discipline lint
+//! cargo run -p xtask -- scalar      # core tests with SIMD force-disabled
 //! cargo run -p xtask -- miri        # Miri tier (nightly + miri component)
 //! cargo run -p xtask -- tsan       # ThreadSanitizer tier (nightly, linux x86_64)
 //! ```
@@ -24,14 +25,15 @@ fn main() -> ExitCode {
     let root = workspace_root();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(&root),
+        Some("scalar") => cmd_scalar(&root),
         Some("miri") => cmd_miri(&root),
         Some("tsan") => cmd_tsan(&root),
         Some("help") | None => {
-            eprintln!("usage: cargo run -p xtask -- <lint|miri|tsan>");
+            eprintln!("usage: cargo run -p xtask -- <lint|scalar|miri|tsan>");
             ExitCode::FAILURE
         }
         Some(other) => {
-            eprintln!("xtask: unknown command `{other}` (expected lint, miri, or tsan)");
+            eprintln!("xtask: unknown command `{other}` (expected lint, scalar, miri, or tsan)");
             ExitCode::FAILURE
         }
     }
@@ -63,6 +65,26 @@ fn cmd_lint(root: &Path) -> ExitCode {
             eprintln!("xtask lint: io error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The forced-scalar tier: the whole `odyssey-core` test suite (kernel
+/// property tests, exact/batch/lane search bit-identity, SIMD↔scalar
+/// equivalence) with `ODYSSEY_SIMD=scalar`, so the scalar fallback path
+/// is exercised end to end even on AVX2 hosts. A scalar-only CPU takes
+/// this path implicitly; this tier makes it a first-class CI leg.
+fn cmd_scalar(root: &Path) -> ExitCode {
+    let ok = run_status(
+        Command::new("cargo")
+            .current_dir(root)
+            .env("ODYSSEY_SIMD", "scalar")
+            .args(["test", "-q", "-p", "odyssey-core"]),
+    );
+    if ok {
+        eprintln!("xtask scalar: ok");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
