@@ -1,0 +1,244 @@
+//! Online-service load sweep: emits `BENCH_service.json` measuring
+//! per-class tail latency (p50/p90/p99) under an **open-loop** arrival
+//! stream at three offered-load points — comfortably under capacity,
+//! near saturation, and past it. The past-saturation point must show
+//! the bounded admission queue shedding load (`rejected > 0`): an
+//! open-loop client does not slow down when the service falls behind,
+//! so without backpressure the queue would grow without bound.
+//!
+//! Capacity is probed first by timing the same mixed ED / DTW / k-NN
+//! query pool through the closed batch path (`run_batch`), which also
+//! produces the reference answers: every answer the service completes
+//! must be **bit-identical** to the batch path's — asserted at exit,
+//! so CI fails loudly on any divergence.
+//!
+//! Arrival schedules are deterministic: exponential inter-arrival gaps
+//! from a fixed-seed xorshift, one seed per load point. (Wall-clock
+//! latencies still vary run to run — the schedule, not the timings, is
+//! what the seed pins.)
+//!
+//! ```text
+//! cargo run --release -p odyssey-bench --bin service_load [out.json]
+//! ```
+//!
+//! `ODYSSEY_BENCH_SCALE` multiplies the dataset size as in every other
+//! harness.
+
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
+use odyssey_core::search::exact::SearchParams;
+use odyssey_service::{LatencyClass, QueryService, ServiceConfig, ServiceQuery};
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SERIES_LEN: usize = 64;
+const POOL_THREADS: usize = 4;
+const QUEUE_CAPACITY: usize = 16;
+const POOL_QUERIES: usize = 48;
+const ARRIVALS_PER_POINT: usize = 144;
+
+fn kind_of(qi: usize) -> QueryKind {
+    match qi % 3 {
+        0 => QueryKind::Exact,
+        1 => QueryKind::Dtw(4),
+        _ => QueryKind::Knn(3),
+    }
+}
+
+/// Exponential inter-arrival gaps at `rate` qps from a seeded xorshift.
+fn arrival_schedule(n: usize, rate: f64, seed: u64) -> Vec<Duration> {
+    let mut x = seed | 1;
+    let mut at = Duration::ZERO;
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+            at += Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+            at
+        })
+        .collect()
+}
+
+fn same_bits(a: &BatchAnswer, b: &BatchAnswer) -> bool {
+    match (a, b) {
+        (BatchAnswer::Nn(s), BatchAnswer::Nn(r)) => {
+            s.distance.to_bits() == r.distance.to_bits() && s.series_id == r.series_id
+        }
+        (BatchAnswer::Knn(s), BatchAnswer::Knn(r)) => s.neighbors == r.neighbors,
+        _ => false,
+    }
+}
+
+struct Point {
+    json: String,
+    rejected: u64,
+    mismatches: usize,
+}
+
+fn run_point(
+    label: &str,
+    index: &Arc<Index>,
+    workload: &QueryWorkload,
+    reference: &[BatchAnswer],
+    offered_qps: f64,
+    seed: u64,
+) -> Point {
+    let schedule = arrival_schedule(ARRIVALS_PER_POINT, offered_qps, seed);
+    let service = QueryService::new(
+        ServiceConfig::default()
+            .with_pool_threads(POOL_THREADS)
+            .with_queue_capacity(QUEUE_CAPACITY),
+    );
+    let (admitted_refs, report) = service.serve_index(index, |client| {
+        let start = Instant::now();
+        let mut admitted: Vec<(u64, usize)> = Vec::with_capacity(schedule.len());
+        for (i, &due) in schedule.iter().enumerate() {
+            if let Some(gap) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(gap);
+            }
+            let qi = i % POOL_QUERIES;
+            let q = ServiceQuery {
+                data: workload.query(qi).to_vec(),
+                kind: kind_of(qi),
+                class: if i % 2 == 0 {
+                    LatencyClass::Interactive
+                } else {
+                    LatencyClass::Batch
+                },
+                deadline: None,
+            };
+            // Open loop: rejected arrivals are shed, not retried — the
+            // report counts them.
+            if let Ok(qid) = client.submit(q) {
+                admitted.push((qid, qi));
+            }
+        }
+        // Exactness audit on everything that made it through admission.
+        admitted
+            .into_iter()
+            .map(|(qid, qi)| (client.wait(qid), qi))
+            .collect::<Vec<_>>()
+    });
+    let mismatches = admitted_refs
+        .iter()
+        .filter(|(a, qi)| !same_bits(&a.answer, &reference[*qi]))
+        .count();
+    let completed_qps = report.completed as f64 / report.wall.as_secs_f64();
+    let (i, b) = (&report.interactive, &report.batch);
+    let json = format!(
+        "    {{\"point\": \"{label}\", \"offered_qps\": {offered_qps:.1}, \
+         \"completed_qps\": {completed_qps:.1}, \
+         \"offered\": {}, \"admitted\": {}, \"rejected\": {}, \
+         \"completed\": {}, \"degraded\": {}, \"max_in_flight\": {}, \
+         \"mismatches\": {mismatches}, \
+         \"interactive\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+         \"p99_us\": {}, \"mean_us\": {:.1}, \"max_us\": {}}}, \
+         \"batch\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+         \"p99_us\": {}, \"mean_us\": {:.1}, \"max_us\": {}}}}}",
+        ARRIVALS_PER_POINT,
+        report.admitted,
+        report.rejected,
+        report.completed,
+        report.degraded,
+        report.max_in_flight,
+        i.count,
+        i.p50_us,
+        i.p90_us,
+        i.p99_us,
+        i.mean_us,
+        i.max_us,
+        b.count,
+        b.p50_us,
+        b.p90_us,
+        b.p99_us,
+        b.mean_us,
+        b.max_us,
+    );
+    Point {
+        json,
+        rejected: report.rejected,
+        mismatches,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+    let scale = odyssey_bench::scale();
+    let n_series = 3_000 * scale;
+    let data = random_walk(n_series, SERIES_LEN, 0x901);
+    let index = Arc::new(Index::build(
+        data.clone(),
+        IndexConfig::new(SERIES_LEN)
+            .with_segments(8)
+            .with_leaf_capacity(64),
+        POOL_THREADS,
+    ));
+    let workload = QueryWorkload::generate(
+        &data,
+        POOL_QUERIES,
+        WorkloadKind::Mixed { hard_fraction: 0.4, noise: 0.05 },
+        0x902,
+    );
+
+    // Capacity probe doubles as the reference run: the batch path's
+    // wall gives the sustainable rate, its answers the ground truth.
+    let queries: Vec<BatchQuery> = (0..POOL_QUERIES)
+        .map(|qi| BatchQuery::new(workload.query(qi), kind_of(qi)))
+        .collect();
+    let order: Vec<usize> = (0..POOL_QUERIES).collect();
+    let params = SearchParams::new(POOL_THREADS);
+    let t0 = Instant::now();
+    let batch = BatchEngine::new(Arc::clone(&index), POOL_THREADS).run_batch(
+        &queries,
+        &order,
+        &params,
+    );
+    let probe_wall = t0.elapsed();
+    let reference: Vec<BatchAnswer> = batch.items.iter().map(|it| it.answer.clone()).collect();
+    let capacity_qps = POOL_QUERIES as f64 / probe_wall.as_secs_f64().max(1e-9);
+
+    let points = [
+        ("light", 0.5 * capacity_qps, 0x911u64),
+        ("near-saturation", 0.9 * capacity_qps, 0x912),
+        ("overload", 2.0 * capacity_qps, 0x913),
+    ];
+    let results: Vec<(&str, Point)> = points
+        .iter()
+        .map(|&(label, qps, seed)| {
+            (label, run_point(label, &index, &workload, &reference, qps, seed))
+        })
+        .collect();
+
+    let total_mismatches: usize = results.iter().map(|(_, p)| p.mismatches).sum();
+    let overload_rejected = results
+        .iter()
+        .find(|(l, _)| *l == "overload")
+        .map(|(_, p)| p.rejected)
+        .unwrap_or(0);
+    let body: Vec<String> = results.iter().map(|(_, p)| p.json.clone()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"service_load\",\n  \"n_series\": {n_series},\n  \
+         \"series_len\": {SERIES_LEN},\n  \"pool_threads\": {POOL_THREADS},\n  \
+         \"queue_capacity\": {QUEUE_CAPACITY},\n  \"pool_queries\": {POOL_QUERIES},\n  \
+         \"arrivals_per_point\": {ARRIVALS_PER_POINT},\n  \
+         \"capacity_probe_qps\": {capacity_qps:.1},\n  \"points\": [\n{}\n  ],\n  \
+         \"mismatches\": {total_mismatches}\n}}\n",
+        body.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    print!("{json}");
+    assert_eq!(
+        total_mismatches, 0,
+        "a streamed answer diverged from the batch path"
+    );
+    assert!(
+        overload_rejected > 0,
+        "2x-capacity open-loop offered load must hit the bounded queue"
+    );
+}

@@ -20,6 +20,9 @@ pub const USAGE: &str = "usage:
                       [--threads T] --out FILE
   odyssey index info --index FILE
   odyssey query --index FILE --queries FILE [--k K] [--dtw-window W] [--threads T]
+  odyssey serve --index FILE --queries FILE [--rate QPS] [--seed S] [--threads T] \\
+                [--lane-width W] [--capacity C] [--interactive-every K] \\
+                [--deadline-ms D] [--k K] [--dtw-window W]
   odyssey cluster --data FILE --len L --queries FILE [--nodes N] \\
                   [--replication full|equally-split|partial-K] \\
                   [--scheduler static|dynamic|predict-st|predict-st-unsorted|predict-dn] \\
@@ -33,6 +36,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         [c, s, ..] if c == "index" && s == "build" => cmd_index_build(&args),
         [c, s, ..] if c == "index" && s == "info" => cmd_index_info(&args),
         [c, ..] if c == "query" => cmd_query(&args),
+        [c, ..] if c == "serve" => cmd_serve(&args),
         [c, ..] if c == "cluster" => cmd_cluster(&args),
         [] => Err("no command given".into()),
         other => Err(format!("unknown command '{}'", other.join(" "))),
@@ -228,6 +232,111 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Stands up an online [`QueryService`](odyssey_service::QueryService)
+/// on a built index and replays the query file as an **open-loop**
+/// arrival stream: inter-arrival gaps are drawn from a seeded
+/// exponential distribution at the requested rate, so the schedule is
+/// fixed by `--seed` and `--rate` alone — arrivals do not wait for
+/// completions, which is what exposes queueing delay and backpressure.
+/// Every `--interactive-every`-th query is submitted interactive (with
+/// `--deadline-ms`, when given); the rest ride the batch class.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use odyssey_service::{QueryService, ServiceConfig, ServiceQuery};
+
+    let index = persist::load_index_file(Path::new(args.require("index")?))
+        .map_err(|e| e.to_string())?;
+    let len = index.config().series_len;
+    let queries =
+        wio::read_bin(Path::new(args.require("queries")?), len).map_err(|e| e.to_string())?;
+    let rate: f64 = args.get_or("rate", 200.0)?;
+    if rate <= 0.0 || rate.is_nan() {
+        return Err("--rate must be positive".into());
+    }
+    let seed: u64 = args.get_or("seed", 42)?;
+    let threads: usize = args.get_or("threads", 2)?;
+    let lane_width: usize = args.get_or("lane-width", 1)?;
+    let capacity: usize = args.get_or("capacity", 64)?;
+    let interactive_every: usize = args.get_or("interactive-every", 2)?;
+    let deadline_ms: u64 = args.get_or("deadline-ms", 0)?;
+    let k: usize = args.get_or("k", 1)?;
+    let dtw_window: usize = args.get_or("dtw-window", 0)?;
+    let kind = if dtw_window > 0 {
+        QueryKind::Dtw(dtw_window)
+    } else if k > 1 {
+        QueryKind::Knn(k)
+    } else {
+        QueryKind::Exact
+    };
+
+    // The deterministic arrival schedule: exponential gaps from a
+    // seeded xorshift, fixed before the service starts.
+    let nq = queries.num_series();
+    let mut x = seed | 1;
+    let mut at = std::time::Duration::ZERO;
+    let arrivals: Vec<std::time::Duration> = (0..nq)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            at += std::time::Duration::from_secs_f64(-(1.0 - u).ln() / rate);
+            at
+        })
+        .collect();
+
+    let mut config = ServiceConfig::default()
+        .with_pool_threads(threads)
+        .with_lane_width(lane_width)
+        .with_queue_capacity(capacity);
+    if deadline_ms > 0 {
+        config = config.with_interactive_deadline(std::time::Duration::from_millis(deadline_ms));
+    }
+    let service = QueryService::new(config);
+    let index = Arc::new(index);
+    let (submitted, report) = service.serve_index(&index, |client| {
+        let start = std::time::Instant::now();
+        let mut submitted = 0u64;
+        for (qi, &due) in arrivals.iter().enumerate() {
+            if let Some(gap) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(gap);
+            }
+            let q = ServiceQuery {
+                data: queries.series(qi).to_vec(),
+                kind,
+                class: if interactive_every > 0 && qi % interactive_every == 0 {
+                    odyssey_service::LatencyClass::Interactive
+                } else {
+                    odyssey_service::LatencyClass::Batch
+                },
+                deadline: None,
+            };
+            // Open loop: a Busy rejection is recorded (in the report)
+            // and the arrival is lost, as an overloaded front-end
+            // would shed it.
+            if client.submit(q).is_ok() {
+                submitted += 1;
+            }
+        }
+        submitted
+    });
+    println!(
+        "served {submitted}/{} arrivals at ~{rate:.0} qps (seed {seed}): \
+         {} completed, {} rejected (backpressure), {} degraded, wall {:?}",
+        nq, report.completed, report.rejected, report.degraded, report.wall
+    );
+    for (name, h) in [("interactive", &report.interactive), ("batch", &report.batch)] {
+        println!(
+            "  {name:<11} n={:<5} p50={}us p90={}us p99={}us max={}us",
+            h.count, h.p50_us, h.p90_us, h.p99_us, h.max_us
+        );
+    }
+    println!(
+        "  peak in-flight {} of capacity {capacity}",
+        report.max_in_flight
+    );
+    Ok(())
+}
+
 /// Parses `full`, `equally-split`, or `partial-K`.
 pub fn parse_replication(s: &str) -> Result<Replication, String> {
     match s {
@@ -380,6 +489,15 @@ mod tests {
             qfile.display()
         ))
         .expect("cluster");
+        // A fast open-loop replay: the 3-query stream at a high rate
+        // finishes quickly but still exercises the full service path.
+        run(&format!(
+            "serve --index {} --queries {} --rate 5000 --seed 7 --threads 2 \
+             --interactive-every 2 --deadline-ms 200",
+            idx.display(),
+            qfile.display()
+        ))
+        .expect("serve");
         for f in [data, qfile, idx] {
             std::fs::remove_file(f).ok();
         }

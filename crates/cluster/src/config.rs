@@ -102,11 +102,22 @@ pub struct ClusterConfig {
     pub inter_query_lanes: bool,
     /// Lane-admission knobs (easy width, hardness cutoff).
     pub lane_admission: AdmissionConfig,
-    /// How many queries a node admits from its dispatch queue per
-    /// concurrent planning window. Small windows stay close to the
-    /// coordinator-served dynamic dispatch; large windows give the
-    /// packer more balancing freedom.
-    pub lane_window: usize,
+    /// Lane width for the online-serving path
+    /// ([`crate::runtime::OdysseyCluster::serve`]): each node
+    /// partitions its pool into groups of this many workers, and each
+    /// group claims streamed queries continuously. `1` maximizes
+    /// inter-query concurrency; `threads_per_node` dedicates the whole
+    /// node to one query at a time.
+    pub service_lane_width: usize,
+    /// On the serving path, how many shard-map ticks a claim by a
+    /// `Suspect` node may age before a healthy peer hedges the query
+    /// (re-executes it on its own replica rather than waiting for the
+    /// suspect to recover or be declared `Down`).
+    pub suspect_hedge_after: u64,
+    /// Upper bound on hedged re-executions per query on the serving
+    /// path (bounded retry — a flapping suspect cannot trigger
+    /// unbounded duplicate work).
+    pub suspect_max_hedges: u32,
     /// Optional trained sigmoid threshold model (Figure 6): when set,
     /// every query runs with its own predicted priority-queue
     /// threshold `TH` instead of the batch-wide [`Self::pq_threshold`].
@@ -161,7 +172,9 @@ impl ClusterConfig {
             rs_batches: 32,
             inter_query_lanes: true,
             lane_admission: AdmissionConfig::default(),
-            lane_window: 8,
+            service_lane_width: 1,
+            suspect_hedge_after: 8,
+            suspect_max_hedges: 1,
             threshold_model: None,
             seed: 0xD15EA5E,
             node_speeds: Vec::new(),
@@ -260,10 +273,22 @@ impl ClusterConfig {
         self
     }
 
-    /// Sets the per-node admission window.
-    pub fn with_lane_window(mut self, w: usize) -> Self {
+    /// Sets the serving-path lane width.
+    pub fn with_service_lane_width(mut self, w: usize) -> Self {
         assert!(w >= 1);
-        self.lane_window = w;
+        self.service_lane_width = w;
+        self
+    }
+
+    /// Sets the suspect-hedge age threshold (in shard-map ticks).
+    pub fn with_suspect_hedge_after(mut self, ticks: u64) -> Self {
+        self.suspect_hedge_after = ticks;
+        self
+    }
+
+    /// Caps hedged re-executions per query on the serving path.
+    pub fn with_suspect_max_hedges(mut self, n: u32) -> Self {
+        self.suspect_max_hedges = n;
         self
     }
 

@@ -46,6 +46,7 @@ pub mod boards;
 pub mod config;
 pub mod faults;
 pub mod runtime;
+pub mod serve;
 pub mod shard_map;
 pub mod stealing;
 pub mod topology;
@@ -55,5 +56,6 @@ pub use config::{BatchMode, ClusterConfig, Replication};
 pub use faults::{Fault, FaultPlan};
 pub use odyssey_sched::SchedulerKind;
 pub use runtime::{BatchReport, BuildReport, KnnBatchReport, OdysseyCluster};
+pub use serve::{ServeHandle, ServeOutcome, ServeQuery, ServeStats, ServedAnswer};
 pub use shard_map::{Coverage, NodeHealth, ShardMap};
 pub use topology::Topology;

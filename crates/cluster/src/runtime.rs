@@ -30,7 +30,7 @@ use odyssey_core::search::knn::seed_from_approx_leaf;
 use odyssey_core::search::multiq::LaneCtx;
 use odyssey_core::series::DatasetBuffer;
 use odyssey_partition::Partition;
-use odyssey_sched::admission::plan_lanes;
+use odyssey_sched::admission::plan_dispatch_widths;
 use odyssey_sched::scheduler::{dynamic_order, greedy_by_estimate, static_split};
 use odyssey_sched::SchedulerKind;
 use parking_lot::Mutex;
@@ -717,12 +717,11 @@ impl OdysseyCluster {
                             }
                         }
                     } else if use_lanes {
-                        // Admission windows: pull a window of queries,
-                        // plan widths from their cost estimates, run the
-                        // window's rounds on partitioned worker groups.
+                        // Continuous dispatch: partition the pool once,
+                        // then every lane claims queries back-to-back.
                         // Every lane query registers with the steal
-                        // registry, so thieves are served mid-round.
-                        self.run_lane_windows(
+                        // registry, so thieves are served mid-claim.
+                        self.run_lane_dispatch(
                             &dispatch[g],
                             member_idx,
                             &group_costs[g],
@@ -1060,12 +1059,17 @@ impl OdysseyCluster {
         }
     }
 
-    /// Drains one group member's dispatch queue in admission windows:
-    /// pull up to `lane_window` queries, plan lane widths from their
-    /// cost estimates, run each round on the engine's partitioned
-    /// worker groups, repeat until the queue is empty. Shared by the
+    /// Drains one group member's dispatch queue with **continuous**
+    /// lane claiming: the pool is partitioned once (from the member's
+    /// cost-estimate profile) into wide and narrow lanes, and each lane
+    /// then claims queries one at a time until the queue is empty — no
+    /// barrier between claims, so a lane that finishes an easy query
+    /// immediately pulls the next one while a sibling lane is still
+    /// mid-search on a hard one. Wide lanes claim from the front of the
+    /// dispatch order (hardest-first under PREDICT-DN), narrow lanes
+    /// from the back, so the tiers meet in the middle. Shared by the
     /// 1-NN and k-NN batch paths.
-    fn run_lane_windows(
+    fn run_lane_dispatch(
         &self,
         dispatch: &GroupDispatch,
         member_idx: usize,
@@ -1073,23 +1077,16 @@ impl OdysseyCluster {
         engine: &BatchEngine,
         per_query: &(dyn Fn(&mut LaneCtx, usize) + Sync),
     ) {
-        loop {
-            let mut window = Vec::with_capacity(self.config.lane_window);
-            while window.len() < self.config.lane_window {
-                match dispatch.next(member_idx) {
-                    Some(qid) => window.push(qid),
-                    None => break,
-                }
-            }
-            if window.is_empty() {
-                break;
-            }
-            let wcosts: Vec<f64> = window.iter().map(|&qid| costs[qid]).collect();
-            let plan = plan_lanes(&wcosts, engine.n_threads(), &self.config.lane_admission);
-            for round in &plan.rounds {
-                engine.run_concurrent(round, &|ctx, wi| per_query(ctx, window[wi]));
-            }
-        }
+        let dw = plan_dispatch_widths(costs, engine.n_threads(), &self.config.lane_admission);
+        engine.run_dispatch(&dw.widths, &|ctx, lane| loop {
+            let claim = if lane < dw.wide_lanes {
+                dispatch.next(member_idx)
+            } else {
+                dispatch.next_back(member_idx)
+            };
+            let Some(qid) = claim else { break };
+            per_query(ctx, qid);
+        });
     }
 
     /// Answers a k-NN batch (Section 4). Uses the same replication,
@@ -1182,7 +1179,7 @@ impl OdysseyCluster {
                         coverage_board.mark(qid, g);
                     };
                     if use_lanes && fatal_at.is_none() {
-                        self.run_lane_windows(
+                        self.run_lane_dispatch(
                             &dispatch[g],
                             member_idx,
                             &group_costs[g],
@@ -1486,6 +1483,16 @@ impl GroupDispatch {
         match self {
             GroupDispatch::Static(queues) => queues[member_idx].lock().pop_front(),
             GroupDispatch::Dynamic(q) => q.lock().pop_front(),
+        }
+    }
+
+    /// Like [`GroupDispatch::next`], but claims from the *back* of the
+    /// member's queue — the easy end of a descending-cost order. Narrow
+    /// dispatch lanes use this so the tiers meet in the middle.
+    fn next_back(&self, member_idx: usize) -> Option<usize> {
+        match self {
+            GroupDispatch::Static(queues) => queues[member_idx].lock().pop_back(),
+            GroupDispatch::Dynamic(q) => q.lock().pop_back(),
         }
     }
 
@@ -1804,8 +1811,7 @@ mod tests {
                 .with_replication(Replication::Partial(2))
                 .with_scheduler(SchedulerKind::PredictDn)
                 .with_work_stealing(false)
-                .with_threads_per_node(4)
-                .with_lane_window(5),
+                .with_threads_per_node(4),
         );
         let laned = base.answer_batch(&w.queries);
         let sequential = base

@@ -1,0 +1,246 @@
+//! The serving path's contracts: streamed answers bit-identical to the
+//! batch paths, deadline expiry degrading honestly (never dropping),
+//! and suspect hedging un-sticking work from a stalled replica.
+
+use odyssey_cluster::{
+    ClusterConfig, Coverage, FaultPlan, OdysseyCluster, Replication, ServeOutcome, ServeQuery,
+    ServedAnswer,
+};
+use odyssey_core::search::engine::{BatchAnswer, QueryKind};
+use odyssey_core::series::DatasetBuffer;
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+use parking_lot::Mutex;
+use std::time::Duration;
+
+fn workload(data: &DatasetBuffer, n: usize, seed: u64) -> QueryWorkload {
+    QueryWorkload::generate(
+        data,
+        n,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.4,
+            noise: 0.05,
+        },
+        seed,
+    )
+}
+
+fn collect_serve(
+    cluster: &OdysseyCluster,
+    queries: Vec<ServeQuery>,
+) -> (Vec<Option<ServedAnswer>>, odyssey_cluster::ServeStats) {
+    let n = queries.len();
+    let results: Vec<Mutex<Option<ServedAnswer>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let on_complete = |a: ServedAnswer| {
+        let slot = a.qid as usize;
+        *results[slot].lock() = Some(a);
+    };
+    let (ids, stats) = cluster.serve(
+        |handle| queries.into_iter().map(|q| handle.submit(q)).collect::<Vec<u64>>(),
+        &on_complete,
+    );
+    assert_eq!(ids, (0..n as u64).collect::<Vec<u64>>());
+    (results.into_iter().map(|m| m.into_inner()).collect(), stats)
+}
+
+/// Streamed answers must be bit-identical to the batch paths for the
+/// same mixed ED / DTW / k-NN query set, across thread counts and both
+/// latency classes.
+#[test]
+fn streamed_answers_match_batch_bit_for_bit() {
+    let data = random_walk(1400, 64, 301);
+    let w = workload(&data, 12, 47);
+    let k = 3;
+    let window = 4;
+    for tpn in [1usize, 2, 4, 8] {
+        let cluster = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(4)
+                .with_replication(Replication::Partial(2))
+                .with_threads_per_node(tpn),
+        );
+        let ed = cluster.answer_batch(&w.queries);
+        let dtw = cluster.answer_batch_dtw(&w.queries, window);
+        let knn = cluster.answer_batch_knn(&w.queries, k);
+
+        // One streamed query per (batch query, kind), classes mixed.
+        let mut stream = Vec::new();
+        for qi in 0..w.len() {
+            for kind in [QueryKind::Exact, QueryKind::Dtw(window), QueryKind::Knn(k)] {
+                let q = if qi % 2 == 0 {
+                    ServeQuery::interactive(w.query(qi).to_vec())
+                } else {
+                    ServeQuery::batch(w.query(qi).to_vec())
+                };
+                stream.push(q.with_kind(kind));
+            }
+        }
+        let (results, stats) = collect_serve(&cluster, stream);
+        assert_eq!(stats.completed, 3 * w.len() as u64, "tpn={tpn}");
+        assert_eq!(stats.degraded, 0);
+        for qi in 0..w.len() {
+            let got = |slot: usize| {
+                results[3 * qi + slot]
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("tpn={tpn} query {qi} slot {slot} unanswered"))
+            };
+            for slot in 0..3 {
+                assert_eq!(got(slot).outcome, ServeOutcome::Exact);
+                assert_eq!(got(slot).coverage, Coverage::Complete);
+            }
+            match (&got(0).answer, &got(1).answer) {
+                (BatchAnswer::Nn(e), BatchAnswer::Nn(d)) => {
+                    assert_eq!(
+                        e.distance.to_bits(),
+                        ed.answers[qi].distance.to_bits(),
+                        "tpn={tpn} query {qi}: serve ED vs batch ED"
+                    );
+                    assert_eq!(e.series_id, ed.answers[qi].series_id);
+                    assert_eq!(
+                        d.distance.to_bits(),
+                        dtw.answers[qi].distance.to_bits(),
+                        "tpn={tpn} query {qi}: serve DTW vs batch DTW"
+                    );
+                }
+                _ => panic!("1-NN kinds diverged"),
+            }
+            match &got(2).answer {
+                BatchAnswer::Knn(a) => {
+                    assert_eq!(
+                        a.neighbors, knn.answers[qi].neighbors,
+                        "tpn={tpn} query {qi}: serve k-NN vs batch k-NN"
+                    );
+                }
+                _ => panic!("k-NN kind diverged"),
+            }
+        }
+    }
+}
+
+/// An already-expired deadline must yield a degraded-but-present answer
+/// naming every group — never a silent drop — while deadline-free
+/// queries in the same stream stay exact.
+#[test]
+fn expired_deadline_degrades_honestly() {
+    let data = random_walk(1000, 64, 88);
+    let w = workload(&data, 6, 9);
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(2)
+            .with_replication(Replication::Partial(2))
+            .with_threads_per_node(2),
+    );
+    let exact = cluster.answer_batch(&w.queries);
+    let stream: Vec<ServeQuery> = (0..w.len())
+        .map(|qi| {
+            let q = ServeQuery::interactive(w.query(qi).to_vec());
+            if qi % 2 == 0 {
+                q.with_deadline(Duration::ZERO)
+            } else {
+                q
+            }
+        })
+        .collect();
+    let (results, stats) = collect_serve(&cluster, stream);
+    assert_eq!(stats.completed, w.len() as u64);
+    assert_eq!(stats.degraded, w.len().div_ceil(2) as u64);
+    for (qi, r) in results.iter().enumerate() {
+        let r = r.as_ref().expect("no silent drops");
+        let BatchAnswer::Nn(a) = &r.answer else {
+            panic!("ED query answered with k-NN")
+        };
+        if qi % 2 == 0 {
+            assert_eq!(r.outcome, ServeOutcome::Degraded, "query {qi}");
+            // Every group answered from its approximate seed.
+            assert_eq!(
+                r.coverage.missing_groups(),
+                &(0..cluster.topology().n_groups()).collect::<Vec<_>>()[..],
+                "query {qi}"
+            );
+            // The seed is an upper bound on the exact distance, and it
+            // is a real series, not a placeholder.
+            assert!(a.series_id.is_some(), "query {qi}: degraded but identified");
+            assert!(
+                a.distance >= exact.answers[qi].distance - 1e-12,
+                "query {qi}: seed must upper-bound the exact distance"
+            );
+        } else {
+            assert_eq!(r.outcome, ServeOutcome::Exact, "query {qi}");
+            assert_eq!(
+                a.distance.to_bits(),
+                exact.answers[qi].distance.to_bits(),
+                "query {qi}: deadline-free stays exact"
+            );
+        }
+    }
+}
+
+/// A delayed replica falls behind on heartbeats, turns `Suspect`, and
+/// its stuck claim is hedged by the healthy group member within the
+/// configured bound — the stream completes without waiting out the
+/// slow node for every query.
+#[test]
+fn suspect_claims_are_hedged_by_healthy_peer() {
+    let data = random_walk(900, 64, 55);
+    let w = workload(&data, 24, 21);
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(2)
+            .with_replication(Replication::Full)
+            .with_threads_per_node(2)
+            .with_lease_ticks(4)
+            .with_suspect_hedge_after(2)
+            .with_suspect_max_hedges(1)
+            // Node 1 stalls 40ms per claim: node 0 out-ticks its lease
+            // long before it finishes, so its claim ages into a hedge.
+            .with_fault_plan(FaultPlan::new().delay(1, 40_000)),
+    );
+    let exact = cluster.answer_batch(&w.queries);
+    let stream: Vec<ServeQuery> = (0..w.len())
+        .map(|qi| ServeQuery::interactive(w.query(qi).to_vec()))
+        .collect();
+    let (results, stats) = collect_serve(&cluster, stream);
+    assert_eq!(stats.completed, w.len() as u64, "no drops under a slow replica");
+    assert!(
+        stats.hedges >= 1,
+        "the suspect's stuck claims must be hedged (got {})",
+        stats.hedges
+    );
+    assert!(
+        stats.final_epoch >= 1,
+        "the slow node's health transition bumps the epoch"
+    );
+    for (qi, r) in results.iter().enumerate() {
+        let r = r.as_ref().expect("answered");
+        let BatchAnswer::Nn(a) = &r.answer else { panic!() };
+        assert_eq!(
+            a.distance.to_bits(),
+            exact.answers[qi].distance.to_bits(),
+            "query {qi}: hedged execution changes nothing about the answer"
+        );
+    }
+    assert!(results.iter().flatten().any(|r| r.hedged), "some answer was hedged");
+}
+
+/// Submitting after close is a contract violation and must fail fast.
+#[test]
+fn submit_after_close_panics() {
+    let data = random_walk(400, 64, 7);
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(2)
+            .with_replication(Replication::Partial(2))
+            .with_threads_per_node(1),
+    );
+    let on_complete = |_a: ServedAnswer| {};
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cluster.serve(
+            |handle| {
+                handle.close();
+                handle.submit(ServeQuery::batch(data.series(0).to_vec()));
+            },
+            &on_complete,
+        )
+    }));
+    assert!(err.is_err(), "submit after close must panic");
+}

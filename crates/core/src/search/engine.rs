@@ -46,7 +46,7 @@ use super::exact::{
 };
 use super::kernel::QueryKernel;
 use super::knn::seed_knn;
-use super::multiq::{ConcurrentPlan, LaneCtx, LaneRuntime, RoundSpec};
+use super::multiq::{ConcurrentPlan, DispatchRuntime, LaneCtx, LaneRuntime, RoundSpec};
 use super::scratch::WorkerScratch;
 use crate::index::Index;
 use crate::sync::PhaseBarrier;
@@ -436,6 +436,55 @@ impl BatchEngine {
         });
     }
 
+    /// Executes one **continuous-dispatch** round: the pool is
+    /// partitioned into lanes of the given `widths` and `driver(ctx,
+    /// lane)` runs **once** on each lane's rank-0 worker. The driver is
+    /// expected to loop — claim the next query from a shared source,
+    /// answer it through [`LaneCtx::execute`] (or
+    /// [`LaneCtx::run_query`]), publish the result, repeat — and return
+    /// when the source closes.
+    ///
+    /// This is the serving-path building block: unlike
+    /// [`BatchEngine::run_concurrent`] there is no admission window and
+    /// no per-round barrier — a lane that finishes a query immediately
+    /// claims the next one, so lanes never idle while work is queued.
+    /// The only synchronization point is the pool-level join once every
+    /// driver has returned. Answers remain bit-identical to the
+    /// sequential paths: each claimed query runs the same three-phase
+    /// engine body at the lane's width.
+    ///
+    /// # Panics
+    /// Panics if `widths` does not exactly partition the pool. A panic
+    /// inside `driver` poisons that lane's [`PhaseBarrier`], aborting
+    /// the lane instead of deadlocking it.
+    pub fn run_dispatch<F>(&self, widths: &[usize], driver: &F)
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        assert!(
+            widths.iter().all(|&w| w >= 1),
+            "dispatch lane width must be at least 1"
+        );
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.pool.n_threads,
+            "dispatch lane widths must exactly partition the {}-thread pool",
+            self.pool.n_threads
+        );
+        let rt = DispatchRuntime::new(widths);
+        self.pool.run(&|tid, scratch| {
+            rt.participate(tid, scratch, &self.index, &self.registry, driver)
+        });
+    }
+
+    /// The seed-only approximate answer for `query` — the same initial
+    /// candidate every exact search starts from (approximate tree
+    /// descent; for k-NN, the seed leaf's candidates). See
+    /// [`approximate_answer`].
+    pub fn approximate(&self, query: &BatchQuery) -> BatchAnswer {
+        approximate_answer(&self.index, query)
+    }
+
     /// Executes a batch under a [`ConcurrentPlan`]: several queries run
     /// at once on disjoint worker groups (inter-query parallelism), each
     /// on the same three-phase engine body as [`BatchEngine::run_batch`]
@@ -470,6 +519,34 @@ impl BatchEngine {
                 .map(|s| s.into_inner().expect("validated plan is total"))
                 .collect(),
             wall: t0.elapsed(),
+        }
+    }
+}
+
+/// The **approximate** answer a query's exact search is seeded from:
+/// the approximate tree descent's candidate for 1-NN (Euclidean or
+/// DTW), the seed leaf's candidates for k-NN. Runs in microseconds —
+/// one leaf visit, no queue processing.
+///
+/// This is the serving layer's honest degraded answer: when a query's
+/// deadline has already expired at claim time, the service returns this
+/// seed answer explicitly marked as degraded instead of silently
+/// dropping the query or burning a full exact search past its
+/// deadline. The returned distance is a true upper bound (it is the
+/// real distance to a real series), never a fabricated "exact" claim.
+pub fn approximate_answer(index: &Index, query: &BatchQuery) -> BatchAnswer {
+    match query.kind {
+        QueryKind::Exact => {
+            let (_kernel, bsf, _initial) = seed_ed(index, query.data);
+            BatchAnswer::Nn(bsf.answer())
+        }
+        QueryKind::Knn(k) => {
+            let (_kernel, knn) = seed_knn(index, query.data, k);
+            BatchAnswer::Knn(knn.snapshot())
+        }
+        QueryKind::Dtw(window) => {
+            let (_kernel, bsf, _initial) = seed_dtw(index, query.data, window);
+            BatchAnswer::Nn(bsf.answer())
         }
     }
 }

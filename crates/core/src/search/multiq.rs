@@ -446,6 +446,101 @@ impl LaneRuntime {
     }
 }
 
+/// Maps pool tids onto lanes for a **continuous-dispatch** round: the
+/// pool is partitioned once and each lane's rank-0 worker runs a
+/// caller-supplied driver that claims work from a shared source until
+/// the source closes. Unlike [`LaneRuntime`] there are no per-lane
+/// query queues and no admission windows — a lane never waits at a
+/// round barrier while work is still queued anywhere. The only join is
+/// the pool-level one when every driver has returned (the stream is
+/// closed and drained).
+#[derive(Debug)]
+pub(crate) struct DispatchRuntime {
+    lanes: Vec<LaneState>,
+    /// `tid -> (lane, rank within lane)`.
+    membership: Vec<(usize, usize)>,
+}
+
+impl DispatchRuntime {
+    /// A runtime for lanes of the given widths (must partition the
+    /// pool; validated by the engine entry point).
+    pub(crate) fn new(widths: &[usize]) -> Self {
+        let mut membership = Vec::new();
+        let lanes = widths
+            .iter()
+            .enumerate()
+            .map(|(l, &width)| {
+                for rank in 0..width {
+                    membership.push((l, rank));
+                }
+                LaneState {
+                    width,
+                    barrier: PhaseBarrier::new(width),
+                    slot: Mutex::new(None),
+                    active: AtomicUsize::new(0),
+                }
+            })
+            .collect();
+        DispatchRuntime { lanes, membership }
+    }
+
+    /// The per-pool-thread body of a dispatch round: each lane's rank-0
+    /// member invokes `driver(ctx, lane)` **once** — the driver loops
+    /// "claim from the shared source → [`LaneCtx::execute`] → publish"
+    /// until the source closes — and the other ranks follow published
+    /// jobs until the lane's sentinel.
+    ///
+    /// # Panics
+    /// Same contract as [`LaneRuntime::participate`]: a panic on one
+    /// lane member poisons the group's barrier so its siblings abort
+    /// instead of deadlocking, then resumes on this thread.
+    pub(crate) fn participate<F>(
+        &self,
+        tid: usize,
+        scratch: &mut WorkerScratch,
+        index: &Arc<Index>,
+        registry: &Arc<StealRegistry>,
+        driver: &F,
+    ) where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        let (l, rank) = self.membership[tid];
+        let lane = &self.lanes[l];
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if rank == 0 {
+                {
+                    let mut ctx = LaneCtx {
+                        lane,
+                        index,
+                        registry,
+                        scratch,
+                    };
+                    driver(&mut ctx, l);
+                }
+                lane.finish();
+            } else {
+                lane.follow(rank, scratch);
+            }
+        }));
+        if let Err(payload) = body {
+            lane.barrier.poison();
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Uniform lane widths for a continuous-dispatch round: `pool / width`
+/// lanes of `width` threads each, with the remainder folded into the
+/// last lane so the widths always partition the pool exactly.
+pub fn uniform_widths(pool: usize, width: usize) -> Vec<usize> {
+    let pool = pool.max(1);
+    let width = width.clamp(1, pool);
+    let n_lanes = pool / width;
+    let mut widths = vec![width; n_lanes];
+    *widths.last_mut().expect("n_lanes >= 1") += pool % width;
+    widths
+}
+
 /// The execution context a round driver receives on a lane's rank-0
 /// worker: a group-scoped view of the engine, one query at a time.
 pub struct LaneCtx<'e, 's> {
@@ -619,6 +714,20 @@ mod tests {
         p.validate(8, 1);
         assert_eq!(p.rounds[0].lanes.len(), 1);
         assert_eq!(p.rounds[0].lanes[0].width, 8);
+    }
+
+    #[test]
+    fn uniform_widths_partition_every_pool() {
+        for pool in 1..=9usize {
+            for width in 1..=pool + 2 {
+                let w = uniform_widths(pool, width);
+                assert_eq!(w.iter().sum::<usize>(), pool, "pool={pool} width={width}");
+                assert!(w.iter().all(|&x| x >= 1));
+            }
+        }
+        assert_eq!(uniform_widths(8, 2), vec![2, 2, 2, 2]);
+        assert_eq!(uniform_widths(7, 2), vec![2, 2, 3]);
+        assert_eq!(uniform_widths(2, 5), vec![2]);
     }
 
     #[test]

@@ -83,6 +83,79 @@ fn concurrent_lanes_bit_identical_at_2_4_8_threads() {
     }
 }
 
+/// The continuous-dispatch path (the serving loop's mechanism): lanes
+/// claim queries from one shared source with **no barrier between
+/// claims** — a lane that finishes immediately pulls the next query
+/// while its siblings are still mid-search. TSan watches the shared
+/// claim queue, each lane's publish/join barriers, and the result
+/// slots; answers must stay bit-identical to the sequential batch at
+/// every pool width (mixed ED / DTW / k-NN kinds).
+#[test]
+fn continuous_dispatch_bit_identical_at_2_4_8_threads() {
+    use odyssey_core::search::multiq::uniform_widths;
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+
+    let index = build(700);
+    let qdata: Vec<Vec<f32>> = (0..9)
+        .map(|i| walk_dataset(1, 64, 4200 + i).series(0).to_vec())
+        .collect();
+    let queries: Vec<BatchQuery> = qdata
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let kind = match i % 3 {
+                0 => QueryKind::Exact,
+                1 => QueryKind::Dtw(4),
+                _ => QueryKind::Knn(3),
+            };
+            BatchQuery::new(q, kind)
+        })
+        .collect();
+    let params = SearchParams::new(1);
+    let order: Vec<usize> = (0..queries.len()).collect();
+    let reference = BatchEngine::new(Arc::clone(&index), 2)
+        .run_batch(&queries, &order, &params);
+
+    for pool in [2usize, 4, 8] {
+        let engine = BatchEngine::new(Arc::clone(&index), pool);
+        let source: Mutex<VecDeque<usize>> = Mutex::new((0..queries.len()).collect());
+        let slots: Vec<Mutex<Option<odyssey_core::search::engine::BatchItem>>> =
+            (0..queries.len()).map(|_| Mutex::new(None)).collect();
+        // Several width-(pool/2) lanes claiming from the same queue.
+        let widths = uniform_widths(pool, (pool / 2).max(1));
+        engine.run_dispatch(&widths, &|ctx, _lane| loop {
+            let Some(qi) = source.lock().pop_front() else { break };
+            let item = ctx.execute(qi, &queries[qi], &params);
+            *slots[qi].lock() = Some(item);
+        });
+        for (qi, (a, slot)) in reference.items.iter().zip(&slots).enumerate() {
+            let b = slot.lock();
+            let b = b.as_ref().expect("dispatch answered every query");
+            match (&a.answer, &b.answer) {
+                (
+                    odyssey_core::search::engine::BatchAnswer::Nn(x),
+                    odyssey_core::search::engine::BatchAnswer::Nn(y),
+                ) => {
+                    assert_eq!(
+                        x.distance.to_bits(),
+                        y.distance.to_bits(),
+                        "pool={pool} query={qi}: continuous dispatch must be bit-identical"
+                    );
+                    assert_eq!(x.series_id, y.series_id, "pool={pool} query={qi}");
+                }
+                (
+                    odyssey_core::search::engine::BatchAnswer::Knn(x),
+                    odyssey_core::search::engine::BatchAnswer::Knn(y),
+                ) => {
+                    assert_eq!(x.neighbors, y.neighbors, "pool={pool} query={qi}");
+                }
+                _ => panic!("pool={pool} query={qi}: answer kinds diverged"),
+            }
+        }
+    }
+}
+
 /// The steal registry's cooperative service path under concurrent
 /// lanes: workers serve steal requests between queue claims while
 /// other lanes run. Exactness must survive at every pool width.

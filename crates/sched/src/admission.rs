@@ -205,6 +205,84 @@ fn easy_round(
     round
 }
 
+/// A pool partition for the continuous-dispatch path (the serving
+/// loop): lane widths plus how many of the leading lanes are **wide**
+/// (full-pool-share lanes that should claim hardest-first, while the
+/// narrow tail claims easiest-first from the other end of the queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchWidths {
+    /// Lane widths; always sums to the pool size, wide lanes first.
+    pub widths: Vec<usize>,
+    /// How many leading entries of `widths` are wide lanes.
+    pub wide_lanes: usize,
+}
+
+/// Partitions a `pool`-thread engine into continuous-dispatch lanes
+/// from the same hardness classification [`plan_lanes`] uses — but for
+/// a *stream*, where lanes claim queries one at a time instead of
+/// executing a pre-packed plan.
+///
+/// * No hard tier in the estimates → all-narrow lanes of
+///   [`AdmissionConfig::easy_width`] (the `easy_round` shape), zero
+///   wide lanes.
+/// * All hard → one full-pool lane.
+/// * Mixed → one wide lane on half the pool (hardest-first claims) and
+///   narrow `easy_width` lanes on the rest (easiest-first claims); if
+///   half the pool can't fit even one narrow lane, the whole pool goes
+///   wide.
+///
+/// Unlike [`plan_lanes`] the estimates here are only a *tier sample*
+/// (e.g. the last window of served queries); an empty sample behaves
+/// as all-easy, since a stream with no history has no hard evidence.
+pub fn plan_dispatch_widths(
+    estimates: &[f64],
+    pool: usize,
+    config: &AdmissionConfig,
+) -> DispatchWidths {
+    let pool = pool.max(1);
+    let cutoff = config.cutoff(estimates);
+    let n_hard = estimates.iter().filter(|&&e| e > cutoff).count();
+    let n_easy = estimates.len() - n_hard;
+
+    let narrow = |budget: usize| -> Vec<usize> {
+        let width = config.easy_width.clamp(1, budget);
+        let n_lanes = (budget / width).min(config.max_lanes).max(1);
+        let base = budget / n_lanes;
+        let extra = budget % n_lanes;
+        (0..n_lanes).map(|l| base + usize::from(l < extra)).collect()
+    };
+
+    if n_hard == 0 {
+        // All-easy stream (or no evidence yet): narrow lanes maximize
+        // inter-query concurrency.
+        DispatchWidths {
+            widths: narrow(pool),
+            wide_lanes: 0,
+        }
+    } else if n_easy == 0 {
+        DispatchWidths {
+            widths: vec![pool],
+            wide_lanes: 1,
+        }
+    } else {
+        let narrow_budget = pool / 2;
+        if narrow_budget < config.easy_width.clamp(1, pool) {
+            // Pool too small to split: the wide lane serves both tiers.
+            return DispatchWidths {
+                widths: vec![pool],
+                wide_lanes: 1,
+            };
+        }
+        let tail = narrow(narrow_budget);
+        let mut widths = vec![pool - tail.iter().sum::<usize>()];
+        widths.extend(tail);
+        DispatchWidths {
+            widths,
+            wide_lanes: 1,
+        }
+    }
+}
+
 /// The admission controller: lane planning plus the per-query `TH`
 /// prediction of the sigmoid model, bundled for the engine's callers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -363,5 +441,53 @@ mod tests {
         let plan = plan_lanes(&[], 4, &AdmissionConfig::default());
         assert!(plan.rounds.is_empty());
         plan.validate(4, 0);
+    }
+
+    #[test]
+    fn dispatch_widths_partition_the_pool() {
+        let samples: [&[f64]; 4] = [
+            &[],
+            &[1.0, 1.0, 1.0],
+            &[1.0, 1.0, 50.0],
+            &[50.0, 60.0, 70.0],
+        ];
+        for pool in 1..=9usize {
+            for est in samples {
+                for w in [1usize, 2, 3] {
+                    let cfg = AdmissionConfig::default().with_easy_width(w);
+                    let dw = plan_dispatch_widths(est, pool, &cfg);
+                    assert_eq!(dw.widths.iter().sum::<usize>(), pool, "{est:?} pool={pool} w={w}");
+                    assert!(dw.widths.iter().all(|&x| x >= 1));
+                    assert!(dw.wide_lanes <= dw.widths.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_all_easy_is_all_narrow() {
+        let dw = plan_dispatch_widths(&[1.0; 6], 8, &AdmissionConfig::default());
+        assert_eq!(dw, DispatchWidths { widths: vec![2, 2, 2, 2], wide_lanes: 0 });
+        // No history behaves as all-easy.
+        let cold = plan_dispatch_widths(&[], 8, &AdmissionConfig::default());
+        assert_eq!(cold.wide_lanes, 0);
+    }
+
+    #[test]
+    fn dispatch_mixed_splits_wide_head_narrow_tail() {
+        let mut est = vec![1.0; 8];
+        est.push(100.0);
+        let dw = plan_dispatch_widths(&est, 8, &AdmissionConfig::default());
+        assert_eq!(dw, DispatchWidths { widths: vec![4, 2, 2], wide_lanes: 1 });
+        // A 2-thread pool can't split against easy_width 2: all wide.
+        let tiny = plan_dispatch_widths(&est, 2, &AdmissionConfig::default());
+        assert_eq!(tiny, DispatchWidths { widths: vec![2], wide_lanes: 1 });
+    }
+
+    #[test]
+    fn dispatch_all_hard_is_one_full_pool_lane() {
+        let cfg = AdmissionConfig::default().with_hard_cutoff(0.5);
+        let dw = plan_dispatch_widths(&[1.0, 2.0, 3.0], 6, &cfg);
+        assert_eq!(dw, DispatchWidths { widths: vec![6], wide_lanes: 1 });
     }
 }

@@ -26,7 +26,9 @@ pub mod predictor;
 pub mod scheduler;
 pub mod sigmoid;
 
-pub use admission::{plan_lanes, AdmissionConfig, AdmissionController};
+pub use admission::{
+    plan_dispatch_widths, plan_lanes, AdmissionConfig, AdmissionController, DispatchWidths,
+};
 pub use linreg::LinearRegression;
 pub use predictor::{CostModel, QueryCostPredictor};
 pub use scheduler::{SchedulerKind, StaticSchedule};

@@ -1,0 +1,160 @@
+//! A fixed-bucket concurrent latency histogram — in-crate, no
+//! dependencies, lock-free recording from every worker thread.
+//!
+//! Buckets are powers of two in microseconds: bucket `i` counts
+//! latencies in `(2^(i-1), 2^i]` µs (bucket 0 is `<= 1` µs). Forty
+//! buckets reach ~2^39 µs (over six days), far past any deadline this
+//! service accepts, so the top bucket only clips pathological stalls.
+//! Percentiles report the **upper edge** of the bucket holding the
+//! requested rank — a conservative (never under-reporting) tail
+//! estimate with a fixed 2x resolution, which is what an offered-load
+//! sweep needs: stable, monotone, cheap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const N_BUCKETS: usize = 40;
+
+/// Concurrent log2-bucket histogram of latencies.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [(); N_BUCKETS].map(|()| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(micros: u64) -> usize {
+        // ceil(log2(micros)), clipped to the top bucket; 0 and 1 µs
+        // both land in bucket 0.
+        let m = micros.max(1);
+        (u64::BITS - m.leading_zeros() - u32::from(m.is_power_of_two()))
+            .min(N_BUCKETS as u32 - 1) as usize
+    }
+
+    /// Records one latency.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot for reporting (recording may race;
+    /// each counter is read once).
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let percentile = |p: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // The sample at rank ceil(p * total), 1-based.
+            let rank = ((p * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return 1u64 << i;
+                }
+            }
+            1u64 << (N_BUCKETS - 1)
+        };
+        let sum = self.sum_micros.load(Ordering::Relaxed);
+        HistogramSummary {
+            count: total,
+            p50_us: percentile(0.50),
+            p90_us: percentile(0.90),
+            p99_us: percentile(0.99),
+            mean_us: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
+            max_us: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time percentile summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency (bucket upper edge), µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Exact arithmetic mean, µs.
+    pub mean_us: f64,
+    /// Exact maximum, µs.
+    pub max_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_upper_edge_inclusive() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 2);
+        assert_eq!(LatencyHistogram::bucket_of(5), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1025), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_never_under_report() {
+        let h = LatencyHistogram::new();
+        for us in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 10_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        // Ranks 5, 9, 10 → samples 500, 900, 10000; upper edges cover.
+        assert!(s.p50_us >= 500 && s.p50_us <= 1024, "p50={}", s.p50_us);
+        assert!(s.p90_us >= 900 && s.p90_us <= 1024, "p90={}", s.p90_us);
+        assert!(s.p99_us >= 10_000 && s.p99_us <= 16_384, "p99={}", s.p99_us);
+        assert_eq!(s.max_us, 10_000);
+        assert!((s.mean_us - 1450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencyHistogram::new().summary();
+        assert_eq!(
+            (s.count, s.p50_us, s.p99_us, s.max_us, s.mean_us),
+            (0, 0, 0, 0, 0.0)
+        );
+    }
+}

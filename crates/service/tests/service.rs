@@ -1,0 +1,281 @@
+//! The service crate's contracts: streamed answers bit-identical to
+//! the batch engine, bounded-queue backpressure, and honest
+//! deadline-expiry degradation.
+
+use odyssey_core::index::{Index, IndexConfig};
+use odyssey_core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
+use odyssey_core::search::exact::SearchParams;
+use odyssey_core::series::DatasetBuffer;
+use odyssey_service::{
+    LatencyClass, QueryService, ServeOutcome, ServiceConfig, ServiceQuery,
+};
+use odyssey_workloads::generator::random_walk;
+use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_index(n: usize, seed: u64) -> (DatasetBuffer, Arc<Index>) {
+    let data = random_walk(n, 64, seed);
+    let index = Arc::new(Index::build(
+        data.clone(),
+        IndexConfig::new(64).with_segments(8).with_leaf_capacity(32),
+        4,
+    ));
+    (data, index)
+}
+
+fn mixed_workload(data: &DatasetBuffer, n: usize, seed: u64) -> QueryWorkload {
+    QueryWorkload::generate(
+        data,
+        n,
+        WorkloadKind::Mixed {
+            hard_fraction: 0.4,
+            noise: 0.05,
+        },
+        seed,
+    )
+}
+
+/// Streamed service answers must be bit-identical to `run_batch` over
+/// the same mixed ED / DTW / k-NN queries at every pool width, with
+/// both latency classes interleaved.
+#[test]
+fn streamed_matches_batch_at_1_2_4_8_threads() {
+    let (data, index) = build_index(1200, 17);
+    let w = mixed_workload(&data, 12, 29);
+    let kinds = |qi: usize| match qi % 3 {
+        0 => QueryKind::Exact,
+        1 => QueryKind::Dtw(4),
+        _ => QueryKind::Knn(3),
+    };
+    let queries: Vec<BatchQuery> = (0..w.len())
+        .map(|qi| BatchQuery::new(w.query(qi), kinds(qi)))
+        .collect();
+    let order: Vec<usize> = (0..queries.len()).collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let params = SearchParams::new(threads);
+        let reference = BatchEngine::new(Arc::clone(&index), threads.max(2))
+            .run_batch(&queries, &order, &params);
+        let service = QueryService::new(
+            ServiceConfig::default()
+                .with_pool_threads(threads)
+                .with_queue_capacity(64),
+        );
+        let (ids, report) = service.serve_index(&index, |client| {
+            (0..w.len())
+                .map(|qi| {
+                    let q = ServiceQuery {
+                        data: w.query(qi).to_vec(),
+                        kind: kinds(qi),
+                        class: if qi % 2 == 0 {
+                            LatencyClass::Interactive
+                        } else {
+                            LatencyClass::Batch
+                        },
+                        deadline: None,
+                    };
+                    let qid = client.submit(q).expect("under capacity");
+                    client.wait(qid)
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(report.admitted, w.len() as u64, "threads={threads}");
+        assert_eq!(report.completed, w.len() as u64);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.degraded, 0);
+        assert_eq!(
+            report.interactive.count + report.batch.count,
+            w.len() as u64,
+            "every completion lands in a class histogram"
+        );
+        for (qi, a) in ids.iter().enumerate() {
+            assert_eq!(a.outcome, ServeOutcome::Exact);
+            match (&a.answer, &reference.items[qi].answer) {
+                (BatchAnswer::Nn(s), BatchAnswer::Nn(b)) => {
+                    assert_eq!(
+                        s.distance.to_bits(),
+                        b.distance.to_bits(),
+                        "threads={threads} query={qi}: service vs batch"
+                    );
+                    assert_eq!(s.series_id, b.series_id);
+                }
+                (BatchAnswer::Knn(s), BatchAnswer::Knn(b)) => {
+                    assert_eq!(s.neighbors, b.neighbors, "threads={threads} query={qi}");
+                }
+                _ => panic!("threads={threads} query={qi}: kinds diverged"),
+            }
+        }
+    }
+}
+
+/// A full queue must reject with `Busy` (carrying a retry hint), and
+/// the accounting must hold: admitted + rejected = offered, everything
+/// admitted completes.
+#[test]
+fn full_queue_rejects_with_busy() {
+    let (data, index) = build_index(900, 5);
+    let w = mixed_workload(&data, 40, 7);
+    let capacity = 2;
+    let service = QueryService::new(
+        ServiceConfig::default()
+            .with_pool_threads(2)
+            .with_queue_capacity(capacity),
+    );
+    let ((admitted, rejected, max_retry), report) = service.serve_index(&index, |client| {
+        let mut admitted = 0u64;
+        let mut rejected = 0u64;
+        let mut max_retry = Duration::ZERO;
+        // A burst far past capacity, no waiting in between.
+        for qi in 0..w.len() {
+            match client.submit(ServiceQuery::batch(w.query(qi).to_vec())) {
+                Ok(_) => admitted += 1,
+                Err(busy) => {
+                    rejected += 1;
+                    max_retry = max_retry.max(busy.retry_after);
+                }
+            }
+        }
+        assert!(client.in_flight() <= capacity, "bounded queue");
+        (admitted, rejected, max_retry)
+    });
+    assert_eq!(admitted + rejected, w.len() as u64);
+    assert!(
+        rejected > 0,
+        "a {capacity}-slot queue cannot absorb a {}-query burst",
+        w.len()
+    );
+    assert!(admitted >= capacity as u64, "the queue does fill before rejecting");
+    assert!(max_retry > Duration::ZERO, "Busy carries a retry hint");
+    assert_eq!(report.admitted, admitted);
+    assert_eq!(report.rejected, rejected);
+    assert_eq!(report.completed, admitted, "everything admitted completes");
+    assert!(report.max_in_flight <= capacity);
+}
+
+/// An expired deadline degrades the answer honestly: it still arrives,
+/// flagged, with a real (upper-bound) answer — and the same query
+/// without a deadline stays exact.
+#[test]
+fn deadline_expiry_degrades_not_drops() {
+    let (data, index) = build_index(900, 3);
+    let w = mixed_workload(&data, 8, 11);
+    let service = QueryService::new(
+        ServiceConfig::default()
+            .with_pool_threads(2)
+            // Already expired at claim time, for every query.
+            .with_interactive_deadline(Duration::ZERO),
+    );
+    let exact_service = QueryService::new(ServiceConfig::default().with_pool_threads(2));
+    let (exact, _) = exact_service.serve_index(&index, |client| {
+        (0..w.len())
+            .map(|qi| {
+                let qid = client
+                    .submit(ServiceQuery::interactive(w.query(qi).to_vec()))
+                    .expect("under capacity");
+                client.wait(qid)
+            })
+            .collect::<Vec<_>>()
+    });
+    let (answers, report) = service.serve_index(&index, |client| {
+        let ids: Vec<u64> = (0..w.len())
+            .map(|qi| {
+                client
+                    .submit(ServiceQuery::interactive(w.query(qi).to_vec()))
+                    .expect("under capacity")
+            })
+            .collect();
+        ids.into_iter().map(|qid| client.wait(qid)).collect::<Vec<_>>()
+    });
+    assert_eq!(report.completed, w.len() as u64, "no silent drops");
+    assert_eq!(report.degraded, w.len() as u64, "every expiry is flagged");
+    for (qi, a) in answers.iter().enumerate() {
+        assert_eq!(a.outcome, ServeOutcome::Degraded, "query {qi}");
+        let (BatchAnswer::Nn(d), BatchAnswer::Nn(e)) = (&a.answer, &exact[qi].answer) else {
+            panic!("kinds diverged")
+        };
+        assert!(d.series_id.is_some(), "query {qi}: degraded answers are real series");
+        assert!(
+            d.distance >= e.distance - 1e-12,
+            "query {qi}: the approximate seed upper-bounds the exact distance"
+        );
+    }
+}
+
+/// The cluster backend behind the same client API: answers match the
+/// cluster batch path, and the admission/histogram accounting holds.
+#[test]
+fn cluster_backend_matches_cluster_batch() {
+    use odyssey_cluster::{ClusterConfig, OdysseyCluster, Replication};
+    let data = random_walk(1000, 64, 23);
+    let w = mixed_workload(&data, 8, 31);
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(4)
+            .with_replication(Replication::Partial(2))
+            .with_threads_per_node(2),
+    );
+    let batch = cluster.answer_batch(&w.queries);
+    let service = QueryService::new(ServiceConfig::default().with_queue_capacity(16));
+    let (answers, report) = service.serve_cluster(&cluster, |client| {
+        let ids: Vec<u64> = (0..w.len())
+            .map(|qi| {
+                client
+                    .submit(ServiceQuery::interactive(w.query(qi).to_vec()))
+                    .expect("under capacity")
+            })
+            .collect();
+        ids.into_iter().map(|qid| client.wait(qid)).collect::<Vec<_>>()
+    });
+    assert_eq!(report.admitted, w.len() as u64);
+    assert_eq!(report.completed, w.len() as u64);
+    assert_eq!(report.interactive.count, w.len() as u64);
+    for (qi, a) in answers.iter().enumerate() {
+        let BatchAnswer::Nn(s) = &a.answer else { panic!() };
+        assert_eq!(
+            s.distance.to_bits(),
+            batch.answers[qi].distance.to_bits(),
+            "query {qi}: service-over-cluster vs cluster batch"
+        );
+        assert_eq!(s.series_id, batch.answers[qi].series_id);
+    }
+}
+
+/// Interactive admission outranks batch: when both classes are queued
+/// behind one busy lane, the interactive query is claimed first even
+/// though it was submitted last.
+#[test]
+fn interactive_class_claims_before_batch() {
+    let (data, index) = build_index(900, 13);
+    let w = mixed_workload(&data, 10, 19);
+    let service = QueryService::new(
+        ServiceConfig::default()
+            .with_pool_threads(1)
+            .with_queue_capacity(16),
+    );
+    let (first_done, report) = service.serve_index(&index, |client| {
+        // Enqueue a batch backlog, then one interactive query.
+        let batch_ids: Vec<u64> = (0..w.len() - 1)
+            .map(|qi| {
+                client
+                    .submit(ServiceQuery::batch(w.query(qi).to_vec()))
+                    .expect("under capacity")
+            })
+            .collect();
+        let vip = client
+            .submit(ServiceQuery::interactive(w.query(w.len() - 1).to_vec()))
+            .expect("under capacity");
+        let vip_answer = client.wait(vip);
+        // The backlog may still be running; the VIP's latency must not
+        // include the whole backlog (claimed ahead of the remaining
+        // batch queue). Collect the rest to drain cleanly.
+        for qid in batch_ids {
+            client.wait(qid);
+        }
+        vip_answer
+    });
+    assert_eq!(report.completed, w.len() as u64);
+    assert_eq!(first_done.class, LatencyClass::Interactive);
+    assert_eq!(report.interactive.count, 1);
+    assert_eq!(report.batch.count, (w.len() - 1) as u64);
+}

@@ -221,7 +221,6 @@ fn cluster_lanes_with_stealing_match_sequential_pool() {
             .with_scheduler(SchedulerKind::PredictDn)
             .with_work_stealing(true)
             .with_inter_query_lanes(true)
-            .with_lane_window(5)
             .with_leaf_capacity(64),
     );
     for threads in [1usize, 2, 4, 8] {

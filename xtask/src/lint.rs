@@ -37,6 +37,13 @@
 //!    `is_x86_feature_detected!`): the attribute makes the function
 //!    sound only behind that check, and the name keeps the guard
 //!    greppable from the kernel.
+//! 8. **Service sync discipline.** In `crates/service/` the only
+//!    `std::sync::` items allowed are `atomic`, `Arc`, `OnceLock`, and
+//!    `Weak`: locks and channels in the serving path must come from the
+//!    workspace's reviewed primitives (the `parking_lot` shim, the
+//!    core crate's poisonable barriers), not ad-hoc `std::sync`
+//!    blocking types that sit outside the sanitizer tiers' coverage
+//!    story.
 //!
 //! Comments and string literals are stripped before token matching, so
 //! prose about `unsafe` never trips the lint, and the lint can check its
@@ -71,9 +78,18 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/cli/src/main.rs",
     "crates/partition/src/lib.rs",
     "crates/sched/src/lib.rs",
+    "crates/service/src/lib.rs",
     "crates/workloads/src/lib.rs",
     "xtask/src/main.rs",
 ];
+
+/// Directory prefix whose files may only use the lock-free subset of
+/// `std::sync` (rule 8); blocking primitives come from the reviewed
+/// shims instead.
+const SERVICE_SYNC_DIR: &str = "crates/service/";
+
+/// The `std::sync::` continuations rule 8 permits.
+const SERVICE_SYNC_ALLOWED: &[&str] = &["atomic", "Arc", "OnceLock", "Weak"];
 
 /// Crate roots that host unsafe and must carry the hardening denies.
 const UNSAFE_HOST_ROOTS: &[&str] = &["crates/core/src/lib.rs"];
@@ -341,6 +357,26 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
+        if rel.starts_with(SERVICE_SYNC_DIR) {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find("std::sync::").map(|p| p + from) {
+                let rest = &code[pos + "std::sync::".len()..];
+                if !SERVICE_SYNC_ALLOWED.iter().any(|a| rest.starts_with(a)) {
+                    push(
+                        &mut out,
+                        line,
+                        "service-sync",
+                        format!(
+                            "`std::sync::` in the service crate may only reach {}; \
+                             blocking primitives must come from the reviewed shims \
+                             (parking_lot, odyssey_core::sync)",
+                            SERVICE_SYNC_ALLOWED.join(", ")
+                        ),
+                    );
+                }
+                from = pos + 1;
+            }
+        }
         if has_token(code, "Barrier") && !code.contains("PhaseBarrier") {
             push(
                 &mut out,
@@ -583,6 +619,43 @@ mod tests {
     fn prose_about_target_feature_does_not_trip() {
         let src = "// #[target_feature] kernels live in simd/avx.rs\nfn f() {}\n";
         assert!(rules("crates/core/src/distance/mod.rs", src).is_empty());
+    }
+
+    #[test]
+    fn service_sync_allows_only_the_lock_free_subset() {
+        for ok in [
+            "use std::sync::atomic::{AtomicU64, Ordering};\n",
+            "use std::sync::Arc;\n",
+            "static S: std::sync::OnceLock<u8> = std::sync::OnceLock::new();\n",
+            "use std::sync::Weak;\n",
+            "use parking_lot::Mutex;\n",
+        ] {
+            assert!(rules("crates/service/src/histogram.rs", ok).is_empty(), "{ok}");
+        }
+        for bad in [
+            "use std::sync::Mutex;\n",
+            "use std::sync::Condvar;\n",
+            "use std::sync::mpsc::channel;\n",
+            "let (tx, rx) = std::sync::mpsc::channel();\n",
+        ] {
+            assert_eq!(
+                rules("crates/service/src/histogram.rs", bad),
+                vec!["service-sync"],
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_sync_rule_is_scoped_to_the_service_crate() {
+        let src = "use std::sync::Mutex;\n";
+        assert!(rules("crates/cluster/src/runtime.rs", src).is_empty());
+        assert!(rules("crates/core/src/sync.rs", src).is_empty());
+        // Prose and strings never trip it.
+        let prose = "// std::sync::Mutex is banned here\nlet s = \"std::sync::Mutex\";\n";
+        assert!(rules("crates/service/src/histogram.rs", prose).is_empty());
+        // The service crate root is also held to `#![forbid(unsafe_code)]`.
+        assert_eq!(rules("crates/service/src/lib.rs", "pub mod x;\n"), vec!["lint-attrs"]);
     }
 
     #[test]
