@@ -30,6 +30,7 @@ use odyssey_core::index::{Index, IndexConfig};
 use odyssey_core::search::engine::{BatchEngine, BatchQuery, QueryKind};
 use odyssey_core::search::exact::SearchParams;
 use odyssey_sched::admission::{plan_lanes, AdmissionConfig};
+use odyssey_sched::{mape, CostModel, OnlineCostModel, SpeedupCurve};
 use odyssey_workloads::generator::random_walk;
 use odyssey_workloads::queries::{QueryWorkload, WorkloadKind};
 use std::sync::Arc;
@@ -86,6 +87,22 @@ fn main() {
     let admission = AdmissionConfig::default().with_easy_width(1);
     let plan = plan_lanes(&estimates, THREADS, &admission);
     let n_lanes: usize = plan.rounds.iter().map(|r| r.lanes.len()).max().unwrap_or(0);
+
+    // Measured speedup-vs-width samples (the makespan solver's input):
+    // seeded probes at widths {1, 2, 4, 8}, plus the Figure 8 curve
+    // fitted from them.
+    let curve_samples = engine.calibrate();
+    let curve = SpeedupCurve::from_times(curve_samples);
+    let curve_json = curve_samples
+        .iter()
+        .map(|&(w, s)| {
+            format!(
+                "{{\"width\": {w}, \"seconds\": {s:.6}, \"speedup\": {:.3}}}",
+                curve.speedup(w)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
 
     // Warm up both paths (page in the layout, spin up the pool).
     let _ = engine.run_batch(&batch, &order, &params);
@@ -149,6 +166,15 @@ fn main() {
     // the stealing-off sequential pool path and correct vs brute force.
     let composed = steal_lanes.answer_batch(cluster_queries);
     let sequential = sequential_cluster.answer_batch(cluster_queries);
+
+    // Online-refit quality: score the refitted predictor against the
+    // identity estimate (the pre-refit default) on the very samples the
+    // runs above recorded. The refit must not be worse than no model.
+    let feedback = steal_lanes.feedback();
+    let fb_samples = feedback.store().snapshot();
+    let identity = OnlineCostModel::new(1, 1);
+    let mape_identity = mape(&identity as &dyn CostModel, &fb_samples).unwrap_or(0.0);
+    let mape_refit = mape(&**feedback as &dyn CostModel, &fb_samples).unwrap_or(0.0);
     let mut cluster_mismatches = 0usize;
     for (qi, want) in truth.iter().enumerate() {
         if (composed.answers[qi].distance - want.distance).abs() > 1e-9 {
@@ -170,13 +196,19 @@ fn main() {
          \"cluster_skewed_steal_lanes_qps\": {steal_lanes_qps:.1},\n  \
          \"cluster_steal_lanes_speedup\": {:.3},\n  \
          \"cluster_steals_attempted\": {},\n  \"cluster_steals_successful\": {},\n  \
-         \"cluster_mismatches\": {cluster_mismatches}\n}}\n",
+         \"cluster_mismatches\": {cluster_mismatches},\n  \
+         \"speedup_curve\": [{curve_json}],\n  \
+         \"predictor_samples\": {},\n  \"predictor_refits\": {},\n  \
+         \"predictor_mape_identity\": {mape_identity:.4},\n  \
+         \"predictor_mape_refit\": {mape_refit:.4}\n}}\n",
         admission.easy_width,
         plan.rounds.len(),
         concurrent_qps / sequential_qps,
         steal_lanes_qps / steal_only_qps,
         composed.steals_attempted,
         composed.steals_successful,
+        feedback.samples(),
+        feedback.refits(),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_multiq.json");
     print!("{json}");

@@ -102,6 +102,23 @@ pub struct ClusterConfig {
     pub inter_query_lanes: bool,
     /// Lane-admission knobs (easy width, hardness cutoff).
     pub lane_admission: AdmissionConfig,
+    /// Makespan-optimal lane planning: when a PREDICT-* scheduler
+    /// provides per-query cost estimates, plan each node's lane widths
+    /// with the calibrated speedup-vs-width curve (Figure 8) and the
+    /// makespan solver instead of the static median-ratio cutoff. The
+    /// first batch calibrates the curve once per cluster (a short
+    /// seeded probe set at widths 1, 2, 4, .., pool); widths never
+    /// change answers, only wall-clock.
+    pub adaptive_widths: bool,
+    /// Capacity of the online-feedback ring that collects observed
+    /// `(initial BSF, execution time)` pairs (and, when a threshold
+    /// model is installed, `(initial BSF, median PQ size)` pairs).
+    pub feedback_capacity: usize,
+    /// Refit the online cost/threshold predictors every this many
+    /// recorded samples (deterministic in sample *count*, never
+    /// wall-clock). Refits only sharpen estimates for later batches;
+    /// answers stay bit-identical.
+    pub feedback_refit_every: usize,
     /// Lane width for the online-serving path
     /// ([`crate::runtime::OdysseyCluster::serve`]): each node
     /// partitions its pool into groups of this many workers, and each
@@ -172,6 +189,9 @@ impl ClusterConfig {
             rs_batches: 32,
             inter_query_lanes: true,
             lane_admission: AdmissionConfig::default(),
+            adaptive_widths: true,
+            feedback_capacity: 1024,
+            feedback_refit_every: 64,
             service_lane_width: 1,
             suspect_hedge_after: 8,
             suspect_max_hedges: 1,
@@ -270,6 +290,26 @@ impl ClusterConfig {
     /// Sets the lane-admission knobs.
     pub fn with_lane_admission(mut self, a: AdmissionConfig) -> Self {
         self.lane_admission = a;
+        self
+    }
+
+    /// Toggles makespan-optimal adaptive lane planning.
+    pub fn with_adaptive_widths(mut self, on: bool) -> Self {
+        self.adaptive_widths = on;
+        self
+    }
+
+    /// Sets the online-feedback ring capacity.
+    pub fn with_feedback_capacity(mut self, cap: usize) -> Self {
+        assert!(cap >= 1);
+        self.feedback_capacity = cap;
+        self
+    }
+
+    /// Sets the online predictor refit cadence (in samples).
+    pub fn with_feedback_refit_every(mut self, every: usize) -> Self {
+        assert!(every >= 1);
+        self.feedback_refit_every = every;
         self
     }
 
@@ -402,6 +442,21 @@ mod tests {
         assert_eq!(c.lease_ticks, 8);
         let d = ClusterConfig::new(4);
         assert!(d.fault_plan.is_none(), "fault-free by default");
+    }
+
+    #[test]
+    fn adaptive_knobs() {
+        let c = ClusterConfig::new(2);
+        assert!(c.adaptive_widths, "adaptive planning is the default");
+        assert_eq!(c.feedback_capacity, 1024);
+        assert_eq!(c.feedback_refit_every, 64);
+        let d = ClusterConfig::new(2)
+            .with_adaptive_widths(false)
+            .with_feedback_capacity(16)
+            .with_feedback_refit_every(4);
+        assert!(!d.adaptive_widths);
+        assert_eq!(d.feedback_capacity, 16);
+        assert_eq!(d.feedback_refit_every, 4);
     }
 
     #[test]

@@ -30,15 +30,15 @@ use odyssey_core::search::knn::seed_from_approx_leaf;
 use odyssey_core::search::multiq::LaneCtx;
 use odyssey_core::series::DatasetBuffer;
 use odyssey_partition::Partition;
-use odyssey_sched::admission::plan_dispatch_widths;
+use odyssey_sched::admission::{plan_dispatch_widths, plan_dispatch_widths_adaptive};
 use odyssey_sched::scheduler::{dynamic_order, greedy_by_estimate, static_split};
-use odyssey_sched::SchedulerKind;
+use odyssey_sched::{CostModel, OnlineCostModel, OnlineThresholdModel, SchedulerKind, SpeedupCurve};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Index-construction report (the quantities of Figures 14 and 17).
@@ -189,6 +189,20 @@ pub struct OdysseyCluster {
     /// Chunk-local → global series-id map, one per group.
     id_maps: Vec<Arc<[u32]>>,
     build: BuildReport,
+    /// Online cost-predictor feedback: every finished (non-stolen)
+    /// query execution appends its `(initial BSF, wall time)` pair, and
+    /// the linear model refits at deterministic sample counts. When no
+    /// trained [`ClusterConfig::cost_model`] is installed, this model
+    /// *is* the PREDICT-* cost estimator — identity (raw initial BSF)
+    /// until the first refit, then the fitted Figure-4 line.
+    feedback: Arc<OnlineCostModel>,
+    /// Online sigmoid refit for the per-query `TH` model; present only
+    /// when [`ClusterConfig::threshold_model`] is set (seeded from it).
+    th_feedback: Option<Arc<OnlineThresholdModel>>,
+    /// Speedup-vs-width curve (Figure 8), calibrated once per cluster
+    /// by the first node that plans lanes. The simulated nodes share
+    /// the host's cores, so one curve serves every node engine.
+    curve: Arc<OnceLock<SpeedupCurve>>,
 }
 
 impl OdysseyCluster {
@@ -250,13 +264,37 @@ impl OdysseyCluster {
             per_chunk_index_bytes,
             per_node_index_bytes,
         };
+        let (feedback, th_feedback) = Self::make_feedback(&config);
         OdysseyCluster {
             config,
             topology,
             chunk_index,
             id_maps: partition.chunks.into_iter().map(Arc::from).collect(),
             build,
+            feedback,
+            th_feedback,
+            curve: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Fresh online-feedback models for a configuration: an identity
+    /// cost line (or the trained threshold sigmoid) that only moves
+    /// once enough observations accumulate.
+    fn make_feedback(
+        config: &ClusterConfig,
+    ) -> (Arc<OnlineCostModel>, Option<Arc<OnlineThresholdModel>>) {
+        let cost = Arc::new(OnlineCostModel::new(
+            config.feedback_capacity,
+            config.feedback_refit_every,
+        ));
+        let th = config.threshold_model.map(|m| {
+            Arc::new(OnlineThresholdModel::seeded(
+                m,
+                config.feedback_capacity,
+                config.feedback_refit_every,
+            ))
+        });
+        (cost, th)
     }
 
     /// Returns a cluster sharing this one's indexes (cheap `Arc` clones)
@@ -278,13 +316,44 @@ impl OdysseyCluster {
             self.topology.n_groups(),
             "replication-group count is fixed"
         );
+        // Fresh feedback state: a reconfigured variant must not inherit
+        // samples recorded under the old configuration (sweeps compare
+        // variants from identical starting predictors). The calibrated
+        // curve is a property of the host and the pool width, so it is
+        // shared — unless the pool width changed.
+        let (feedback, th_feedback) = Self::make_feedback(&config);
+        let curve = if config.threads_per_node == self.config.threads_per_node {
+            Arc::clone(&self.curve)
+        } else {
+            Arc::new(OnceLock::new())
+        };
         OdysseyCluster {
             config,
             topology: self.topology,
             chunk_index: self.chunk_index.clone(),
             id_maps: self.id_maps.clone(),
             build: self.build.clone(),
+            feedback,
+            th_feedback,
+            curve,
         }
+    }
+
+    /// The online cost-predictor feedback (sample counts, refit counts,
+    /// the current line) — the benches report its before/after MAPE.
+    pub fn feedback(&self) -> &Arc<OnlineCostModel> {
+        &self.feedback
+    }
+
+    /// The online threshold-predictor feedback (present iff a trained
+    /// sigmoid model was configured to seed it).
+    pub(crate) fn th_feedback(&self) -> Option<&Arc<OnlineThresholdModel>> {
+        self.th_feedback.as_ref()
+    }
+
+    /// The calibrated speedup-vs-width curve, if a lane plan has run.
+    pub fn calibrated_curve(&self) -> Option<&SpeedupCurve> {
+        self.curve.get()
     }
 
     /// The topology in use.
@@ -464,7 +533,10 @@ impl OdysseyCluster {
                         initial_bsf_board[q].fetch_min(est_bsf.to_bits(), Ordering::Relaxed);
                         match &self.config.cost_model {
                             Some(m) => m.estimate(est_bsf),
-                            None => est_bsf,
+                            // No trained model: the online predictor —
+                            // identity until its first refit, then the
+                            // line fitted on this cluster's own traffic.
+                            None => self.feedback.estimate(est_bsf),
                         }
                     })
                     .collect::<Vec<f64>>()
@@ -681,6 +753,7 @@ impl OdysseyCluster {
                                     self.execute_query(
                                         &mut Runner::Pool(&engine),
                                         None,
+                                        group_costs[g].get(qid).copied(),
                                         queries.series(qid),
                                         qid,
                                         mode,
@@ -721,6 +794,81 @@ impl OdysseyCluster {
                         // then every lane claims queries back-to-back.
                         // Every lane query registers with the steal
                         // registry, so thieves are served mid-claim.
+                        //
+                        // Once the member's queue runs dry, its *narrow*
+                        // lanes moonlight as thieves: stolen RS-batch
+                        // subsets execute at lane width while the wide
+                        // lanes finish the node's own (predicted-hard)
+                        // tail — the node never dedicates the full pool
+                        // to stolen work before its own work is done.
+                        let members = topo2.nodes_in_group(g);
+                        let victim_rr = AtomicUsize::new(node);
+                        let lane_steal = |ctx: &mut LaneCtx| -> bool {
+                            let candidates: Vec<usize> = members
+                                .iter()
+                                .copied()
+                                .filter(|&m| m != node && !done[m].load(Ordering::Acquire))
+                                .collect();
+                            if candidates.is_empty() {
+                                return false;
+                            }
+                            let victim = candidates
+                                [victim_rr.fetch_add(1, Ordering::Relaxed) % candidates.len()];
+                            steals_attempted.fetch_add(1, Ordering::Relaxed);
+                            let (rtx, rrx) = bounded(1);
+                            if steal_tx[victim]
+                                .send(StealRequest {
+                                    from: node,
+                                    reply: rtx,
+                                })
+                                .is_err()
+                            {
+                                return false;
+                            }
+                            // The victim's manager (or one of its
+                            // cooperative workers) always replies while
+                            // this node is unfinished — group_done
+                            // cannot reach the group size before this
+                            // node exits — so the request is never
+                            // abandoned: block until the reply lands.
+                            let resp = loop {
+                                match rrx.recv_timeout(Duration::from_millis(1)) {
+                                    Ok(resp) => break resp,
+                                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                                        continue
+                                    }
+                                    Err(_) => return false,
+                                }
+                            };
+                            if resp.batch_ids.is_empty() {
+                                // Nothing stealable right now: brief
+                                // back-off before bothering someone else.
+                                std::thread::sleep(Duration::from_micros(100));
+                                return true;
+                            }
+                            steals_successful.fetch_add(1, Ordering::Relaxed);
+                            let qid = resp.query_id.expect("non-empty steal has query");
+                            let stats = self.execute_query(
+                                &mut Runner::Lane(ctx),
+                                Some((&resp.batch_ids, resp.bsf_sq)),
+                                None,
+                                queries.series(qid),
+                                qid,
+                                mode,
+                                g,
+                                bsf_board,
+                                answer_board,
+                            );
+                            let u = (units::search_units(
+                                &stats,
+                                queries.series_len(),
+                                index.config().segments,
+                            ) as f64
+                                / speed) as u64;
+                            per_node_units[node].fetch_add(u, Ordering::Relaxed);
+                            per_query_units[qid].fetch_add(u, Ordering::Relaxed);
+                            true
+                        };
                         self.run_lane_dispatch(
                             &dispatch[g],
                             member_idx,
@@ -730,6 +878,7 @@ impl OdysseyCluster {
                                 let stats = self.execute_query(
                                     &mut Runner::Lane(ctx),
                                     None,
+                                    group_costs[g].get(qid).copied(),
                                     queries.series(qid),
                                     qid,
                                     mode,
@@ -739,12 +888,16 @@ impl OdysseyCluster {
                                 );
                                 account(qid, &stats);
                             },
+                            stealing_enabled.then_some(
+                                &lane_steal as &(dyn Fn(&mut LaneCtx) -> bool + Sync),
+                            ),
                         );
                     } else {
                         while let Some(qid) = dispatch[g].next(member_idx) {
                             let stats = self.execute_query(
                                 &mut Runner::Pool(&engine),
                                 None,
+                                group_costs[g].get(qid).copied(),
                                 queries.series(qid),
                                 qid,
                                 mode,
@@ -817,6 +970,7 @@ impl OdysseyCluster {
                                             self.execute_query(
                                                 &mut Runner::Pool(&engine),
                                                 None,
+                                                group_costs[g].get(qid).copied(),
                                                 queries.series(qid),
                                                 qid,
                                                 mode,
@@ -869,6 +1023,7 @@ impl OdysseyCluster {
                             let stats = self.execute_query(
                                 &mut Runner::Pool(&engine),
                                 Some((&resp.batch_ids, resp.bsf_sq)),
+                                None,
                                 queries.series(qid),
                                 qid,
                                 mode,
@@ -999,6 +1154,7 @@ impl OdysseyCluster {
         &self,
         runner: &mut Runner<'_, '_, '_>,
         stolen: Option<(&[usize], f64)>,
+        estimate: Option<f64>,
         query: &[f32],
         qid: usize,
         mode: BatchMode,
@@ -1014,15 +1170,18 @@ impl OdysseyCluster {
         let board_opt = self.config.bsf_sharing.then_some((bsf_board, qid));
         let mut run = |kernel: &dyn QueryKernel, init_sq: f64, init_id: Option<u32>| {
             // Per-query TH (Figure 6): the sigmoid model predicts the
-            // queue threshold from this query's initial BSF.
+            // queue threshold from this query's initial BSF. The online
+            // wrapper starts at the trained parameters and refits from
+            // this cluster's own `(BSF, median queue size)` samples.
             let mut params = params;
-            if let Some(model) = &self.config.threshold_model {
-                params.th = model.predict_th(init_sq.sqrt());
+            if let Some(th) = &self.th_feedback {
+                params.th = th.predict_th(init_sq.sqrt());
             }
             let bsf = BoardBsf::new(init_sq, init_id, board_opt);
             let grant = runner.admit(
                 qid,
                 Arc::clone(&bsf.local) as Arc<dyn ResultSet + Send + Sync>,
+                estimate,
             );
             let stats = runner.run_query(
                 kernel,
@@ -1033,6 +1192,15 @@ impl OdysseyCluster {
             );
             drop(grant);
             answer_board.merge(qid, self.globalize(group, bsf.local_answer()));
+            // Close the prediction loop (full executions only: a stolen
+            // subset's time says nothing about a whole query's cost).
+            if stolen.is_none() {
+                self.feedback
+                    .record(init_sq.sqrt(), stats.elapsed.as_secs_f64());
+                if let Some(th) = &self.th_feedback {
+                    th.record(init_sq.sqrt(), stats.pq_size_median as f64);
+                }
+            }
             stats
         };
         match mode {
@@ -1076,16 +1244,56 @@ impl OdysseyCluster {
         costs: &[f64],
         engine: &BatchEngine,
         per_query: &(dyn Fn(&mut LaneCtx, usize) + Sync),
+        lane_steal: Option<&(dyn Fn(&mut LaneCtx) -> bool + Sync)>,
     ) {
-        let dw = plan_dispatch_widths(costs, engine.n_threads(), &self.config.lane_admission);
+        // Makespan-optimal widths (the adaptive default): the first
+        // node to get here calibrates the engine's speedup-vs-width
+        // curve (short seeded probes; answers are never affected) and
+        // every node then solves for the width mix minimizing the
+        // predicted makespan of its cost profile. The static
+        // median-ratio cutoff remains as the opt-out and the fallback
+        // for prediction-free batches.
+        let dw = if self.config.adaptive_widths {
+            let curve = self
+                .curve
+                .get_or_init(|| SpeedupCurve::from_times(engine.calibrate()));
+            plan_dispatch_widths_adaptive(
+                costs,
+                engine.n_threads(),
+                &self.config.lane_admission,
+                curve,
+            )
+        } else {
+            plan_dispatch_widths(costs, engine.n_threads(), &self.config.lane_admission)
+        };
+        // Own queries currently executing on this node's lanes. Narrow
+        // lanes may moonlight as thieves only while this is non-zero:
+        // the node then keeps draining its own dispatch on the wide
+        // lanes while stolen RS-batch subsets fill the narrow ones —
+        // and lane stealing always terminates, because the node's own
+        // work finishes regardless of what its thieving lanes do.
+        let own_inflight = AtomicUsize::new(0);
         engine.run_dispatch(&dw.widths, &|ctx, lane| loop {
             let claim = if lane < dw.wide_lanes {
                 dispatch.next(member_idx)
             } else {
                 dispatch.next_back(member_idx)
             };
-            let Some(qid) = claim else { break };
-            per_query(ctx, qid);
+            match claim {
+                Some(qid) => {
+                    own_inflight.fetch_add(1, Ordering::AcqRel);
+                    per_query(ctx, qid);
+                    own_inflight.fetch_sub(1, Ordering::AcqRel);
+                }
+                None => {
+                    let stole = lane >= dw.wide_lanes
+                        && own_inflight.load(Ordering::Acquire) > 0
+                        && lane_steal.is_some_and(|s| s(ctx));
+                    if !stole {
+                        break;
+                    }
+                }
+            }
         });
     }
 
@@ -1107,7 +1315,13 @@ impl OdysseyCluster {
             let estimates = if self.config.scheduler.needs_predictions() {
                 let index = &self.chunk_index[g];
                 (0..nq)
-                    .map(|q| index.approx_search(queries.series(q)).distance)
+                    .map(|q| {
+                        let est_bsf = index.approx_search(queries.series(q)).distance;
+                        match &self.config.cost_model {
+                            Some(m) => m.estimate(est_bsf),
+                            None => self.feedback.estimate(est_bsf),
+                        }
+                    })
                     .collect::<Vec<f64>>()
             } else {
                 vec![1.0; nq]
@@ -1179,6 +1393,8 @@ impl OdysseyCluster {
                         coverage_board.mark(qid, g);
                     };
                     if use_lanes && fatal_at.is_none() {
+                        // k-NN batches have no inter-node stealing, so
+                        // lanes never moonlight as thieves here.
                         self.run_lane_dispatch(
                             &dispatch[g],
                             member_idx,
@@ -1197,6 +1413,7 @@ impl OdysseyCluster {
                                 );
                                 account(qid, &stats);
                             },
+                            None,
                         );
                     } else {
                         loop {
@@ -1321,20 +1538,26 @@ impl OdysseyCluster {
         seed_from_approx_leaf(index, q, &set.local);
         let kernel = EdKernel::new(q, index.config().segments);
         let mut params = params;
-        if let Some(model) = &self.config.threshold_model {
-            // The k-NN analogue of the initial BSF: the k-th distance
-            // after seeding (infinite when the seed leaf held < k).
-            let t = set.local.threshold_sq();
-            if t.is_finite() {
-                params.th = model.predict_th(t.sqrt());
+        // The k-NN analogue of the initial BSF: the k-th distance
+        // after seeding (infinite when the seed leaf held < k).
+        let seed_bound = set.local.threshold_sq();
+        if let Some(th) = &self.th_feedback {
+            if seed_bound.is_finite() {
+                params.th = th.predict_th(seed_bound.sqrt());
             }
         }
         let grant = runner.admit(
             qid,
             Arc::clone(&set.local) as Arc<dyn ResultSet + Send + Sync>,
+            None,
         );
         let stats = runner.run_query(&kernel, &params, &set, None, &grant);
         drop(grant);
+        if seed_bound.is_finite() {
+            if let Some(th) = &self.th_feedback {
+                th.record(seed_bound.sqrt(), stats.pq_size_median as f64);
+            }
+        }
         let mut local = set.local.snapshot();
         // Translate chunk-local ids to global ids.
         for n in local.neighbors.iter_mut() {
@@ -1366,15 +1589,18 @@ impl Runner<'_, '_, '_> {
     }
 
     /// Registers a query with the node's steal service at this
-    /// surface's width (full pool or lane).
+    /// surface's width (full pool or lane), carrying the scheduler's
+    /// cost estimate so the steal manager can weight victims by
+    /// predicted remaining work.
     fn admit(
         &self,
         qid: usize,
         results: Arc<dyn ResultSet + Send + Sync>,
+        estimate: Option<f64>,
     ) -> InflightQuery {
         match self {
-            Runner::Pool(engine) => engine.admit(qid, results),
-            Runner::Lane(ctx) => ctx.admit(qid, results),
+            Runner::Pool(engine) => engine.admit_estimated(qid, results, estimate),
+            Runner::Lane(ctx) => ctx.admit_estimated(qid, results, estimate),
         }
     }
 
@@ -1834,6 +2060,114 @@ mod tests {
             w.len() * base.topology().n_groups(),
             "every group answers every query exactly once"
         );
+    }
+
+    #[test]
+    fn adaptive_plan_matches_static_plan_bit_identical() {
+        // The tentpole contract: the makespan-optimal width solver (and
+        // the calibration run feeding it) may change *scheduling* only —
+        // answers must equal the static plan's bit for bit, at every
+        // pool width, across ED, DTW and k-NN.
+        let data = random_walk(700, 64, 83);
+        let w = QueryWorkload::generate(
+            &data,
+            8,
+            WorkloadKind::Mixed {
+                hard_fraction: 0.4,
+                noise: 0.05,
+            },
+            29,
+        );
+        for tpn in [1usize, 2, 4, 8] {
+            let adaptive = OdysseyCluster::build(
+                &data,
+                ClusterConfig::new(2)
+                    .with_replication(Replication::Full)
+                    .with_threads_per_node(tpn),
+            );
+            assert!(adaptive.config().adaptive_widths);
+            let fixed = adaptive.reconfigured(|c| c.with_adaptive_widths(false));
+            let (a_ed, f_ed) = (adaptive.answer_batch(&w.queries), fixed.answer_batch(&w.queries));
+            let (a_dtw, f_dtw) = (
+                adaptive.answer_batch_dtw(&w.queries, 3),
+                fixed.answer_batch_dtw(&w.queries, 3),
+            );
+            let (a_knn, f_knn) = (
+                adaptive.answer_batch_knn(&w.queries, 3),
+                fixed.answer_batch_knn(&w.queries, 3),
+            );
+            for qi in 0..w.len() {
+                assert_eq!(
+                    a_ed.answers[qi].distance.to_bits(),
+                    f_ed.answers[qi].distance.to_bits(),
+                    "tpn={tpn} query {qi}: ED adaptive vs static"
+                );
+                assert_eq!(
+                    a_dtw.answers[qi].distance_sq.to_bits(),
+                    f_dtw.answers[qi].distance_sq.to_bits(),
+                    "tpn={tpn} query {qi}: DTW adaptive vs static"
+                );
+                for (j, (got, want)) in a_knn.answers[qi]
+                    .neighbors
+                    .iter()
+                    .zip(&f_knn.answers[qi].neighbors)
+                    .enumerate()
+                {
+                    assert_eq!(
+                        got.0.to_bits(),
+                        want.0.to_bits(),
+                        "tpn={tpn} query {qi} neighbor {j}: k-NN adaptive vs static"
+                    );
+                }
+            }
+            if tpn > 1 {
+                assert!(
+                    adaptive.calibrated_curve().is_some(),
+                    "tpn={tpn}: lane planning must have calibrated the curve"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn online_feedback_records_and_refits_without_changing_answers() {
+        // Tiny refit cadence: the predictor refits *during* the sweep,
+        // later batches are planned from refit estimates — answers must
+        // stay exact throughout.
+        let data = random_walk(800, 64, 84);
+        let w = QueryWorkload::generate(
+            &data,
+            9,
+            WorkloadKind::Mixed {
+                hard_fraction: 0.4,
+                noise: 0.05,
+            },
+            31,
+        );
+        let cluster = OdysseyCluster::build(
+            &data,
+            ClusterConfig::new(2)
+                .with_replication(Replication::Full)
+                .with_threads_per_node(2)
+                .with_feedback_refit_every(4),
+        );
+        for round in 0..3 {
+            let report = cluster.answer_batch(&w.queries);
+            for qi in 0..w.len() {
+                let want = brute_force(&data, w.query(qi));
+                assert!(
+                    (report.answers[qi].distance - want.distance).abs() < 1e-9,
+                    "round {round} query {qi}"
+                );
+            }
+        }
+        let fb = cluster.feedback();
+        assert_eq!(
+            fb.samples(),
+            3 * w.len(),
+            "every finished non-stolen execution records one sample"
+        );
+        assert!(fb.refits() > 0, "cadence 4 must have refit by now");
     }
 
     #[test]

@@ -497,6 +497,27 @@ impl<'c> ServeHandle<'c> {
             Arc::clone(self.cluster.chunk_index(g)),
             cfg.threads_per_node,
         );
+        // Online predictor feedback: every full execution on this node
+        // trains the cluster's shared cost/TH models, so batch calls
+        // issued after (or between) serving sessions plan from a
+        // predictor already fitted to the live stream. Degraded
+        // (approximate) answers never reach the observer — they skip
+        // `ctx.execute` — and a k-NN seed bound that is still infinite
+        // carries no usable feature, so it is skipped too.
+        {
+            let feedback = Arc::clone(self.cluster.feedback());
+            let th = self.cluster.th_feedback().cloned();
+            engine
+                .steal_registry()
+                .install_observer(Arc::new(move |_qid, stats| {
+                    if stats.initial_bsf.is_finite() {
+                        feedback.record(stats.initial_bsf, stats.elapsed.as_secs_f64());
+                        if let Some(th) = &th {
+                            th.record(stats.initial_bsf, stats.pq_size_median as f64);
+                        }
+                    }
+                }));
+        }
         let params = SearchParams::new(cfg.threads_per_node)
             .with_th(cfg.pq_threshold)
             .with_nsb(cfg.rs_batches);

@@ -244,3 +244,35 @@ fn submit_after_close_panics() {
     }));
     assert!(err.is_err(), "submit after close must panic");
 }
+
+/// Serving trains the cluster's online cost predictor: every exact
+/// execution appends a sample, degraded (approximate) answers do not,
+/// and the samples drive refits at the configured cadence — all without
+/// perturbing the served answers (checked bit-for-bit above).
+#[test]
+fn serving_feeds_the_online_predictor() {
+    let data = random_walk(900, 64, 61);
+    let w = workload(&data, 10, 19);
+    let cluster = OdysseyCluster::build(
+        &data,
+        ClusterConfig::new(2)
+            .with_replication(Replication::Full)
+            .with_threads_per_node(2)
+            .with_feedback_refit_every(4),
+    );
+    assert_eq!(cluster.feedback().samples(), 0);
+    let stream: Vec<ServeQuery> = (0..w.len())
+        .map(|qi| ServeQuery::interactive(w.query(qi).to_vec()))
+        .collect();
+    let (results, stats) = collect_serve(&cluster, stream);
+    assert_eq!(stats.completed, w.len() as u64);
+    assert!(results.iter().all(|r| r.is_some()));
+    // One sample per group-level exact execution, however the nodes
+    // split the claims.
+    let executions: u64 = stats.per_node_queries.iter().sum();
+    assert_eq!(cluster.feedback().samples() as u64, executions);
+    assert!(
+        cluster.feedback().refits() > 0,
+        "10 samples at refit_every=4 must have crossed a refit boundary"
+    );
+}

@@ -51,7 +51,7 @@ use super::scratch::WorkerScratch;
 use crate::index::Index;
 use crate::sync::PhaseBarrier;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -139,6 +139,9 @@ pub struct BatchEngine {
     index: Arc<Index>,
     pool: WorkerPool,
     registry: Arc<StealRegistry>,
+    /// Warmup-calibration probe measurements, taken once per engine on
+    /// first use (see [`BatchEngine::calibrate`]).
+    calibration: OnceLock<Vec<(usize, f64)>>,
 }
 
 impl std::fmt::Debug for BatchEngine {
@@ -167,11 +170,17 @@ impl BatchEngine {
         n_threads: usize,
         registry: Arc<StealRegistry>,
     ) -> Self {
-        let pool = WorkerPool::new(n_threads.max(1));
+        // Workers prefault their scratch arenas to the index's leaf
+        // capacity on their own (pinned) threads, so the pages are
+        // first-touched — and therefore allocated — on each lane
+        // worker's local NUMA node rather than wherever the submitting
+        // thread happens to run.
+        let pool = WorkerPool::new(n_threads.max(1), index.config().leaf_capacity);
         BatchEngine {
             index,
             pool,
             registry,
+            calibration: OnceLock::new(),
         }
     }
 
@@ -202,6 +211,89 @@ impl BatchEngine {
     ) -> InflightQuery {
         self.registry
             .register(query_id, self.pool.n_threads, results)
+    }
+
+    /// [`BatchEngine::admit`] with a cost estimate attached: the steal
+    /// service weights victims by estimated *remaining work* (estimate ×
+    /// unclaimed fraction) when estimates are available.
+    pub fn admit_estimated(
+        &self,
+        query_id: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+        estimate: Option<f64>,
+    ) -> InflightQuery {
+        self.registry
+            .register_estimated(query_id, self.pool.n_threads, results, estimate)
+    }
+
+    /// Warmup calibration (Figure 8): measures a small seeded probe set
+    /// at widths `{1, 2, 4, …, pool}` and returns the raw `(width,
+    /// wall-seconds)` samples, cached for the engine's lifetime (the
+    /// first call measures, later calls return the cached samples).
+    /// The scheduling layer fits its speedup-vs-width curve from these
+    /// (`odyssey-sched`'s `SpeedupCurve::from_times`); the engine only
+    /// *measures* — the dependency points from sched to core, never
+    /// back.
+    ///
+    /// Probes are derived deterministically from the index's own series
+    /// (spread positions, perturbed by a fixed xorshift stream and
+    /// re-normalized), so the same index always probes the same queries
+    /// in the same order at the same widths. Probe queries run through
+    /// the normal lane machinery but are **not** reported to the
+    /// installed [query observer](StealRegistry::install_observer):
+    /// calibration measures the machine, it is not traffic.
+    pub fn calibrate(&self) -> &[(usize, f64)] {
+        self.calibration.get_or_init(|| self.run_calibration())
+    }
+
+    fn run_calibration(&self) -> Vec<(usize, f64)> {
+        let pool = self.pool.n_threads;
+        let probes = calibration_probes(&self.index, 3);
+        let params = SearchParams::new(pool);
+        // Probe widths: powers of two up to the pool, plus the pool.
+        let mut widths = Vec::new();
+        let mut w = 1usize;
+        while w < pool {
+            widths.push(w);
+            w *= 2;
+        }
+        widths.push(pool);
+        // No steal serving while probes are in flight: a thief must
+        // never receive a probe's RS-batches under a real query id.
+        self.registry.set_steal_paused(true);
+        // One untimed warm pass: faults the tree and the scratch arenas
+        // so the first timed probe is not charged for one-time warmup.
+        let _ = self.probe_at(pool, &probes, &params);
+        let samples = widths
+            .into_iter()
+            .map(|w| (w, self.probe_at(w, &probes, &params)))
+            .collect();
+        self.registry.set_steal_paused(false);
+        samples
+    }
+
+    /// Times one pass of the probe set on a `width`-worker lane (the
+    /// remaining workers idle in a filler lane), returning wall seconds.
+    fn probe_at(&self, width: usize, probes: &[Vec<f32>], params: &SearchParams) -> f64 {
+        let pool = self.pool.n_threads;
+        let widths: Vec<usize> = if width >= pool {
+            vec![pool]
+        } else {
+            vec![width, pool - width]
+        };
+        let t0 = std::time::Instant::now();
+        self.run_dispatch(&widths, &|ctx, lane| {
+            if lane != 0 {
+                return;
+            }
+            for probe in probes {
+                let (kernel, bsf, _initial) = seed_ed(ctx.index(), probe);
+                let bsf = Arc::new(bsf);
+                let grant = ctx.admit(0, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+                let _ = ctx.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
+            }
+        });
+        t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE)
     }
 
     /// Runs one admitted query on the resident pool. Mirrors
@@ -270,6 +362,7 @@ impl BatchEngine {
         let grant = self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
         let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
         stats.initial_bsf = initial;
+        self.registry.observe(query_id, &stats);
         SearchOutcome {
             answer: bsf.answer(),
             stats,
@@ -290,6 +383,7 @@ impl BatchEngine {
         let grant = self.admit(0, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
         let mut stats = self.run_query(&kernel, params, &relaxed, None, &grant, &|_, _| {});
         stats.initial_bsf = initial;
+        self.registry.observe(0, &stats);
         (bsf.answer(), stats)
     }
 
@@ -315,6 +409,7 @@ impl BatchEngine {
         let knn = Arc::new(knn);
         let grant = self.admit(query_id, Arc::clone(&knn) as Arc<dyn ResultSet + Send + Sync>);
         let stats = self.run_query(&kernel, params, &*knn, None, &grant, &|_, _| {});
+        self.registry.observe(query_id, &stats);
         (knn.snapshot(), stats)
     }
 
@@ -341,6 +436,7 @@ impl BatchEngine {
         let grant = self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
         let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
         stats.initial_bsf = initial;
+        self.registry.observe(query_id, &stats);
         (bsf.answer(), stats)
     }
 
@@ -551,6 +647,33 @@ pub fn approximate_answer(index: &Index, query: &BatchQuery) -> BatchAnswer {
     }
 }
 
+/// Deterministic calibration probes: series drawn from spread positions
+/// of the index itself, perturbed by a fixed xorshift stream and
+/// re-normalized — realistic queries (near the data distribution, not
+/// exact matches) without any RNG dependency or external query set.
+fn calibration_probes(index: &Index, count: usize) -> Vec<Vec<f32>> {
+    let n = index.num_series();
+    if n == 0 {
+        return Vec::new();
+    }
+    let count = count.min(n).max(1);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    (0..count)
+        .map(|i| {
+            let id = (i * n / count + n / (2 * count)).min(n - 1) as u32;
+            let mut q = index.series_by_id(id).to_vec();
+            for v in &mut q {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *v += ((x % 2000) as f32 / 1000.0 - 1.0) * 0.05;
+            }
+            crate::series::znormalize(&mut q);
+            q
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // The steal service
 // ---------------------------------------------------------------------
@@ -562,6 +685,14 @@ pub fn approximate_answer(index: &Index, query: &BatchQuery) -> BatchAnswer {
 /// steal-request channel and answers each request via
 /// [`StealRegistry::serve_steal`].
 pub type StealServiceHook = Arc<dyn Fn(&StealRegistry) + Send + Sync>;
+
+/// The per-query feedback observer installed into a [`StealRegistry`]:
+/// invoked with `(query_id, stats)` after **every** query the engine
+/// answers — full-pool or lane — so the scheduling layer can append
+/// `(initial BSF, observed time)` samples to its online predictors
+/// without the core crate depending on them. Calibration probes are
+/// not reported (they measure the machine, not the traffic).
+pub type QueryObserver = Arc<dyn Fn(usize, &SearchStats) + Send + Sync>;
 
 /// Work handed to a thief by [`StealRegistry::serve_steal`].
 #[derive(Debug, Clone)]
@@ -595,6 +726,9 @@ struct InflightEntry {
     width: usize,
     view: Arc<StealView>,
     results: Arc<dyn ResultSet + Send + Sync>,
+    /// Predicted total cost of the query (scheduler estimate), if the
+    /// admitting layer attached one; weights steal-victim selection.
+    estimate: Option<f64>,
 }
 
 /// Cap on recycled [`StealView`] allocations parked in the registry.
@@ -619,7 +753,15 @@ pub struct StealRegistry {
     inflight: Mutex<Vec<InflightEntry>>,
     spare_views: Mutex<Vec<StealView>>,
     hook: RwLock<Option<StealServiceHook>>,
+    observer: RwLock<Option<QueryObserver>>,
     next_token: AtomicU64,
+    /// While set, [`StealRegistry::serve_steal`] serves nothing. The
+    /// engine pauses serving during warmup calibration: probe queries
+    /// register like any in-flight query (they run through the normal
+    /// lane machinery), but handing their RS-batches to a thief would
+    /// let the thief execute them under a *real* query's id — probes
+    /// are measurement, not stealable work.
+    paused: AtomicBool,
 }
 
 impl std::fmt::Debug for StealRegistry {
@@ -643,6 +785,21 @@ impl StealRegistry {
         width: usize,
         results: Arc<dyn ResultSet + Send + Sync>,
     ) -> InflightQuery {
+        self.register_estimated(query_id, width, results, None)
+    }
+
+    /// [`StealRegistry::register`] with a scheduler cost estimate
+    /// attached: [`StealRegistry::serve_steal`] weights victims by
+    /// estimated remaining work (estimate × unclaimed queue fraction)
+    /// when estimates are present, falling back to raw unclaimed-queue
+    /// counts for queries admitted without one.
+    pub fn register_estimated(
+        self: &Arc<Self>,
+        query_id: usize,
+        width: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+        estimate: Option<f64>,
+    ) -> InflightQuery {
         let view = {
             let mut spares = lock_plain(&self.spare_views);
             spares.pop().unwrap_or_default()
@@ -655,6 +812,7 @@ impl StealRegistry {
             width,
             view: Arc::clone(&view),
             results,
+            estimate: estimate.filter(|e| e.is_finite() && *e > 0.0),
         });
         InflightQuery {
             registry: Arc::clone(self),
@@ -714,23 +872,72 @@ impl StealRegistry {
         }
     }
 
+    /// Pauses or resumes steal serving (see the `paused` field docs);
+    /// while paused, [`StealRegistry::serve_steal`] returns `None`.
+    pub fn set_steal_paused(&self, paused: bool) {
+        self.paused.store(paused, Ordering::Release);
+    }
+
+    /// Installs the per-query feedback observer: invoked with
+    /// `(query_id, stats)` after every query answered through the
+    /// owning engine (pool entry points and lane execution alike).
+    pub fn install_observer(&self, observer: QueryObserver) {
+        *self
+            .observer
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(observer);
+    }
+
+    /// Removes the installed feedback observer.
+    pub fn clear_observer(&self) {
+        *self
+            .observer
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Reports one finished query to the installed observer (no-op
+    /// without one). Called by the engine after every answered query.
+    pub fn observe(&self, query_id: usize, stats: &SearchStats) {
+        let obs = self
+            .observer
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(o) = obs {
+            o(query_id, stats);
+        }
+    }
+
     /// Serves one steal request against the registry: picks the victim
-    /// with the **widest remaining work** — most unclaimed processing
-    /// queues first, ties broken by wider worker group, then by
-    /// registration order — and takes away up to `nsend` of its
-    /// RS-batches (the Take-Away property is enforced by
-    /// [`StealView::try_steal`]). Falls through to the next candidate
-    /// when a race leaves the first with nothing stealable; returns
-    /// `None` when no in-flight query has stealable work.
+    /// with the **most estimated remaining work**. When the admitting
+    /// layer attached a cost estimate, remaining work is the estimate
+    /// scaled by the unclaimed queue fraction — a nearly-drained
+    /// expensive query ranks below a barely-started cheap one, which raw
+    /// queue counts get wrong. Estimated victims outrank unestimated
+    /// ones; among unestimated victims (and as the tie-break everywhere)
+    /// the original ordering applies — most unclaimed processing queues
+    /// first, ties broken by wider worker group, then by registration
+    /// order. Takes away up to `nsend` of the victim's RS-batches (the
+    /// Take-Away property is enforced by [`StealView::try_steal`]),
+    /// falls through to the next candidate when a race leaves the first
+    /// with nothing stealable, and returns `None` when no in-flight
+    /// query has stealable work.
     pub fn serve_steal(&self, nsend: usize) -> Option<StolenWork> {
-        type Candidate = (
-            usize,
-            usize,
-            u64,
-            Arc<StealView>,
-            usize,
-            Arc<dyn ResultSet + Send + Sync>,
-        );
+        if self.paused.load(Ordering::Acquire) {
+            return None;
+        }
+        struct Candidate {
+            /// Estimated remaining work: cost estimate × unclaimed
+            /// fraction, when an estimate was attached at admission.
+            score: Option<f64>,
+            remaining: usize,
+            width: usize,
+            token: u64,
+            view: Arc<StealView>,
+            query_id: usize,
+            results: Arc<dyn ResultSet + Send + Sync>,
+        }
         let mut candidates: Vec<Candidate> = {
             let inflight = lock_plain(&self.inflight);
             inflight
@@ -739,30 +946,42 @@ impl StealRegistry {
                 .filter_map(|e| {
                     let (claimed, total) = e.view.queue_progress();
                     let remaining = total - claimed;
-                    (remaining > 0).then(|| {
-                        (
-                            remaining,
-                            e.width,
-                            e.token,
-                            Arc::clone(&e.view),
-                            e.query_id,
-                            Arc::clone(&e.results),
-                        )
+                    (remaining > 0).then(|| Candidate {
+                        score: e
+                            .estimate
+                            .map(|est| est * remaining as f64 / total.max(1) as f64),
+                        remaining,
+                        width: e.width,
+                        token: e.token,
+                        view: Arc::clone(&e.view),
+                        query_id: e.query_id,
+                        results: Arc::clone(&e.results),
                     })
                 })
                 .collect()
         };
-        candidates.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
-        for (_, _, _, view, query_id, results) in candidates {
-            let batch_ids = view.try_steal(nsend);
+        candidates.sort_by(|a, b| {
+            // Estimated remaining work first (higher is better; queries
+            // without an estimate sort after every estimated one), then
+            // the estimate-free ordering as the fallback and tie-break.
+            let sa = a.score.unwrap_or(f64::NEG_INFINITY);
+            let sb = b.score.unwrap_or(f64::NEG_INFINITY);
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.remaining.cmp(&a.remaining))
+                .then(b.width.cmp(&a.width))
+                .then(a.token.cmp(&b.token))
+        });
+        for c in candidates {
+            let batch_ids = c.view.try_steal(nsend);
             if !batch_ids.is_empty() {
                 // Read the victim's bound *after* the successful steal:
                 // the latest (tightest) value seeds the thief with the
                 // most pruning power.
                 return Some(StolenWork {
-                    query_id,
+                    query_id: c.query_id,
                     batch_ids,
-                    bsf_sq: results.threshold_sq(),
+                    bsf_sq: c.results.threshold_sq(),
                 });
             }
         }
@@ -942,7 +1161,13 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    fn new(n_threads: usize) -> Self {
+    /// Creates the pool. `prefault` is the scratch-arena warmup size
+    /// (the index's leaf capacity): every worker faults its arena pages
+    /// on its own pinned thread right after pinning, so first-touch
+    /// places them on the worker's local NUMA node — each lane's
+    /// contiguous core block then works out of node-local scratch
+    /// instead of pages owned by whichever thread built the engine.
+    fn new(n_threads: usize, prefault: usize) -> Self {
         let inner = Arc::new(PoolInner {
             state: Mutex::new(PoolState {
                 epoch: 0,
@@ -969,13 +1194,17 @@ impl WorkerPool {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("odyssey-engine-{tid}"))
-                    .spawn(move || worker_main(&inner, tid, core_base))
+                    .spawn(move || worker_main(&inner, tid, core_base, prefault))
                     .expect("spawn batch-engine worker")
             })
             .collect();
+        // The submitter's scratch is faulted here, on the (unpinned)
+        // constructing thread — it is that thread's scratch.
+        let mut caller_scratch = WorkerScratch::default();
+        caller_scratch.prefault(prefault);
         WorkerPool {
             inner,
-            caller_scratch: Mutex::new(WorkerScratch::default()),
+            caller_scratch: Mutex::new(caller_scratch),
             handles,
             n_threads,
         }
@@ -1058,12 +1287,16 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Resident-worker main loop: pin, then run jobs until shutdown.
-fn worker_main(inner: &PoolInner, tid: usize, core_base: usize) {
+/// Resident-worker main loop: pin, prefault scratch, then run jobs
+/// until shutdown.
+fn worker_main(inner: &PoolInner, tid: usize, core_base: usize, prefault: usize) {
     // Workers have tids 1..n; tid 0 (the unpinned submitter) owns no
     // reserved slot, so the block packs without holes.
     pin_to_core(core_base + tid - 1);
+    // First-touch *after* pinning: the arena pages are faulted by this
+    // worker on its own core, so they land on its local NUMA node.
     let mut scratch = WorkerScratch::default();
+    scratch.prefault(prefault);
     let mut seen_epoch = 0u64;
     loop {
         let job = {
@@ -1177,7 +1410,7 @@ mod tests {
     #[test]
     fn pool_runs_job_on_every_thread() {
         for n in [1usize, 2, 4] {
-            let pool = WorkerPool::new(n);
+            let pool = WorkerPool::new(n, 64);
             let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
             for _ in 0..3 {
                 pool.run(&|tid, _scratch| {
@@ -1370,6 +1603,68 @@ mod tests {
         assert_eq!(registry.in_flight(), 0);
     }
 
+    fn fake_inflight_estimated(
+        registry: &Arc<StealRegistry>,
+        query_id: usize,
+        width: usize,
+        queues: usize,
+        estimate: Option<f64>,
+    ) -> InflightQuery {
+        let grant = registry.register_estimated(
+            query_id,
+            width,
+            Arc::new(SharedBsf::new(1.0, None)) as Arc<dyn ResultSet + Send + Sync>,
+            estimate,
+        );
+        grant.view().test_init(queues);
+        grant.view().test_publish((0..queues).collect());
+        grant
+    }
+
+    #[test]
+    fn paused_registry_serves_nothing_until_resumed() {
+        let registry = Arc::new(StealRegistry::default());
+        let _q = fake_inflight(&registry, 1, 2, 10.0, 4);
+        registry.set_steal_paused(true);
+        assert!(registry.serve_steal(2).is_none(), "paused: no victims");
+        registry.set_steal_paused(false);
+        assert!(registry.serve_steal(2).is_some(), "resumed: steals flow");
+    }
+
+    #[test]
+    fn registry_weights_victims_by_estimated_remaining_work() {
+        let registry = Arc::new(StealRegistry::default());
+        // Cheap query with many queues vs expensive query with few: raw
+        // queue counts would pick query 1, the cost-aware ranking picks
+        // the expensive query 2 (100.0 × 1.0 > 1.0 × 1.0).
+        let _cheap = fake_inflight_estimated(&registry, 1, 2, 6, Some(1.0));
+        let _dear = fake_inflight_estimated(&registry, 2, 2, 2, Some(100.0));
+        let w = registry.serve_steal(1).expect("stealable");
+        assert_eq!(w.query_id, 2, "estimated remaining work wins");
+    }
+
+    #[test]
+    fn registry_ranks_estimated_victims_above_unestimated() {
+        let registry = Arc::new(StealRegistry::default());
+        let _plain = fake_inflight_estimated(&registry, 1, 2, 8, None);
+        let _est = fake_inflight_estimated(&registry, 2, 1, 2, Some(0.5));
+        let w = registry.serve_steal(1).expect("stealable");
+        assert_eq!(w.query_id, 2, "any estimate outranks no estimate");
+    }
+
+    #[test]
+    fn registry_without_estimates_keeps_original_ordering() {
+        let registry = Arc::new(StealRegistry::default());
+        // Same shape as `registry_serves_widest_remaining_victim_first`,
+        // admitted through the estimated path with `None` everywhere:
+        // the ordering must be exactly the estimate-free one.
+        let _small = fake_inflight_estimated(&registry, 1, 1, 2, None);
+        let _big = fake_inflight_estimated(&registry, 2, 4, 6, None);
+        let w = registry.serve_steal(2).expect("stealable work");
+        assert_eq!(w.query_id, 2, "most remaining queues wins");
+        assert_eq!(w.batch_ids, vec![5, 4]);
+    }
+
     #[test]
     fn registry_ties_break_by_wider_lane() {
         let registry = Arc::new(StealRegistry::default());
@@ -1439,6 +1734,70 @@ mod tests {
         let _ = engine.exact(&q, &SearchParams::new(2));
         assert_eq!(calls.load(Ordering::Relaxed), before, "hook cleared");
         assert_eq!(engine.steal_registry().in_flight(), 0);
+    }
+
+    #[test]
+    fn calibration_probes_expected_widths_and_caches() {
+        let idx = build(600);
+        let engine = BatchEngine::new(Arc::clone(&idx), 4);
+        let samples = engine.calibrate().to_vec();
+        let widths: Vec<usize> = samples.iter().map(|&(w, _)| w).collect();
+        assert_eq!(widths, vec![1, 2, 4], "powers of two up to the pool");
+        assert!(samples.iter().all(|&(_, t)| t > 0.0), "positive times");
+        // Cached: a second call returns the same measurements.
+        assert_eq!(engine.calibrate(), &samples[..]);
+        // The probe machinery leaves the engine fully usable and exact.
+        let q = walk_dataset(1, 64, 31).series(0).to_vec();
+        let got = engine.exact(&q, &SearchParams::new(4));
+        assert!((got.answer.distance - idx.brute_force(&q).distance).abs() < 1e-9);
+        assert_eq!(engine.steal_registry().in_flight(), 0);
+    }
+
+    #[test]
+    fn calibration_widths_include_non_power_of_two_pool() {
+        let idx = build(300);
+        let engine = BatchEngine::new(Arc::clone(&idx), 3);
+        let widths: Vec<usize> = engine.calibrate().iter().map(|&(w, _)| w).collect();
+        assert_eq!(widths, vec![1, 2, 3], "…plus the pool itself");
+    }
+
+    #[test]
+    fn observer_fires_for_pool_and_lane_queries_without_probes() {
+        let idx = build(700);
+        let engine = BatchEngine::new(Arc::clone(&idx), 2);
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = Arc::clone(&seen);
+            engine
+                .steal_registry()
+                .install_observer(Arc::new(move |qid, stats| {
+                    assert!(stats.elapsed > Duration::ZERO);
+                    lock_plain(&seen).push(qid);
+                }));
+        }
+        // Calibration probes must NOT be observed.
+        let _ = engine.calibrate();
+        assert!(lock_plain(&seen).is_empty(), "probes are not traffic");
+        // Pool entry point observes under the caller-assigned id.
+        let q = walk_dataset(1, 64, 17).series(0).to_vec();
+        let _ = engine.exact(&q, &SearchParams::new(2));
+        assert_eq!(lock_plain(&seen).as_slice(), &[0]);
+        // Lane execution observes each batch query once.
+        let qdata: Vec<Vec<f32>> = (0..3)
+            .map(|s| walk_dataset(1, 64, 40 + s).series(0).to_vec())
+            .collect();
+        let queries: Vec<BatchQuery> = qdata
+            .iter()
+            .map(|q| BatchQuery::new(q, QueryKind::Exact))
+            .collect();
+        let plan = ConcurrentPlan::uniform(queries.len(), 2, 1);
+        let _ = engine.run_batch_concurrent(&queries, &plan, &SearchParams::new(2));
+        let mut got = lock_plain(&seen).clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 0, 1, 2], "one observation per lane query");
+        engine.steal_registry().clear_observer();
+        let _ = engine.exact(&q, &SearchParams::new(2));
+        assert_eq!(lock_plain(&seen).len(), 4, "observer cleared");
     }
 
     #[test]

@@ -585,6 +585,19 @@ impl LaneCtx<'_, '_> {
         self.registry.register(query_id, self.lane.width, results)
     }
 
+    /// [`LaneCtx::admit`] with a scheduler cost estimate attached, so
+    /// the steal service can weight this query by estimated remaining
+    /// work when choosing a victim.
+    pub fn admit_estimated(
+        &self,
+        query_id: usize,
+        results: Arc<dyn ResultSet + Send + Sync>,
+        estimate: Option<f64>,
+    ) -> InflightQuery {
+        self.registry
+            .register_estimated(query_id, self.lane.width, results, estimate)
+    }
+
     /// Runs one admitted query on this lane's worker group. Mirrors
     /// [`BatchEngine::run_query`](super::engine::BatchEngine::run_query)
     /// — same three-phase engine, same hook surface, same
@@ -639,13 +652,29 @@ impl LaneCtx<'_, '_> {
         query: &BatchQuery,
         params: &SearchParams,
     ) -> BatchItem {
+        self.execute_estimated(query_id, query, params, None)
+    }
+
+    /// [`LaneCtx::execute`] with a scheduler cost estimate attached for
+    /// steal-victim weighting. Either way the finished query is
+    /// reported to the registry's installed feedback observer.
+    pub fn execute_estimated(
+        &mut self,
+        query_id: usize,
+        query: &BatchQuery,
+        params: &SearchParams,
+        estimate: Option<f64>,
+    ) -> BatchItem {
         let index = self.index;
-        match query.kind {
+        let item = match query.kind {
             QueryKind::Exact => {
                 let (kernel, bsf, initial) = seed_ed(index, query.data);
                 let bsf = Arc::new(bsf);
-                let grant =
-                    self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+                let grant = self.admit_estimated(
+                    query_id,
+                    Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>,
+                    estimate,
+                );
                 let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
                 stats.initial_bsf = initial;
                 BatchItem {
@@ -656,8 +685,11 @@ impl LaneCtx<'_, '_> {
             QueryKind::Knn(k) => {
                 let (kernel, knn) = seed_knn(index, query.data, k);
                 let knn = Arc::new(knn);
-                let grant =
-                    self.admit(query_id, Arc::clone(&knn) as Arc<dyn ResultSet + Send + Sync>);
+                let grant = self.admit_estimated(
+                    query_id,
+                    Arc::clone(&knn) as Arc<dyn ResultSet + Send + Sync>,
+                    estimate,
+                );
                 let stats = self.run_query(&kernel, params, &*knn, None, &grant, &|_, _| {});
                 BatchItem {
                     answer: BatchAnswer::Knn(knn.snapshot()),
@@ -667,8 +699,11 @@ impl LaneCtx<'_, '_> {
             QueryKind::Dtw(window) => {
                 let (kernel, bsf, initial) = seed_dtw(index, query.data, window);
                 let bsf = Arc::new(bsf);
-                let grant =
-                    self.admit(query_id, Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>);
+                let grant = self.admit_estimated(
+                    query_id,
+                    Arc::clone(&bsf) as Arc<dyn ResultSet + Send + Sync>,
+                    estimate,
+                );
                 let mut stats = self.run_query(&kernel, params, &*bsf, None, &grant, &|_, _| {});
                 stats.initial_bsf = initial;
                 BatchItem {
@@ -676,7 +711,9 @@ impl LaneCtx<'_, '_> {
                     stats,
                 }
             }
-        }
+        };
+        self.registry.observe(query_id, &item.stats);
+        item
     }
 }
 

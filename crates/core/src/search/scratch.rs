@@ -74,6 +74,30 @@ pub(crate) struct WorkerScratch {
     pub(crate) heaps: Vec<super::pqueue::SpareHeap>,
 }
 
+impl WorkerScratch {
+    /// First-touch NUMA warmup: grows and **touches** the hot arenas
+    /// (the lower-bound block and survivor buffers, sized by the
+    /// index's leaf capacity) on the *calling* thread. Invoked by every
+    /// pool worker on its own pinned thread right after pinning, so the
+    /// pages are physically allocated on the worker's local node — a
+    /// lane's contiguous core block then scans leaves through
+    /// node-local scratch. The buffers only ever grow (`lb_block` is
+    /// overwritten prefix-wise, `survivors` is cleared per leaf), so
+    /// faulting them early never changes behavior, only page placement.
+    pub(crate) fn prefault(&mut self, leaf_capacity: usize) {
+        if self.lb_block.len() < leaf_capacity {
+            self.lb_block.resize(leaf_capacity, 0.0);
+        }
+        if self.survivors.capacity() < leaf_capacity {
+            // `resize` + `clear` (not `reserve`): reserving leaves the
+            // pages untouched, so they would still first-fault — and
+            // first-touch — on whichever thread runs the first query.
+            self.survivors.resize(leaf_capacity, 0);
+            self.survivors.clear();
+        }
+    }
+}
+
 /// Cap on hoarded spare heaps per worker, and on the capacity of a heap
 /// worth keeping (matches the `BoundedPqSet` preallocation cap, so an
 /// unbounded-`TH` run never parks a giant allocation in the scratch).

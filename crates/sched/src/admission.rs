@@ -34,6 +34,7 @@
 //! [`BatchQuery::params`]: odyssey_core::search::engine::BatchQuery
 
 use crate::sigmoid::ThresholdModel;
+use crate::speedup::SpeedupCurve;
 use odyssey_core::search::multiq::{ConcurrentPlan, LaneSpec, RoundSpec};
 
 /// Tuning knobs of the admission controller.
@@ -283,6 +284,183 @@ pub fn plan_dispatch_widths(
     }
 }
 
+/// Upper bound on the candidate partitions the makespan solver
+/// enumerates — a determinism-preserving guard for absurdly wide
+/// pools, far above anything the simulated nodes use (a 16-thread
+/// pool has 36 power-of-two partitions).
+const MAX_SOLVER_PARTITIONS: usize = 20_000;
+
+/// Enumerates candidate width partitions of `pool` (descending parts
+/// drawn from the powers of two plus `easy_width` and the pool itself,
+/// at most `max_lanes` parts) and returns the one minimizing the LPT
+/// makespan of `costs_desc` under the measured speedup `curve`.
+fn solve_widths(
+    costs_desc: &[f64],
+    pool: usize,
+    config: &AdmissionConfig,
+    curve: &SpeedupCurve,
+) -> Vec<usize> {
+    let mut parts: Vec<usize> = std::iter::successors(Some(1usize), |&w| Some(w * 2))
+        .take_while(|&w| w <= pool)
+        .collect();
+    for extra in [pool, config.easy_width.clamp(1, pool)] {
+        if !parts.contains(&extra) {
+            parts.push(extra);
+        }
+    }
+    parts.sort_unstable_by(|a, b| b.cmp(a));
+    let max_lanes = config.max_lanes.min(costs_desc.len().max(1));
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut stack = vec![(Vec::new(), pool, 0usize)];
+    let mut visited = 0usize;
+    while let Some((widths, left, from)) = stack.pop() {
+        if left == 0 {
+            visited += 1;
+            let makespan = predicted_makespan(costs_desc, &widths, curve);
+            // Strict `<` keeps the tie-break deterministic: the DFS
+            // visits fewer-lane (wider-part) partitions first, so ties
+            // resolve toward wider lanes.
+            let better = best.as_ref().is_none_or(|(m, _)| makespan < *m);
+            if better {
+                best = Some((makespan, widths));
+            }
+            if visited >= MAX_SOLVER_PARTITIONS {
+                break;
+            }
+            continue;
+        }
+        if widths.len() >= max_lanes {
+            continue;
+        }
+        // Push in reverse so the widest usable part is explored first.
+        for i in (from..parts.len()).rev() {
+            let w = parts[i];
+            if w <= left {
+                let mut next = widths.clone();
+                next.push(w);
+                stack.push((next, left - w, i));
+            }
+        }
+    }
+    best.map(|(_, w)| w).unwrap_or_else(|| vec![pool])
+}
+
+/// The LPT makespan of `costs_desc` (descending estimates) over lanes
+/// of the given widths: each query goes to the lane it would finish
+/// earliest on, a lane of width `w` working through its queue at the
+/// curve's `speedup(w)`.
+pub fn predicted_makespan(costs_desc: &[f64], widths: &[usize], curve: &SpeedupCurve) -> f64 {
+    let speedups: Vec<f64> = widths.iter().map(|&w| curve.speedup(w)).collect();
+    let mut load = vec![0.0f64; widths.len()];
+    for &c in costs_desc {
+        let lane = (0..widths.len())
+            .min_by(|&a, &b| {
+                let fa = (load[a] + c) / speedups[a];
+                let fb = (load[b] + c) / speedups[b];
+                fa.total_cmp(&fb).then(a.cmp(&b))
+            })
+            .expect("at least one lane");
+        load[lane] += c;
+    }
+    load.iter()
+        .zip(&speedups)
+        .map(|(&l, &s)| l / s)
+        .fold(0.0, f64::max)
+}
+
+/// Curve-aware variant of [`plan_lanes`]: instead of classifying
+/// hard/easy by the median-ratio cutoff and hardcoding the two round
+/// shapes, it solves for the lane-width mix minimizing the predicted
+/// makespan under the measured [`SpeedupCurve`], then LPT-packs the
+/// queries (descending estimate) onto those lanes. One round, widths
+/// partitioning the pool, every query named exactly once — the same
+/// double-partition contract as the static planner, and bit-identical
+/// answers to it (widths change scheduling, never results).
+pub fn plan_lanes_adaptive(
+    estimates: &[f64],
+    pool: usize,
+    config: &AdmissionConfig,
+    curve: &SpeedupCurve,
+) -> ConcurrentPlan {
+    let pool = pool.max(1);
+    if estimates.is_empty() {
+        return ConcurrentPlan::default();
+    }
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]).then(a.cmp(&b)));
+    let costs_desc: Vec<f64> = order.iter().map(|&q| estimates[q]).collect();
+    let widths = solve_widths(&costs_desc, pool, config, curve);
+    let speedups: Vec<f64> = widths.iter().map(|&w| curve.speedup(w)).collect();
+    let mut lanes: Vec<LaneSpec> = widths
+        .iter()
+        .map(|&width| LaneSpec {
+            width,
+            queries: Vec::new(),
+        })
+        .collect();
+    let mut load = vec![0.0f64; widths.len()];
+    for (&q, &c) in order.iter().zip(&costs_desc) {
+        // The solver's own LPT rule, replayed to materialize the
+        // assignment it scored (ties by queue length keep zero-estimate
+        // batches round-robining, then by lane index).
+        let lane = (0..widths.len())
+            .min_by(|&a, &b| {
+                let fa = (load[a] + c) / speedups[a];
+                let fb = (load[b] + c) / speedups[b];
+                fa.total_cmp(&fb)
+                    .then(lanes[a].queries.len().cmp(&lanes[b].queries.len()))
+                    .then(a.cmp(&b))
+            })
+            .expect("at least one lane");
+        lanes[lane].queries.push(q);
+        load[lane] += c;
+    }
+    // An empty lane fails the plan's double-partition validation; fold
+    // surplus lanes away (possible when queries < lanes after the LPT
+    // replay's queue-length tie-break — rare, but the contract is hard).
+    lanes.retain(|l| !l.queries.is_empty());
+    let missing = pool - lanes.iter().map(|l| l.width).sum::<usize>();
+    if let Some(first) = lanes.first_mut() {
+        first.width += missing;
+    }
+    let mut round = RoundSpec::new(lanes);
+    round.readmission = config.readmission;
+    ConcurrentPlan {
+        rounds: vec![round],
+    }
+}
+
+/// Curve-aware variant of [`plan_dispatch_widths`]: the solver picks
+/// the makespan-optimal width mix for the observed estimate sample,
+/// and every lane at the widest width claims hardest-first (dispatch
+/// front) while strictly narrower lanes claim easiest-first. With a
+/// uniform mix every lane claims hardest-first — the LPT order.
+pub fn plan_dispatch_widths_adaptive(
+    estimates: &[f64],
+    pool: usize,
+    config: &AdmissionConfig,
+    curve: &SpeedupCurve,
+) -> DispatchWidths {
+    let pool = pool.max(1);
+    if estimates.is_empty() {
+        // No evidence yet: same cold-start shape as the static planner.
+        return plan_dispatch_widths(estimates, pool, config);
+    }
+    let mut costs_desc: Vec<f64> = estimates.to_vec();
+    costs_desc.sort_by(|a, b| b.total_cmp(a));
+    let mut widths = solve_widths(&costs_desc, pool, config, curve);
+    widths.sort_unstable_by(|a, b| b.cmp(a));
+    let narrowest = *widths.last().expect("pool >= 1 gives a lane");
+    let strictly_wide = widths.iter().filter(|&&w| w > narrowest).count();
+    let wide_lanes = if strictly_wide == 0 {
+        widths.len()
+    } else {
+        strictly_wide
+    };
+    DispatchWidths { widths, wide_lanes }
+}
+
 /// The admission controller: lane planning plus the per-query `TH`
 /// prediction of the sigmoid model, bundled for the engine's callers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -489,5 +667,110 @@ mod tests {
         let cfg = AdmissionConfig::default().with_hard_cutoff(0.5);
         let dw = plan_dispatch_widths(&[1.0, 2.0, 3.0], 6, &cfg);
         assert_eq!(dw, DispatchWidths { widths: vec![6], wide_lanes: 1 });
+    }
+
+    #[test]
+    fn solver_prefers_narrow_lanes_on_a_saturating_curve() {
+        // Speedup saturates hard past width 2: splitting the pool into
+        // narrow lanes beats one wide lane for a uniform batch.
+        let curve = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.4), (4, 4.0), (8, 3.9)]);
+        let est = vec![1.0; 16];
+        let dw =
+            plan_dispatch_widths_adaptive(&est, 8, &AdmissionConfig::default(), &curve);
+        assert_eq!(dw.widths.iter().sum::<usize>(), 8);
+        assert!(
+            dw.widths.iter().all(|&w| w <= 2),
+            "saturating curve should split: {:?}",
+            dw.widths
+        );
+    }
+
+    #[test]
+    fn solver_keeps_the_pool_together_on_a_linear_curve_single_query() {
+        let curve = SpeedupCurve::linear();
+        let dw = plan_dispatch_widths_adaptive(&[10.0], 8, &AdmissionConfig::default(), &curve);
+        assert_eq!(dw, DispatchWidths { widths: vec![8], wide_lanes: 1 });
+    }
+
+    #[test]
+    fn solver_mixes_widths_for_a_skewed_batch() {
+        // One dominant query plus many small ones on a sub-linear curve:
+        // the best mix keeps a wide lane for the outlier and narrow
+        // lanes for the rest.
+        let curve = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.2), (4, 2.6), (8, 2.2)]);
+        let mut est = vec![1.0; 12];
+        est.push(8.0);
+        let dw = plan_dispatch_widths_adaptive(&est, 8, &AdmissionConfig::default(), &curve);
+        assert_eq!(dw.widths.iter().sum::<usize>(), 8);
+        assert!(dw.widths.len() > 1, "skew should split: {:?}", dw.widths);
+        assert!(dw.widths[0] > *dw.widths.last().unwrap(), "wide head");
+        assert!(dw.wide_lanes >= 1 && dw.wide_lanes < dw.widths.len());
+    }
+
+    #[test]
+    fn solver_makespan_never_worse_than_static_shapes() {
+        let curve = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.4), (4, 3.2), (8, 3.0)]);
+        let cases: [&[f64]; 3] = [&[1.0; 10], &[5.0, 1.0, 1.0, 1.0, 1.0, 1.0], &[9.0, 8.0, 7.0]];
+        for est in cases {
+            let mut desc: Vec<f64> = est.to_vec();
+            desc.sort_by(|a, b| b.total_cmp(a));
+            let cfg = AdmissionConfig::default();
+            let solved = plan_dispatch_widths_adaptive(est, 8, &cfg, &curve);
+            let solved_ms = predicted_makespan(&desc, &solved.widths, &curve);
+            let static_dw = plan_dispatch_widths(est, 8, &cfg);
+            let static_ms = predicted_makespan(&desc, &static_dw.widths, &curve);
+            assert!(
+                solved_ms <= static_ms + 1e-9,
+                "{est:?}: solved {solved_ms} vs static {static_ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_double_partitions() {
+        let curve = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.4), (4, 3.2), (8, 3.0)]);
+        let est: Vec<f64> = (0..23).map(|i| ((i * 7) % 13) as f64 + 0.5).collect();
+        for pool in [1usize, 2, 3, 4, 8] {
+            let plan = plan_lanes_adaptive(&est, pool, &AdmissionConfig::default(), &curve);
+            plan.validate(pool, est.len());
+            assert_eq!(flat_queries(&plan), (0..est.len()).collect::<Vec<_>>());
+            assert_eq!(plan.rounds.len(), 1, "one adaptive round");
+        }
+    }
+
+    #[test]
+    fn adaptive_plan_is_deterministic() {
+        let curve = SpeedupCurve::from_times(&[(1, 9.0), (2, 5.0), (4, 3.1), (8, 2.8)]);
+        let est: Vec<f64> = (0..17).map(|i| ((i * 5) % 7) as f64 + 1.0).collect();
+        let a = plan_lanes_adaptive(&est, 8, &AdmissionConfig::default(), &curve);
+        let b = plan_lanes_adaptive(&est, 8, &AdmissionConfig::default(), &curve);
+        let shape = |p: &ConcurrentPlan| -> Vec<(usize, Vec<usize>)> {
+            p.rounds[0]
+                .lanes
+                .iter()
+                .map(|l| (l.width, l.queries.clone()))
+                .collect()
+        };
+        assert_eq!(shape(&a), shape(&b));
+    }
+
+    #[test]
+    fn adaptive_empty_and_tiny_batches() {
+        let curve = SpeedupCurve::linear();
+        let empty = plan_lanes_adaptive(&[], 4, &AdmissionConfig::default(), &curve);
+        assert!(empty.rounds.is_empty());
+        let one = plan_lanes_adaptive(&[3.0], 4, &AdmissionConfig::default(), &curve);
+        one.validate(4, 1);
+        assert_eq!(one.rounds[0].lanes.len(), 1);
+        assert_eq!(one.rounds[0].lanes[0].width, 4, "lone query gets the pool");
+    }
+
+    #[test]
+    fn max_lanes_caps_the_solver() {
+        let curve = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.4), (4, 4.2), (8, 4.1)]);
+        let cfg = AdmissionConfig::default().with_easy_width(1).with_max_lanes(2);
+        let dw = plan_dispatch_widths_adaptive(&[1.0; 12], 8, &cfg, &curve);
+        assert!(dw.widths.len() <= 2, "{:?}", dw.widths);
+        assert_eq!(dw.widths.iter().sum::<usize>(), 8);
     }
 }

@@ -1,0 +1,417 @@
+//! The online feedback store and self-refitting predictors.
+//!
+//! The paper trains its predictors once on a small pilot and the seed
+//! repo kept that shape: a ≤8-query pilot fits the Figure 4 linreg and
+//! the Figure 6 sigmoid, and every later estimate comes from that
+//! frozen fit. This module closes the loop: the engine reports every
+//! finished query's `(feature, observed)` pair into a fixed-capacity
+//! ring buffer, and the models refit from the ring at **deterministic
+//! sample counts** (every `refit_every` pushes — never wall-clock), so
+//! the same query stream always produces the same sequence of fits and
+//! the bit-identity tests stay meaningful.
+//!
+//! Everything here is lock-free on the `std::sync` atomic subset
+//! (`xtask lint` rule 8 holds this file to it, like `crates/service`):
+//! the store is shared by engine workers, the cluster's steal manager,
+//! and the service front-end, none of which may block on a predictor
+//! mutex mid-query.
+
+use crate::linreg::LinearRegression;
+use crate::predictor::CostModel;
+use crate::sigmoid::{SigmoidFit, ThresholdModel};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Fixed-capacity lock-free ring buffer of `(feature, observed)`
+/// sample pairs. Writers overwrite the oldest slot once full; readers
+/// snapshot whatever is currently resident. Pairs are stored as two
+/// relaxed `f64`-bit atomics — a reader racing a writer can observe a
+/// pair mid-overwrite, which is acceptable for refitting (one stale
+/// point among `capacity` samples) and cannot tear an individual
+/// `f64`.
+#[derive(Debug)]
+pub struct FeedbackStore {
+    features: Box<[AtomicU64]>,
+    observed: Box<[AtomicU64]>,
+    /// Total pushes ever; `fetch_add` hands every writer a unique slot
+    /// sequence number (slot = seq % capacity).
+    pushed: AtomicUsize,
+}
+
+impl FeedbackStore {
+    /// A store holding the most recent `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "feedback store needs capacity");
+        FeedbackStore {
+            features: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            observed: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            pushed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maximum resident samples.
+    pub fn capacity(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Total samples ever pushed (resident = `total().min(capacity())`).
+    pub fn total(&self) -> usize {
+        self.pushed.load(Ordering::Acquire)
+    }
+
+    /// Appends one sample and returns the total push count *after* this
+    /// push — unique per push, so exactly one caller observes each
+    /// refit threshold.
+    pub fn push(&self, feature: f64, observed: f64) -> usize {
+        let seq = self.pushed.fetch_add(1, Ordering::AcqRel);
+        let slot = seq % self.features.len();
+        self.features[slot].store(feature.to_bits(), Ordering::Relaxed);
+        self.observed[slot].store(observed.to_bits(), Ordering::Relaxed);
+        seq + 1
+    }
+
+    /// Copies the resident samples out (slot order; the refitters don't
+    /// care about recency order, only membership).
+    pub fn snapshot(&self) -> Vec<(f64, f64)> {
+        let n = self.total().min(self.capacity());
+        (0..n)
+            .map(|i| {
+                (
+                    f64::from_bits(self.features[i].load(Ordering::Relaxed)),
+                    f64::from_bits(self.observed[i].load(Ordering::Relaxed)),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Mean absolute percentage error of a cost model over `(feature,
+/// observed)` samples — the bench's before/after-refit metric.
+/// Samples with non-positive observations are skipped; returns `None`
+/// when nothing is scorable.
+pub fn mape(model: &dyn CostModel, samples: &[(f64, f64)]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &(x, y) in samples {
+        if y > 0.0 {
+            sum += (model.estimate(x) - y).abs() / y;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// A [`CostModel`] that refits its Figure 4 line from a
+/// [`FeedbackStore`] every `refit_every` samples. Until the first
+/// refit (or when constructed unseeded) it is the identity estimate —
+/// the same "initial BSF is the cost" default the PREDICT-* policies
+/// fall back to without a trained model.
+#[derive(Debug)]
+pub struct OnlineCostModel {
+    store: FeedbackStore,
+    refit_every: usize,
+    slope: AtomicU64,
+    intercept: AtomicU64,
+    refits: AtomicUsize,
+}
+
+impl OnlineCostModel {
+    /// An unseeded model (identity line until the first refit).
+    ///
+    /// # Panics
+    /// Panics on zero capacity or zero refit interval.
+    pub fn new(capacity: usize, refit_every: usize) -> Self {
+        assert!(refit_every >= 1, "refit interval must be positive");
+        OnlineCostModel {
+            store: FeedbackStore::new(capacity),
+            refit_every,
+            slope: AtomicU64::new(1.0f64.to_bits()),
+            intercept: AtomicU64::new(0.0f64.to_bits()),
+            refits: AtomicUsize::new(0),
+        }
+    }
+
+    /// A model seeded from a pilot-trained regression line.
+    pub fn seeded(line: LinearRegression, capacity: usize, refit_every: usize) -> Self {
+        let m = Self::new(capacity, refit_every);
+        m.slope.store(line.slope.to_bits(), Ordering::Relaxed);
+        m.intercept.store(line.intercept.to_bits(), Ordering::Relaxed);
+        m
+    }
+
+    /// Reports one finished query: `(feature, observed execution
+    /// time)`. Refits at every `refit_every`-th push — the push
+    /// counter hands out unique totals, so each refit point fires in
+    /// exactly one caller and at a deterministic position in the
+    /// sample stream.
+    pub fn record(&self, feature: f64, observed: f64) {
+        let total = self.store.push(feature, observed);
+        if total.is_multiple_of(self.refit_every) {
+            self.refit();
+        }
+    }
+
+    fn refit(&self) {
+        let samples = self.store.snapshot();
+        if samples.len() < 2 {
+            return;
+        }
+        let xs: Vec<f64> = samples.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+        let line = LinearRegression::fit(&xs, &ys);
+        self.slope.store(line.slope.to_bits(), Ordering::Relaxed);
+        self.intercept
+            .store(line.intercept.to_bits(), Ordering::Relaxed);
+        self.refits.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The current fitted line (R² is not tracked online).
+    pub fn line(&self) -> LinearRegression {
+        LinearRegression {
+            slope: f64::from_bits(self.slope.load(Ordering::Relaxed)),
+            intercept: f64::from_bits(self.intercept.load(Ordering::Relaxed)),
+            r2: 0.0,
+        }
+    }
+
+    /// Number of refits performed so far.
+    pub fn refits(&self) -> usize {
+        self.refits.load(Ordering::Acquire)
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> usize {
+        self.store.total()
+    }
+
+    /// The underlying sample ring (bench MAPE scoring).
+    pub fn store(&self) -> &FeedbackStore {
+        &self.store
+    }
+}
+
+impl CostModel for OnlineCostModel {
+    fn estimate(&self, initial_bsf: f64) -> f64 {
+        let line = self.line();
+        line.predict(initial_bsf).max(0.0)
+    }
+}
+
+/// A per-query `TH` predictor that refits its Figure 6 sigmoid from
+/// observed `(initial BSF, median queue size)` pairs every
+/// `refit_every` samples. Before the first refit it answers from the
+/// seed sigmoid (or, unseeded, a flat line at the seed threshold).
+#[derive(Debug)]
+pub struct OnlineThresholdModel {
+    store: FeedbackStore,
+    refit_every: usize,
+    /// Sigmoid parameter bits: `m, M, b, c, d`.
+    params: [AtomicU64; 5],
+    division_factor: f64,
+    refits: AtomicUsize,
+}
+
+impl OnlineThresholdModel {
+    /// Wraps a pilot-trained threshold model.
+    ///
+    /// # Panics
+    /// Panics on zero capacity or zero refit interval.
+    pub fn seeded(seed: ThresholdModel, capacity: usize, refit_every: usize) -> Self {
+        assert!(refit_every >= 1, "refit interval must be positive");
+        let s = seed.sigmoid;
+        OnlineThresholdModel {
+            store: FeedbackStore::new(capacity),
+            refit_every,
+            params: [
+                AtomicU64::new(s.m.to_bits()),
+                AtomicU64::new(s.big_m.to_bits()),
+                AtomicU64::new(s.b.to_bits()),
+                AtomicU64::new(s.c.to_bits()),
+                AtomicU64::new(s.d.to_bits()),
+            ],
+            division_factor: seed.division_factor,
+            refits: AtomicUsize::new(0),
+        }
+    }
+
+    /// Reports one finished query's `(initial BSF, median priority-queue
+    /// size)` observation; refits at deterministic sample counts like
+    /// [`OnlineCostModel::record`]. The sigmoid fit needs four points,
+    /// so early refit points with fewer resident samples are skipped.
+    pub fn record(&self, initial_bsf: f64, median_pq_size: f64) {
+        let total = self.store.push(initial_bsf, median_pq_size);
+        if total.is_multiple_of(self.refit_every) {
+            let samples = self.store.snapshot();
+            if samples.len() < 4 {
+                return;
+            }
+            let xs: Vec<f64> = samples.iter().map(|&(x, _)| x).collect();
+            let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+            let fit = SigmoidFit::fit(&xs, &ys);
+            for (slot, v) in self
+                .params
+                .iter()
+                .zip([fit.m, fit.big_m, fit.b, fit.c, fit.d])
+            {
+                slot.store(v.to_bits(), Ordering::Relaxed);
+            }
+            self.refits.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// The current model as a plain [`ThresholdModel`].
+    pub fn current(&self) -> ThresholdModel {
+        let p: Vec<f64> = self
+            .params
+            .iter()
+            .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+            .collect();
+        ThresholdModel::new(
+            SigmoidFit {
+                m: p[0],
+                big_m: p[1],
+                b: p[2],
+                c: p[3],
+                d: p[4],
+                sse: 0.0,
+            },
+            self.division_factor,
+        )
+    }
+
+    /// Predicted `TH` under the current fit.
+    pub fn predict_th(&self, initial_bsf: f64) -> usize {
+        self.current().predict_th(initial_bsf)
+    }
+
+    /// Number of refits performed so far.
+    pub fn refits(&self) -> usize {
+        self.refits.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_and_snapshots() {
+        let s = FeedbackStore::new(4);
+        for i in 0..6 {
+            s.push(i as f64, 10.0 * i as f64);
+        }
+        assert_eq!(s.total(), 6);
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 4);
+        // Slots 0 and 1 were overwritten by pushes 4 and 5.
+        assert!(snap.contains(&(4.0, 40.0)));
+        assert!(snap.contains(&(5.0, 50.0)));
+        assert!(snap.contains(&(2.0, 20.0)));
+        assert!(!snap.contains(&(0.0, 0.0)) || snap.iter().filter(|&&(x, _)| x == 0.0).count() == 0);
+    }
+
+    #[test]
+    fn unseeded_model_is_identity_until_refit() {
+        let m = OnlineCostModel::new(64, 8);
+        assert_eq!(m.estimate(3.5), 3.5);
+        for i in 0..7 {
+            m.record(i as f64, 2.0 * i as f64 + 5.0);
+        }
+        assert_eq!(m.refits(), 0, "below the refit point");
+        assert_eq!(m.estimate(3.5), 3.5);
+        m.record(7.0, 19.0);
+        assert_eq!(m.refits(), 1, "refit fires exactly at sample 8");
+        assert!((m.estimate(3.5) - 12.0).abs() < 1e-9, "fitted 2x+5");
+    }
+
+    #[test]
+    fn refits_fire_at_deterministic_counts() {
+        let m = OnlineCostModel::new(16, 4);
+        for i in 0..12 {
+            m.record(i as f64, i as f64);
+            let expect = (i + 1) / 4;
+            assert_eq!(m.refits(), expect, "after sample {}", i + 1);
+        }
+    }
+
+    #[test]
+    fn seeded_model_predicts_before_any_sample() {
+        let line = LinearRegression {
+            slope: 3.0,
+            intercept: 1.0,
+            r2: 1.0,
+        };
+        let m = OnlineCostModel::seeded(line, 8, 4);
+        assert!((m.estimate(2.0) - 7.0).abs() < 1e-12);
+        assert_eq!(m.line().slope, 3.0);
+    }
+
+    #[test]
+    fn refit_sharpens_a_bad_seed() {
+        let bad = LinearRegression {
+            slope: -5.0,
+            intercept: 100.0,
+            r2: 0.0,
+        };
+        let m = OnlineCostModel::seeded(bad, 64, 16);
+        let truth = |x: f64| 4.0 * x + 2.0;
+        for i in 0..32 {
+            let x = i as f64 * 0.5;
+            m.record(x, truth(x));
+        }
+        assert!(m.refits() >= 1);
+        let snap = m.store().snapshot();
+        let after = mape(&m, &snap).unwrap();
+        assert!(after < 0.01, "post-refit MAPE {after}");
+    }
+
+    #[test]
+    fn mape_scores_identity_error() {
+        let m = OnlineCostModel::new(8, 100);
+        // Identity model vs observed 2x: |x - 2x| / 2x = 0.5 everywhere.
+        let samples = vec![(1.0, 2.0), (3.0, 6.0)];
+        assert!((mape(&m, &samples).unwrap() - 0.5).abs() < 1e-12);
+        assert!(mape(&m, &[(1.0, 0.0)]).is_none(), "nothing scorable");
+    }
+
+    #[test]
+    fn online_threshold_model_refits_sigmoid() {
+        let seed = ThresholdModel::new(
+            SigmoidFit {
+                m: 160.0,
+                big_m: 160.0,
+                b: 1.0,
+                c: 1.0,
+                d: 0.0,
+                sse: 0.0,
+            },
+            16.0,
+        );
+        let m = OnlineThresholdModel::seeded(seed, 64, 16);
+        assert_eq!(m.predict_th(3.0), 10, "seed answers before refit");
+        for i in 0..16 {
+            let bsf = 1.0 + i as f64 * 0.4;
+            let size = 50.0 + 400.0 / (1.0 + (-2.0 * (bsf - 4.0)).exp());
+            m.record(bsf, size);
+        }
+        assert_eq!(m.refits(), 1);
+        let easy = m.predict_th(1.0);
+        let hard = m.predict_th(7.0);
+        assert!(hard >= easy, "refitted sigmoid rises with BSF");
+    }
+
+    #[test]
+    fn same_stream_same_fits() {
+        let run = || {
+            let m = OnlineCostModel::new(32, 8);
+            for i in 0..24 {
+                m.record(i as f64 * 0.3, i as f64 * 0.9 + 1.0);
+            }
+            let l = m.line();
+            (l.slope.to_bits(), l.intercept.to_bits(), m.refits())
+        };
+        assert_eq!(run(), run(), "deterministic refit sequence");
+    }
+}

@@ -1,0 +1,240 @@
+//! The measured per-index speedup curve (Figure 8): how much faster one
+//! query runs on `w` workers than on one.
+//!
+//! The paper's scheduling power comes from knowing this curve *per
+//! machine and per index* instead of assuming linear scaling: the flat
+//! region past the saturation knee is exactly where giving a query the
+//! full pool wastes workers that narrow lanes could use. The engine
+//! measures a few probe queries at widths `{1, 2, 4, …, pool}` at
+//! warmup ([`BatchEngine::calibrate`]'s samples land here), and the
+//! curve interpolates between the measured points with a saturating
+//! Amdahl-style model
+//!
+//! ```text
+//! S(w) = w / (1 + σ · (w − 1))
+//! ```
+//!
+//! fitted for extrapolation beyond the largest probed width (`σ = 0`
+//! is linear scaling, `σ = 1` is no scaling at all).
+//!
+//! [`BatchEngine::calibrate`]: ../odyssey_core/search/engine/struct.BatchEngine.html
+
+/// A fitted speedup-vs-width curve for one index on one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupCurve {
+    /// Measured `(width, speedup)` samples, width ascending, starting
+    /// at `(1, 1.0)`. Monotone non-decreasing and capped at `w` (a
+    /// probe can't observe super-linear scaling reliably enough to
+    /// plan on it).
+    samples: Vec<(usize, f64)>,
+    /// Fitted contention coefficient of the saturating model.
+    sigma: f64,
+}
+
+impl SpeedupCurve {
+    /// The ideal linear curve (`speedup(w) = w`): the neutral fallback
+    /// when no calibration has run.
+    pub fn linear() -> Self {
+        SpeedupCurve {
+            samples: vec![(1, 1.0)],
+            sigma: 0.0,
+        }
+    }
+
+    /// Builds the curve from measured `(width, wall-time)` probe
+    /// samples. The width-1 sample anchors the scale; samples are
+    /// sanitized to a monotone, at-most-linear speedup (measurement
+    /// noise must not convince the solver that 4 workers beat 8).
+    ///
+    /// # Panics
+    /// Panics if no width-1 sample is present or any time is
+    /// non-positive.
+    pub fn from_times(times: &[(usize, f64)]) -> Self {
+        let t1 = times
+            .iter()
+            .find(|&&(w, _)| w == 1)
+            .map(|&(_, t)| t)
+            .expect("calibration must probe width 1");
+        assert!(
+            times.iter().all(|&(_, t)| t > 0.0),
+            "probe times must be positive"
+        );
+        let mut samples: Vec<(usize, f64)> = times
+            .iter()
+            .map(|&(w, t)| (w, (t1 / t).min(w as f64)))
+            .collect();
+        samples.sort_by_key(|&(w, _)| w);
+        samples.dedup_by_key(|&mut (w, _)| w);
+        // Monotone envelope: a wider group never plans slower than a
+        // narrower one.
+        let mut best = 0.0f64;
+        for s in &mut samples {
+            best = best.max(s.1);
+            s.1 = best;
+        }
+        let sigma = fit_sigma(&samples);
+        SpeedupCurve { samples, sigma }
+    }
+
+    /// The measured `(width, speedup)` samples (bench emission).
+    pub fn samples(&self) -> &[(usize, f64)] {
+        &self.samples
+    }
+
+    /// The fitted contention coefficient `σ` of the saturating model.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Predicted speedup of one query on a `width`-worker lane:
+    /// piecewise-linear between measured samples, the fitted model
+    /// (rescaled through the last sample) beyond them.
+    ///
+    /// # Panics
+    /// Panics on `width == 0`.
+    pub fn speedup(&self, width: usize) -> f64 {
+        assert!(width >= 1, "a lane has at least one worker");
+        let w = width as f64;
+        let &(last_w, last_s) = self.samples.last().expect("curve has samples");
+        if width >= last_w {
+            // Extrapolate with the model, anchored so the curve stays
+            // continuous at the last measured point.
+            let anchor = model(self.sigma, last_w as f64);
+            return (last_s * model(self.sigma, w) / anchor).min(w).max(last_s);
+        }
+        match self.samples.binary_search_by_key(&width, |&(sw, _)| sw) {
+            Ok(i) => self.samples[i].1,
+            Err(i) => {
+                // `width` lies strictly between samples i-1 and i
+                // (width >= 1 and (1, 1.0) is always present, so i >= 1).
+                let (w0, s0) = self.samples[i - 1];
+                let (w1, s1) = self.samples[i];
+                let f = (w - w0 as f64) / (w1 - w0) as f64;
+                s0 + f * (s1 - s0)
+            }
+        }
+    }
+
+    /// Predicted wall-time of a query with cost estimate `cost` on a
+    /// `width`-worker lane.
+    #[inline]
+    pub fn time_at(&self, cost: f64, width: usize) -> f64 {
+        cost / self.speedup(width)
+    }
+}
+
+/// The saturating model `S(w) = w / (1 + σ (w − 1))`.
+fn model(sigma: f64, w: f64) -> f64 {
+    w / (1.0 + sigma * (w - 1.0))
+}
+
+/// Least-squares fit of `σ` over the sanitized samples: deterministic
+/// coarse grid then bisection refinement (no RNG, no wall-clock — the
+/// same samples always fit the same curve).
+fn fit_sigma(samples: &[(usize, f64)]) -> f64 {
+    let sse = |sigma: f64| -> f64 {
+        samples
+            .iter()
+            .map(|&(w, s)| {
+                let r = model(sigma, w as f64) - s;
+                r * r
+            })
+            .sum()
+    };
+    let mut best = 0.0f64;
+    let mut best_sse = sse(0.0);
+    for i in 1..=100 {
+        let sigma = i as f64 / 100.0;
+        let e = sse(sigma);
+        if e < best_sse {
+            best_sse = e;
+            best = sigma;
+        }
+    }
+    let mut step = 0.005f64;
+    for _ in 0..30 {
+        let mut improved = false;
+        for cand in [best - step, best + step] {
+            let c = cand.clamp(0.0, 1.0);
+            let e = sse(c);
+            if e < best_sse {
+                best_sse = e;
+                best = c;
+                improved = true;
+            }
+        }
+        if !improved {
+            step *= 0.5;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_curve_is_identity() {
+        let c = SpeedupCurve::linear();
+        assert_eq!(c.speedup(1), 1.0);
+        assert_eq!(c.speedup(4), 4.0);
+        assert_eq!(c.speedup(16), 16.0);
+        assert_eq!(c.time_at(8.0, 8), 1.0);
+    }
+
+    #[test]
+    fn from_times_normalizes_and_interpolates() {
+        // Perfect 2x scaling to width 2, flat beyond.
+        let c = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.0), (4, 4.0)]);
+        assert!((c.speedup(1) - 1.0).abs() < 1e-12);
+        assert!((c.speedup(2) - 2.0).abs() < 1e-12);
+        assert!((c.speedup(4) - 2.0).abs() < 1e-12);
+        assert!((c.speedup(3) - 2.0).abs() < 1e-12, "interpolated");
+    }
+
+    #[test]
+    fn noisy_samples_stay_monotone_and_sublinear() {
+        // Width 4 "measured" faster than linear and faster than width 8.
+        let c = SpeedupCurve::from_times(&[(1, 10.0), (2, 5.5), (4, 1.0), (8, 2.0)]);
+        let mut prev = 0.0;
+        for w in 1..=8 {
+            let s = c.speedup(w);
+            assert!(s >= prev, "monotone at width {w}");
+            assert!(s <= w as f64 + 1e-12, "at most linear at width {w}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn extrapolation_saturates_with_fitted_sigma() {
+        // A strongly saturating measurement: almost no gain past 2.
+        let c = SpeedupCurve::from_times(&[(1, 10.0), (2, 6.0), (4, 5.5), (8, 5.4)]);
+        assert!(c.sigma() > 0.1, "saturation detected, sigma={}", c.sigma());
+        let s16 = c.speedup(16);
+        let s8 = c.speedup(8);
+        assert!(s16 >= s8, "extrapolation stays monotone");
+        assert!(s16 < 8.0, "extrapolation stays saturated");
+    }
+
+    #[test]
+    fn near_linear_measurement_fits_small_sigma() {
+        let c = SpeedupCurve::from_times(&[(1, 8.0), (2, 4.0), (4, 2.0), (8, 1.0)]);
+        assert!(c.sigma() < 0.02, "sigma={}", c.sigma());
+        assert!(c.speedup(16) > 10.0, "extrapolates near-linearly");
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let t = [(1, 9.0), (2, 5.0), (4, 3.0), (8, 2.5)];
+        let a = SpeedupCurve::from_times(&t);
+        let b = SpeedupCurve::from_times(&t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 1")]
+    fn rejects_missing_anchor() {
+        SpeedupCurve::from_times(&[(2, 4.0), (4, 2.0)]);
+    }
+}

@@ -44,6 +44,7 @@ use odyssey_core::index::Index;
 use odyssey_core::search::engine::{BatchAnswer, BatchEngine, BatchQuery, QueryKind};
 use odyssey_core::search::exact::SearchParams;
 use odyssey_core::search::multiq::uniform_widths;
+use odyssey_sched::OnlineCostModel;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -149,6 +150,13 @@ pub struct ServiceConfig {
     pub interactive_deadline: Option<Duration>,
     /// Default deadline for batch queries (`None` = unbounded).
     pub batch_deadline: Option<Duration>,
+    /// Ring capacity of the session's online cost-predictor feedback
+    /// store (single-node backend; the cluster backend trains the
+    /// cluster's own models).
+    pub feedback_capacity: usize,
+    /// Refit cadence of the session predictor: one least-squares refit
+    /// per this many recorded executions.
+    pub feedback_refit_every: usize,
 }
 
 impl Default for ServiceConfig {
@@ -159,6 +167,8 @@ impl Default for ServiceConfig {
             lane_width: 1,
             interactive_deadline: None,
             batch_deadline: None,
+            feedback_capacity: 1024,
+            feedback_refit_every: 64,
         }
     }
 }
@@ -197,6 +207,20 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the feedback-ring capacity.
+    pub fn with_feedback_capacity(mut self, c: usize) -> Self {
+        assert!(c >= 1);
+        self.feedback_capacity = c;
+        self
+    }
+
+    /// Sets the predictor refit cadence.
+    pub fn with_feedback_refit_every(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.feedback_refit_every = n;
+        self
+    }
+
     fn class_deadline(&self, class: LatencyClass) -> Option<Duration> {
         match class {
             LatencyClass::Interactive => self.interactive_deadline,
@@ -224,6 +248,11 @@ pub struct ServiceReport {
     pub interactive: HistogramSummary,
     /// Batch-class latency percentiles.
     pub batch: HistogramSummary,
+    /// Exact executions recorded into the online cost predictor this
+    /// session (degraded answers train nothing).
+    pub predictor_samples: u64,
+    /// Predictor refits performed this session.
+    pub predictor_refits: u64,
     /// Session wall-clock, open to close-drained.
     pub wall: Duration,
 }
@@ -265,6 +294,11 @@ struct ServiceState {
     batch_hist: LatencyHistogram,
     /// EWMA of completion latency in µs — the [`Busy`] retry hint.
     ewma_micros: AtomicU64,
+    /// Online cost-predictor feedback of the single-node backend: the
+    /// engine's query observer appends `(initial BSF, seconds)` after
+    /// every exact execution. The cluster backend leaves this untouched
+    /// and trains the cluster's own models instead.
+    feedback: Arc<OnlineCostModel>,
 }
 
 impl ServiceState {
@@ -287,6 +321,10 @@ impl ServiceState {
             interactive_hist: LatencyHistogram::new(),
             batch_hist: LatencyHistogram::new(),
             ewma_micros: AtomicU64::new(0),
+            feedback: Arc::new(OnlineCostModel::new(
+                config.feedback_capacity,
+                config.feedback_refit_every,
+            )),
         }
     }
 
@@ -336,7 +374,7 @@ impl ServiceState {
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 
-    fn report(&self, wall: Duration) -> ServiceReport {
+    fn report(&self, wall: Duration, predictor_samples: u64, predictor_refits: u64) -> ServiceReport {
         ServiceReport {
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -346,6 +384,8 @@ impl ServiceState {
             max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
             interactive: self.interactive_hist.summary(),
             batch: self.batch_hist.summary(),
+            predictor_samples,
+            predictor_refits,
             wall,
         }
     }
@@ -523,6 +563,20 @@ impl QueryService {
             let st = &state;
             let worker = scope.spawn(move || {
                 let engine = BatchEngine::new(Arc::clone(index), st.config.pool_threads);
+                // Every exact execution trains the session predictor;
+                // degraded answers bypass `ctx.execute` and train
+                // nothing, and a non-finite seed carries no feature.
+                {
+                    let feedback = Arc::clone(&st.feedback);
+                    engine
+                        .steal_registry()
+                        .install_observer(Arc::new(move |_qid, stats| {
+                            if stats.initial_bsf.is_finite() {
+                                feedback
+                                    .record(stats.initial_bsf, stats.elapsed.as_secs_f64());
+                            }
+                        }));
+                }
                 let widths = uniform_widths(st.config.pool_threads, st.config.lane_width);
                 engine.run_dispatch(&widths, &|ctx, _lane| loop {
                     match st.claim() {
@@ -568,7 +622,12 @@ impl QueryService {
         if let Some(p) = session_panic {
             std::panic::resume_unwind(p);
         }
-        (out.expect("session ran"), state.report(t0.elapsed()))
+        let report = state.report(
+            t0.elapsed(),
+            state.feedback.samples() as u64,
+            state.feedback.refits() as u64,
+        );
+        (out.expect("session ran"), report)
     }
 
     /// Runs a cluster serving session behind the same client API:
@@ -582,6 +641,10 @@ impl QueryService {
     ) -> (R, ServiceReport) {
         let t0 = Instant::now();
         let state = ServiceState::new(self.config);
+        // The cluster's serving loops train the *cluster's* models
+        // (shared with its batch paths); report the session's delta.
+        let samples0 = cluster.feedback().samples() as u64;
+        let refits0 = cluster.feedback().refits() as u64;
         let st = &state;
         let on_complete = move |a: ServedAnswer| {
             st.record(ServiceAnswer {
@@ -607,6 +670,11 @@ impl QueryService {
             },
             &on_complete,
         );
-        (r, state.report(t0.elapsed()))
+        let report = state.report(
+            t0.elapsed(),
+            (cluster.feedback().samples() as u64).saturating_sub(samples0),
+            (cluster.feedback().refits() as u64).saturating_sub(refits0),
+        );
+        (r, report)
     }
 }

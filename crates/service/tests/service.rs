@@ -279,3 +279,49 @@ fn interactive_class_claims_before_batch() {
     assert_eq!(report.interactive.count, 1);
     assert_eq!(report.batch.count, (w.len() - 1) as u64);
 }
+
+/// The single-node backend trains its session predictor on every exact
+/// execution and reports the sample/refit counters; degraded answers
+/// contribute nothing.
+#[test]
+fn exact_executions_train_the_session_predictor() {
+    let (data, index) = build_index(900, 41);
+    let w = mixed_workload(&data, 10, 43);
+    let service = QueryService::new(
+        ServiceConfig::default()
+            .with_pool_threads(2)
+            .with_feedback_refit_every(4),
+    );
+    let (_, report) = service.serve_index(&index, |client| {
+        let ids: Vec<u64> = (0..w.len())
+            .map(|qi| {
+                client
+                    .submit(ServiceQuery::batch(w.query(qi).to_vec()))
+                    .expect("under capacity")
+            })
+            .collect();
+        for qid in ids {
+            client.wait(qid);
+        }
+    });
+    assert_eq!(report.completed, w.len() as u64);
+    assert_eq!(report.degraded, 0);
+    assert_eq!(report.predictor_samples, w.len() as u64);
+    assert!(
+        report.predictor_refits > 0,
+        "10 samples at refit_every=4 must refit"
+    );
+
+    // An all-expired stream answers approximately: nothing trains.
+    let (_, degraded_report) = service.serve_index(&index, |client| {
+        let qid = client
+            .submit(
+                ServiceQuery::batch(w.query(0).to_vec())
+                    .with_deadline(Duration::from_nanos(1)),
+            )
+            .expect("under capacity");
+        client.wait(qid);
+    });
+    assert_eq!(degraded_report.degraded, 1);
+    assert_eq!(degraded_report.predictor_samples, 0);
+}

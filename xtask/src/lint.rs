@@ -37,13 +37,14 @@
 //!    `is_x86_feature_detected!`): the attribute makes the function
 //!    sound only behind that check, and the name keeps the guard
 //!    greppable from the kernel.
-//! 8. **Service sync discipline.** In `crates/service/` the only
-//!    `std::sync::` items allowed are `atomic`, `Arc`, `OnceLock`, and
-//!    `Weak`: locks and channels in the serving path must come from the
-//!    workspace's reviewed primitives (the `parking_lot` shim, the
-//!    core crate's poisonable barriers), not ad-hoc `std::sync`
-//!    blocking types that sit outside the sanitizer tiers' coverage
-//!    story.
+//! 8. **Lock-free sync discipline.** In `crates/service/` and the
+//!    scheduler's online feedback store (`crates/sched/src/feedback.rs`
+//!    — appended to from query hot paths, so it must never block) the
+//!    only `std::sync::` items allowed are `atomic`, `Arc`, `OnceLock`,
+//!    and `Weak`: locks and channels must come from the workspace's
+//!    reviewed primitives (the `parking_lot` shim, the core crate's
+//!    poisonable barriers), not ad-hoc `std::sync` blocking types that
+//!    sit outside the sanitizer tiers' coverage story.
 //!
 //! Comments and string literals are stripped before token matching, so
 //! prose about `unsafe` never trips the lint, and the lint can check its
@@ -83,10 +84,11 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "xtask/src/main.rs",
 ];
 
-/// Directory prefix whose files may only use the lock-free subset of
+/// Path prefixes whose files may only use the lock-free subset of
 /// `std::sync` (rule 8); blocking primitives come from the reviewed
-/// shims instead.
-const SERVICE_SYNC_DIR: &str = "crates/service/";
+/// shims instead. A trailing `/` scopes a whole directory; a full file
+/// path scopes one file.
+const SERVICE_SYNC_PATHS: &[&str] = &["crates/service/", "crates/sched/src/feedback.rs"];
 
 /// The `std::sync::` continuations rule 8 permits.
 const SERVICE_SYNC_ALLOWED: &[&str] = &["atomic", "Arc", "OnceLock", "Weak"];
@@ -357,7 +359,7 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<Violation> {
                     .to_string(),
             );
         }
-        if rel.starts_with(SERVICE_SYNC_DIR) {
+        if SERVICE_SYNC_PATHS.iter().any(|p| rel.starts_with(p)) {
             let mut from = 0;
             while let Some(pos) = code[from..].find("std::sync::").map(|p| p + from) {
                 let rest = &code[pos + "std::sync::".len()..];
@@ -367,7 +369,7 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<Violation> {
                         line,
                         "service-sync",
                         format!(
-                            "`std::sync::` in the service crate may only reach {}; \
+                            "`std::sync::` in this lock-free path may only reach {}; \
                              blocking primitives must come from the reviewed shims \
                              (parking_lot, odyssey_core::sync)",
                             SERVICE_SYNC_ALLOWED.join(", ")
@@ -644,6 +646,28 @@ mod tests {
                 "{bad}"
             );
         }
+    }
+
+    #[test]
+    fn feedback_store_is_held_to_the_lock_free_subset() {
+        // The online feedback store is appended to from query hot
+        // paths; rule 8 covers it exactly like the service crate.
+        let atomics = "use std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::Arc;\n";
+        assert!(rules("crates/sched/src/feedback.rs", atomics).is_empty());
+        for bad in [
+            "use std::sync::Mutex;\n",
+            "use std::sync::RwLock;\n",
+            "let (tx, rx) = std::sync::mpsc::channel();\n",
+        ] {
+            assert_eq!(
+                rules("crates/sched/src/feedback.rs", bad),
+                vec!["service-sync"],
+                "{bad}"
+            );
+        }
+        // Only the feedback store — the rest of the sched crate may
+        // still use blocking std::sync types.
+        assert!(rules("crates/sched/src/admission.rs", "use std::sync::Mutex;\n").is_empty());
     }
 
     #[test]
